@@ -1,0 +1,42 @@
+// Shared helpers for the figure benches.
+#pragma once
+
+#include <cstdio>
+
+#include "core/grid.hpp"
+#include "util/cli.hpp"
+
+namespace kgrid::bench {
+
+/// Ground truth over the data that has arrived by `step` (initial
+/// partitions plus the per-step arrivals every resource has consumed).
+inline arm::RuleSet reference_at(const core::GridEnv& env, std::size_t step,
+                                 std::size_t arrivals_per_step,
+                                 const arm::MiningThresholds& thresholds) {
+  data::Database db;
+  for (const auto& part : env.initial)
+    for (const auto& t : part.transactions()) db.append(t);
+  const std::size_t consumed = step * arrivals_per_step;
+  for (const auto& stream : env.arrivals)
+    for (std::size_t i = 0; i < std::min(consumed, stream.size()); ++i)
+      db.append(stream[i]);
+  return arm::mine_rules(db, thresholds);
+}
+
+/// Drive a grid until `metric()` >= target or the step budget runs out;
+/// returns the step count reached (or max_steps+1 when the target was not
+/// met).
+template <class Grid, class Metric>
+std::size_t steps_to_target(Grid& grid, Metric metric, double target,
+                            std::size_t max_steps, std::size_t stride = 5) {
+  std::size_t steps = 0;
+  if (metric() >= target) return 0;
+  while (steps < max_steps) {
+    grid.run_steps(stride);
+    steps += stride;
+    if (metric() >= target) return steps;
+  }
+  return max_steps + 1;
+}
+
+}  // namespace kgrid::bench

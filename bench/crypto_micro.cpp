@@ -1,0 +1,154 @@
+// Microbenchmarks of the crypto substrate: Paillier primitives at several
+// modulus widths, the underlying Montgomery exponentiation, packed-counter
+// operations, and the plain ideal-functionality backend for contrast —
+// quantifying why the large-scale figure benches default to the plain
+// backend (see DESIGN.md "Paillier at simulation scale").
+#include <benchmark/benchmark.h>
+
+#include "crypto/counter.hpp"
+#include "crypto/paillier.hpp"
+#include "wide/modular.hpp"
+#include "wide/prime.hpp"
+
+namespace {
+
+using namespace kgrid;
+using wide::BigInt;
+
+const hom::PaillierPrivateKey& key_for(std::size_t bits) {
+  static std::map<std::size_t, hom::PaillierPrivateKey> cache;
+  auto it = cache.find(bits);
+  if (it == cache.end()) {
+    Rng rng(bits);
+    it = cache.emplace(bits, hom::paillier_keygen(bits, rng)).first;
+  }
+  return it->second;
+}
+
+void BM_PaillierKeygen(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        hom::paillier_keygen(static_cast<std::size_t>(state.range(0)), rng));
+}
+BENCHMARK(BM_PaillierKeygen)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_PaillierEncrypt(benchmark::State& state) {
+  const auto& key = key_for(static_cast<std::size_t>(state.range(0)));
+  Rng rng(2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(key.pub.encrypt(BigInt(123456789), rng));
+}
+BENCHMARK(BM_PaillierEncrypt)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PaillierDecrypt(benchmark::State& state) {
+  const auto& key = key_for(static_cast<std::size_t>(state.range(0)));
+  Rng rng(3);
+  const BigInt c = key.pub.encrypt(BigInt(987654321), rng);
+  for (auto _ : state) benchmark::DoNotOptimize(key.decrypt(c));
+}
+BENCHMARK(BM_PaillierDecrypt)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PaillierDecryptNoCrt(benchmark::State& state) {
+  const auto& key = key_for(static_cast<std::size_t>(state.range(0)));
+  Rng rng(33);
+  const BigInt c = key.pub.encrypt(BigInt(555), rng);
+  for (auto _ : state) benchmark::DoNotOptimize(key.decrypt_no_crt(c));
+}
+BENCHMARK(BM_PaillierDecryptNoCrt)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PaillierAdd(benchmark::State& state) {
+  const auto& key = key_for(static_cast<std::size_t>(state.range(0)));
+  Rng rng(4);
+  const BigInt a = key.pub.encrypt(BigInt(1), rng);
+  const BigInt b = key.pub.encrypt(BigInt(2), rng);
+  for (auto _ : state) benchmark::DoNotOptimize(key.pub.add(a, b));
+}
+BENCHMARK(BM_PaillierAdd)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_PaillierScalarMul(benchmark::State& state) {
+  const auto& key = key_for(static_cast<std::size_t>(state.range(0)));
+  Rng rng(5);
+  const BigInt a = key.pub.encrypt(BigInt(7), rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(key.pub.scalar_mul(BigInt(10007), a));
+}
+BENCHMARK(BM_PaillierScalarMul)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_PaillierRerandomize(benchmark::State& state) {
+  const auto& key = key_for(static_cast<std::size_t>(state.range(0)));
+  Rng rng(6);
+  const BigInt a = key.pub.encrypt(BigInt(7), rng);
+  for (auto _ : state) benchmark::DoNotOptimize(key.pub.rerandomize(a, rng));
+}
+BENCHMARK(BM_PaillierRerandomize)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MontgomeryPow(benchmark::State& state) {
+  Rng rng(7);
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  BigInt m = BigInt::random_bits(rng, bits);
+  if (m.is_even()) m += BigInt(1);
+  const wide::Montgomery mont(m);
+  const BigInt base = BigInt::random_below(rng, m);
+  const BigInt exp = BigInt::random_bits(rng, bits);
+  for (auto _ : state) benchmark::DoNotOptimize(mont.pow(base, exp));
+}
+BENCHMARK(BM_MontgomeryPow)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MillerRabin(benchmark::State& state) {
+  Rng rng(8);
+  const BigInt p = wide::random_prime(rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(wide::is_probable_prime(p, rng, 16));
+}
+BENCHMARK(BM_MillerRabin)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+template <hom::Backend B>
+void BM_CounterAggregate(benchmark::State& state) {
+  Rng rng(9);
+  const auto ctx = B == hom::Backend::kPlain
+                       ? hom::Context::make_plain()
+                       : hom::Context::make_paillier(1024, rng);
+  const hom::CounterLayout layout(4);
+  const auto enc = ctx->encrypt_key();
+  const auto eval = ctx->eval_handle();
+  std::vector<hom::Cipher> counters;
+  const auto shares = hom::draw_shares(5, rng);
+  for (std::size_t s = 0; s < 5; ++s)
+    counters.push_back(
+        hom::make_counter(enc, layout, 100, 200, 1, shares[s], s, 3, rng));
+  for (auto _ : state) {
+    hom::Cipher agg = eval.zero(layout.n_fields(), rng);
+    for (const auto& c : counters) agg = eval.add(agg, eval.rerandomize(c, rng));
+    benchmark::DoNotOptimize(agg);
+  }
+}
+BENCHMARK(BM_CounterAggregate<hom::Backend::kPlain>);
+BENCHMARK(BM_CounterAggregate<hom::Backend::kPaillier>)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

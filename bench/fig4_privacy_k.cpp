@@ -1,0 +1,65 @@
+// Figure 4 — the effect of the privacy parameter k on performance: steps to
+// 90% average recall on a T10I4 database, k swept over decades. The paper's
+// claim: the dependency is logarithmic and thus practical.
+//
+// Paper scale: T10I4, 2,000 resources x 10,000 transactions. Default here:
+// 64 x 400 (one core); --paper raises it.
+//
+//   ./fig4_privacy_k [--resources=64] [--local=400] [--max_steps=400]
+//                    [--paper]
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kgrid;
+  const Cli cli(argc, argv);
+  const bool paper = cli.has("paper");
+  const auto resources =
+      static_cast<std::size_t>(cli.get_int("resources", paper ? 2000 : 64));
+  const auto local =
+      static_cast<std::size_t>(cli.get_int("local", paper ? 10000 : 400));
+  const auto max_steps =
+      static_cast<std::size_t>(cli.get_int("max_steps", 400));
+
+  std::printf("# Figure 4: steps to 90%% recall vs privacy parameter k "
+              "(T10I4, %zu resources, %zu tx local)\n",
+              resources, local);
+  std::printf("%8s %16s %14s\n", "k", "steps-to-90%", "reveals");
+
+  for (std::int64_t k = 1; k <= static_cast<std::int64_t>(resources / 2);
+       k *= 2) {
+    core::SecureGridConfig cfg;
+    cfg.env.n_resources = resources;
+    cfg.env.seed = 4242;
+    cfg.env.quest = data::QuestParams::preset("T10I4");
+    cfg.env.quest.n_transactions = resources * local;
+    cfg.env.quest.n_items = 100;
+    cfg.env.quest.n_patterns = 40;
+    cfg.env.delay_lo = 0.5;
+    cfg.env.delay_hi = 2.0;
+    cfg.secure.min_freq = 0.15;
+    cfg.secure.min_conf = 0.8;
+    cfg.secure.k = k;
+    cfg.secure.count_budget = 100;
+    cfg.secure.candidate_period = 5;
+    cfg.secure.arrivals_per_step = 0;
+    cfg.attach_monitor = true;
+
+    core::SecureGrid grid(cfg);
+    const auto reference = grid.env().reference({0.15, 0.8});
+    auto recall = [&grid, &reference] {
+      return grid.average_recall(reference);
+    };
+    const std::size_t steps =
+        bench::steps_to_target(grid, recall, 0.9, max_steps);
+    if (steps > max_steps)
+      std::printf("%8lld %16s %14llu\n", static_cast<long long>(k), ">max",
+                  static_cast<unsigned long long>(grid.monitor().grants()));
+    else
+      std::printf("%8lld %16zu %14llu\n", static_cast<long long>(k), steps,
+                  static_cast<unsigned long long>(grid.monitor().grants()));
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// The paper's motivating scenario: a federation of HMO clinics mining
+// global treatment-association rules without any clinic exposing its
+// records or its own statistics.
+//
+// Each resource is a clinic whose database grows as patients are treated
+// (dynamic arrivals); the grid keeps the mined model current. The output
+// shows how the model tracks the moving ground truth while the k-TTP
+// monitor confirms that no statistic over fewer than k clinics (or k
+// records) was ever revealed.
+//
+//   ./hmo_grid [--clinics=12] [--k=4] [--steps=200]
+#include <cstdio>
+
+#include "core/grid.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kgrid;
+  const Cli cli(argc, argv);
+
+  core::SecureGridConfig cfg;
+  cfg.env.n_resources = static_cast<std::size_t>(cli.get_int("clinics", 12));
+  cfg.env.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  // "Items" are treatment/diagnosis codes; each transaction is one patient
+  // visit.
+  cfg.env.quest.n_transactions = 6000;
+  cfg.env.quest.n_items = 40;
+  cfg.env.quest.n_patterns = 12;
+  cfg.env.quest.avg_transaction_len = 6;
+  cfg.env.quest.avg_pattern_len = 3;
+  cfg.env.initial_fraction = 0.4;  // 60% of the records arrive during the run
+  cfg.secure.min_freq = 0.15;
+  cfg.secure.min_conf = 0.8;
+  cfg.secure.k = cli.get_int("k", 4);
+  cfg.secure.arrivals_per_step = 10;
+  cfg.attach_monitor = true;
+
+  std::printf("HMO federation: %zu clinics, k = %lld "
+              "(no statistic over fewer than %lld clinics/records leaves a "
+              "controller)\n\n",
+              cfg.env.n_resources, static_cast<long long>(cfg.secure.k),
+              static_cast<long long>(cfg.secure.k));
+  core::SecureGrid grid(cfg);
+  const auto final_reference =
+      grid.env().reference({cfg.secure.min_freq, cfg.secure.min_conf});
+
+  const auto steps = static_cast<std::size_t>(cli.get_int("steps", 200));
+  std::printf("%6s %10s %10s %12s\n", "step", "recall", "precision",
+              "records@c0");
+  for (std::size_t done = 0; done < steps;) {
+    grid.run_steps(20);
+    done += 20;
+    std::printf("%6zu %10.3f %10.3f %12zu\n", done,
+                grid.average_recall(final_reference),
+                grid.average_precision(final_reference),
+                grid.resource(0).accountant().db_size());
+  }
+
+  std::printf("\nFinal model at clinic 0: %zu rules (ground truth: %zu)\n",
+              grid.resource(0).interim().size(), final_reference.size());
+  std::printf("Privacy audit: %llu reveals, %zu k-TTP violations\n",
+              static_cast<unsigned long long>(grid.monitor().grants()),
+              grid.monitor().violations().size());
+  return grid.monitor().violations().empty() ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// Quickstart: mine association rules from a small simulated data grid with
+// Secure-Majority-Rule and compare the result with a sequential Apriori run
+// over the (in reality, never assembled) union of the partitions.
+//
+//   ./quickstart [--resources=8] [--transactions=1600] [--k=2]
+//                [--min_freq=0.2] [--min_conf=0.8] [--steps=80]
+//                [--backend=plain|paillier]
+#include <cstdio>
+
+#include "core/grid.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kgrid;
+  const Cli cli(argc, argv);
+
+  core::SecureGridConfig cfg;
+  cfg.env.n_resources = static_cast<std::size_t>(cli.get_int("resources", 8));
+  cfg.env.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  cfg.env.quest.n_transactions =
+      static_cast<std::size_t>(cli.get_int("transactions", 1600));
+  cfg.env.quest.n_items = 24;
+  cfg.env.quest.n_patterns = 10;
+  cfg.env.quest.avg_transaction_len = 6;
+  cfg.env.quest.avg_pattern_len = 3;
+  cfg.secure.min_freq = cli.get_double("min_freq", 0.2);
+  cfg.secure.min_conf = cli.get_double("min_conf", 0.8);
+  cfg.secure.k = cli.get_int("k", 2);
+  cfg.secure.arrivals_per_step = 0;
+  cfg.backend = cli.get("backend", "plain") == "paillier"
+                    ? hom::Backend::kPaillier
+                    : hom::Backend::kPlain;
+  cfg.paillier_bits = 512;
+  cfg.attach_monitor = true;
+
+  std::printf("Building a %zu-resource data grid (backend: %s)...\n",
+              cfg.env.n_resources,
+              cfg.backend == hom::Backend::kPlain ? "plain" : "Paillier");
+  core::SecureGrid grid(cfg);
+  const auto reference =
+      grid.env().reference({cfg.secure.min_freq, cfg.secure.min_conf});
+  std::printf("Ground truth (sequential Apriori over the union): %zu rules\n",
+              reference.size());
+
+  const auto steps = static_cast<std::size_t>(cli.get_int("steps", 80));
+  for (std::size_t done = 0; done < steps;) {
+    const std::size_t chunk = std::min<std::size_t>(10, steps - done);
+    grid.run_steps(chunk);
+    done += chunk;
+    std::printf("  step %3zu: recall %.3f  precision %.3f  (messages %llu)\n",
+                done, grid.average_recall(reference),
+                grid.average_precision(reference),
+                static_cast<unsigned long long>(
+                    grid.engine().messages_delivered()));
+  }
+
+  // Show a few of the rules resource 0 discovered — the only thing a
+  // resource ever learns about the other partitions.
+  const auto interim = grid.resource(0).interim();
+  std::printf("\nResource 0 discovered %zu rules; examples:\n", interim.size());
+  std::size_t shown = 0;
+  for (const auto& rule : interim) {
+    if (rule.lhs.empty()) continue;  // skip frequency rules for display
+    std::printf("  %s\n", arm::to_string(rule).c_str());
+    if (++shown == 5) break;
+  }
+  std::printf("\nk-TTP monitor: %llu data-dependent reveals, %zu violations\n",
+              static_cast<unsigned long long>(grid.monitor().grants()),
+              grid.monitor().violations().size());
+  return grid.monitor().violations().empty() ? 0 : 1;
+}

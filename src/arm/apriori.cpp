@@ -1,0 +1,115 @@
+#include "arm/apriori.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kgrid::arm {
+
+namespace {
+
+/// Apriori-gen: join frequent k-itemsets sharing a (k-1)-prefix, then prune
+/// candidates with an infrequent subset.
+std::vector<Itemset> generate_level(const std::vector<Itemset>& level,
+                                    const SupportMap& frequent) {
+  std::vector<Itemset> out;
+  for (std::size_t i = 0; i < level.size(); ++i) {
+    for (std::size_t j = i + 1; j < level.size(); ++j) {
+      const Itemset& a = level[i];
+      const Itemset& b = level[j];
+      if (!std::equal(a.begin(), a.end() - 1, b.begin(), b.end() - 1)) continue;
+      Itemset candidate = a;
+      candidate.push_back(b.back());
+      data::normalize(candidate);
+      if (candidate.size() != a.size() + 1) continue;
+
+      // Prune: every (k-1)-subset must be frequent.
+      bool all_subsets_frequent = true;
+      for (std::size_t drop = 0; drop < candidate.size(); ++drop) {
+        Itemset subset = candidate;
+        subset.erase(subset.begin() + static_cast<std::ptrdiff_t>(drop));
+        if (!frequent.contains(subset)) {
+          all_subsets_frequent = false;
+          break;
+        }
+      }
+      if (all_subsets_frequent) out.push_back(std::move(candidate));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+SupportMap frequent_itemsets(const data::Database& db, double min_freq) {
+  KGRID_CHECK(min_freq >= 0.0 && min_freq <= 1.0, "min_freq out of range");
+  SupportMap frequent;
+  if (db.empty()) return frequent;
+  const auto min_support = static_cast<std::size_t>(
+      std::ceil(min_freq * static_cast<double>(db.size())));
+
+  // Level 1: count single items.
+  std::unordered_map<data::Item, std::size_t> item_counts;
+  for (const auto& t : db.transactions())
+    for (auto item : t.items) ++item_counts[item];
+  std::vector<Itemset> level;
+  for (const auto& [item, count] : item_counts) {
+    if (count >= min_support) {
+      level.push_back({item});
+      frequent[{item}] = count;
+    }
+  }
+  std::sort(level.begin(), level.end());
+
+  while (!level.empty()) {
+    const auto candidates = generate_level(level, frequent);
+    if (candidates.empty()) break;
+    std::vector<std::size_t> counts(candidates.size(), 0);
+    for (const auto& t : db.transactions()) {
+      for (std::size_t i = 0; i < candidates.size(); ++i)
+        counts[i] += data::contains_all(t.items, candidates[i]);
+    }
+    level.clear();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (counts[i] >= min_support) {
+        frequent[candidates[i]] = counts[i];
+        level.push_back(candidates[i]);
+      }
+    }
+  }
+  return frequent;
+}
+
+RuleSet rules_from_frequent(const SupportMap& frequent, double min_conf) {
+  RuleSet rules;
+  for (const auto& [itemset, support] : frequent) {
+    // Frequency rule ∅ ⇒ X for every frequent X.
+    rules.insert(Rule{{}, itemset});
+    if (itemset.size() < 2) continue;
+    // Confidence rules over every proper non-empty split lhs ∪ rhs = itemset.
+    const std::size_t n = itemset.size();
+    for (std::uint64_t mask = 1; mask + 1 < (1ull << n); ++mask) {
+      Itemset lhs, rhs;
+      for (std::size_t i = 0; i < n; ++i)
+        (mask >> i & 1 ? lhs : rhs).push_back(itemset[i]);
+      const auto lhs_it = frequent.find(lhs);
+      if (lhs_it == frequent.end()) continue;  // lhs ⊆ frequent set ⇒ present
+      // Confident iff MinConf · Freq(lhs) <= Freq(lhs ∪ rhs); frequencies
+      // share the |DB| denominator, so compare supports.
+      if (min_conf * static_cast<double>(lhs_it->second) <=
+          static_cast<double>(support))
+        rules.insert(Rule{std::move(lhs), std::move(rhs)});
+    }
+  }
+  return rules;
+}
+
+RuleSet mine_rules(const data::Database& db, const MiningThresholds& thresholds) {
+  return rules_from_frequent(frequent_itemsets(db, thresholds.min_freq),
+                             thresholds.min_conf);
+}
+
+}  // namespace kgrid::arm

@@ -1,0 +1,43 @@
+// Sequential Apriori miner (Agrawal & Srikant, VLDB'94) — the reference
+// implementation that computes R[DB], the ground truth the paper's recall
+// and precision metrics (§6.1) are measured against.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "arm/rules.hpp"
+#include "data/transaction.hpp"
+
+namespace kgrid::arm {
+
+struct ItemsetHash {
+  std::size_t operator()(const Itemset& x) const {
+    std::size_t h = 0x811c9dc5u;
+    for (auto i : x) h = (h ^ i) * 0x01000193u + (h >> 7);
+    return h;
+  }
+};
+
+using SupportMap = std::unordered_map<Itemset, std::size_t, ItemsetHash>;
+using RuleSet = std::unordered_set<Rule, RuleHash>;
+
+struct MiningThresholds {
+  double min_freq = 0.1;
+  double min_conf = 0.8;
+};
+
+/// All frequent itemsets of `db` with their supports (levelwise Apriori).
+SupportMap frequent_itemsets(const data::Database& db, double min_freq);
+
+/// R[DB]: every correct rule of the database under the paper's definition —
+/// frequency rules ∅ ⇒ X for each frequent X, plus every confident rule
+/// X ⇒ Y (X, Y disjoint and non-empty, X ∪ Y frequent).
+RuleSet mine_rules(const data::Database& db, const MiningThresholds& thresholds);
+
+/// Derive the correct-rule set from precomputed frequent itemsets (used by
+/// tests to cross-check and by benches to avoid rescanning).
+RuleSet rules_from_frequent(const SupportMap& frequent, double min_conf);
+
+}  // namespace kgrid::arm

@@ -1,0 +1,32 @@
+// Majority-Rule's candidate-generation criterion (paper §4.1, last
+// paragraph, and Algorithm 4's "Once every few cycles" block) — the anytime
+// generalization of Apriori's criterion.
+//
+// From an interim correct-rule set R̃:
+//   1. Initially: ⟨∅ ⇒ {i}, MinFreq⟩ for every item i.
+//   2. For every ⟨∅ ⇒ X, MinFreq⟩ ∈ R̃ and every i ∈ X:
+//      generate ⟨X \ {i} ⇒ {i}, MinConf⟩.
+//   3. For every pair ⟨X ⇒ Y ∪ {i1}⟩, ⟨X ⇒ Y ∪ {i2}⟩ ∈ R̃ with i1 < i2
+//      (same vote kind): if ⟨X ⇒ Y ∪ {i1,i2} \ {i3}⟩ ∈ R̃ for every i3 ∈ Y,
+//      generate ⟨X ⇒ Y ∪ {i1, i2}⟩. With X = ∅ this grows the frequent
+//      itemset candidates exactly like Apriori-gen.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "arm/rules.hpp"
+
+namespace kgrid::arm {
+
+using CandidateSet = std::unordered_set<Candidate, CandidateHash>;
+
+/// Rule 1: the initial candidate set over the item domain [0, n_items).
+std::vector<Candidate> initial_candidates(std::size_t n_items);
+
+/// Rules 2 + 3: candidates derivable from the interim correct set
+/// `correct`, excluding anything already in `existing`.
+std::vector<Candidate> derive_candidates(const CandidateSet& correct,
+                                         const CandidateSet& existing);
+
+}  // namespace kgrid::arm

@@ -1,0 +1,35 @@
+// Evaluation metrics of the paper's §6.
+#pragma once
+
+#include "arm/apriori.hpp"
+
+namespace kgrid::arm {
+
+/// recall(u, t) = |R̃ ∩ R| / |R| — fraction of correct rules uncovered.
+/// Defined as 1 when the reference set is empty (nothing to uncover).
+inline double recall(const RuleSet& interim, const RuleSet& reference) {
+  if (reference.empty()) return 1.0;
+  std::size_t hit = 0;
+  for (const auto& r : interim) hit += reference.contains(r);
+  return static_cast<double>(hit) / static_cast<double>(reference.size());
+}
+
+/// precision(u, t) = |R̃ ∩ R| / |R̃| — fraction of the interim solution that
+/// is correct. Defined as 1 for an empty interim solution (no wrong claims).
+inline double precision(const RuleSet& interim, const RuleSet& reference) {
+  if (interim.empty()) return 1.0;
+  std::size_t hit = 0;
+  for (const auto& r : interim) hit += reference.contains(r);
+  return static_cast<double>(hit) / static_cast<double>(interim.size());
+}
+
+/// The paper's Figure-3 significance of a vote:
+///   sum / (lambda * count) - 1,
+/// "the percentage of transactions for which the rule is correct divided by
+/// the majority threshold, minus one". Positive values mean the vote passes.
+inline double significance(std::uint64_t sum, std::uint64_t count, double lambda) {
+  if (count == 0) return 0.0;
+  return static_cast<double>(sum) / (lambda * static_cast<double>(count)) - 1.0;
+}
+
+}  // namespace kgrid::arm

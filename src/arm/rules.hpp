@@ -1,0 +1,83 @@
+// Association rules and the two vote kinds of Majority-Rule.
+//
+// Majority-Rule (and therefore Secure-Majority-Rule) expresses the entire
+// ARM problem as majority votes over candidate *rules*:
+//   * a frequency vote ⟨∅ ⇒ X, MinFreq⟩ decides whether X is frequent
+//     (every transaction votes; "yes" iff it contains X);
+//   * a confidence vote ⟨X ⇒ Y, MinConf⟩ decides whether the rule is
+//     confident (only transactions containing X vote; "yes" iff they also
+//     contain Y).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "data/transaction.hpp"
+
+namespace kgrid::arm {
+
+using data::Itemset;
+
+/// Canonical rule: lhs and rhs are disjoint canonical itemsets; rhs is
+/// non-empty. A frequency vote is the rule ∅ ⇒ X.
+struct Rule {
+  Itemset lhs;
+  Itemset rhs;
+
+  bool is_frequency_vote() const { return lhs.empty(); }
+  Itemset all_items() const { return data::set_union(lhs, rhs); }
+
+  friend bool operator==(const Rule& a, const Rule& b) = default;
+  friend auto operator<=>(const Rule& a, const Rule& b) = default;
+};
+
+inline std::string to_string(const Rule& r) {
+  return data::to_string(r.lhs) + "=>" + data::to_string(r.rhs);
+}
+
+/// Which majority threshold a vote instance uses.
+enum class VoteKind : std::uint8_t {
+  kFrequency,   // threshold MinFreq, all transactions vote
+  kConfidence,  // threshold MinConf, only lhs-containing transactions vote
+};
+
+/// A candidate rule paired with its vote kind — the unit Secure-Majority-Rule
+/// spawns one Secure-Scalable-Majority instance for.
+struct Candidate {
+  Rule rule;
+  VoteKind kind = VoteKind::kFrequency;
+
+  friend bool operator==(const Candidate& a, const Candidate& b) = default;
+  friend auto operator<=>(const Candidate& a, const Candidate& b) = default;
+};
+
+inline Candidate frequency_candidate(Itemset x) {
+  return Candidate{Rule{{}, std::move(x)}, VoteKind::kFrequency};
+}
+
+inline Candidate confidence_candidate(Itemset lhs, Itemset rhs) {
+  return Candidate{Rule{std::move(lhs), std::move(rhs)}, VoteKind::kConfidence};
+}
+
+struct RuleHash {
+  std::size_t operator()(const Rule& r) const {
+    std::size_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    };
+    mix(r.lhs.size());
+    for (auto i : r.lhs) mix(i);
+    mix(0xFFFFFFFFull);  // separator
+    for (auto i : r.rhs) mix(i);
+    return h;
+  }
+};
+
+struct CandidateHash {
+  std::size_t operator()(const Candidate& c) const {
+    return RuleHash{}(c.rule) * 31 + static_cast<std::size_t>(c.kind);
+  }
+};
+
+}  // namespace kgrid::arm

@@ -1,0 +1,49 @@
+// Malicious-participant behaviours (paper §3 "Attack Model" and §5.2).
+//
+// Attackers take over brokers or controllers (never accountants' answers)
+// and do not collude. Each behaviour below maps to one of the attack
+// categories the paper binds with shares and timestamps:
+//
+//   kRandomCounter — "using an arbitrary value instead of summing": the
+//     broker scales an outgoing cipher by a random factor (the strongest
+//     corruption available without the encryption key).
+//   kDoubleCount   — "summing the counter of a neighbour more than once":
+//     the SFE aggregate counts one neighbour twice and omits another.
+//   kOmitNeighbour — "...or not at all": a contacted neighbour's counter is
+//     replaced by an encryption of zero.
+//   kReplayOld     — "summing old messages rather than the latest": the
+//     broker feeds a stale counter into the SFE.
+//   kMuteBroker    — the broker stops sending entirely (liveness attack;
+//     undetectable by design, harms only convergence).
+//   kLieController — a corrupted controller inverts its SFE answers
+//     (validity attack on the local resource's view).
+#pragma once
+
+#include <cstdint>
+
+#include "net/topology.hpp"
+
+namespace kgrid::core {
+
+enum class BrokerBehavior : std::uint8_t {
+  kHonest,
+  kRandomCounter,
+  kDoubleCount,
+  kOmitNeighbour,
+  kReplayOld,
+  kMuteBroker,
+};
+
+enum class ControllerBehavior : std::uint8_t {
+  kHonest,
+  kLieController,
+};
+
+struct ResourceAttack {
+  BrokerBehavior broker = BrokerBehavior::kHonest;
+  ControllerBehavior controller = ControllerBehavior::kHonest;
+  /// Simulation step at which the takeover happens (0 = from the start).
+  std::size_t active_from_step = 0;
+};
+
+}  // namespace kgrid::core

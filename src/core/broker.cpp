@@ -1,0 +1,237 @@
+#include "core/broker.hpp"
+
+#include <algorithm>
+
+namespace kgrid::core {
+
+Broker::Broker(net::NodeId id, hom::EvalHandle eval, hom::CounterLayout layout,
+               std::vector<net::NodeId> neighbors, Accountant* accountant,
+               Controller* controller, Rng rng)
+    : id_(id), eval_(std::move(eval)), layout_(layout),
+      neighbors_(std::move(neighbors)), accountant_(accountant),
+      controller_(controller), rng_(rng) {
+  KGRID_CHECK(accountant_ != nullptr && controller_ != nullptr,
+              "broker needs its accountant and controller");
+  KGRID_CHECK(layout_.degree() >= neighbors_.size(),
+              "layout too small for neighbour list");
+}
+
+void Broker::add_neighbor(net::NodeId v) {
+  KGRID_CHECK(neighbors_.size() < layout_.degree(),
+              "no spare layout slot for joining neighbour");
+  neighbors_.push_back(v);
+  for (auto& [candidate, state] : votes_) {
+    EdgeState edge;
+    edge.received = eval_.zero(layout_.n_fields(), rng_);
+    edge.first_received = edge.received;
+    state.edges.emplace(v, std::move(edge));
+    dirty_.insert(candidate);  // bootstrap the new edge on the next flush
+  }
+}
+
+void Broker::install_token(net::NodeId recipient, hom::Cipher token,
+                           hom::CounterLayout their_layout,
+                           std::size_t our_slot) {
+  tokens_.insert_or_assign(recipient,
+                           TokenInfo{std::move(token), their_layout, our_slot});
+}
+
+Broker::VoteState& Broker::vote_state(const arm::Candidate& candidate) {
+  auto [it, inserted] = votes_.try_emplace(candidate);
+  if (inserted) {
+    it->second.input = eval_.zero(layout_.n_fields(), rng_);
+    for (net::NodeId v : neighbors_) {
+      EdgeState edge;
+      edge.received = eval_.zero(layout_.n_fields(), rng_);
+      edge.first_received = edge.received;
+      it->second.edges.emplace(v, std::move(edge));
+    }
+  }
+  return it->second;
+}
+
+hom::Cipher Broker::build_aggregate(const VoteState& state) {
+  // Honest path: ⊥ plus every neighbour's latest, each rerandomized so the
+  // controller's reply cannot be correlated with individual counters.
+  hom::Cipher agg = eval_.rerandomize(state.input, rng_);
+  bool corrupted_once = false;
+  for (const auto& [v, edge] : state.edges) {
+    const hom::Cipher* contribution = &edge.received;
+    switch (behavior_) {
+      case BrokerBehavior::kDoubleCount:
+        if (!corrupted_once && edge.contacted) {
+          agg = eval_.add(agg, eval_.rerandomize(edge.received, rng_));
+          corrupted_once = true;
+        }
+        break;
+      case BrokerBehavior::kOmitNeighbour:
+        if (!corrupted_once && edge.contacted) {
+          corrupted_once = true;
+          continue;  // drop this neighbour entirely
+        }
+        break;
+      case BrokerBehavior::kReplayOld:
+        if (!corrupted_once && edge.contacted) {
+          contribution = &edge.first_received;
+          corrupted_once = true;
+        }
+        break;
+      default:
+        break;
+    }
+    agg = eval_.add(agg, eval_.rerandomize(*contribution, rng_));
+  }
+  return agg;
+}
+
+void Broker::evaluate_edges(const arm::Candidate& rule, Effects& effects) {
+  if (behavior_ == BrokerBehavior::kMuteBroker) return;
+  VoteState& state = vote_state(rule);
+  const hom::Cipher agg_all = build_aggregate(state);
+  for (std::size_t slot = 1; slot <= neighbors_.size(); ++slot) {
+    const net::NodeId w = neighbors_[slot - 1];
+    if (quarantined_.contains(w)) continue;
+    const auto token_it = tokens_.find(w);
+    if (token_it == tokens_.end()) continue;  // setup incomplete
+    const TokenInfo& token = token_it->second;
+
+    auto decision = controller_->sfe_send(rule, w, slot, agg_all,
+                                          state.edges.at(w).received,
+                                          token.their_layout, token.our_slot);
+    for (auto& d : decision.detections) effects.detections.push_back(d);
+    if (!decision.send) continue;
+
+    // Complete the controller's fresh counter with w's encrypted share
+    // token; neither piece is forgeable by this broker.
+    hom::Cipher outgoing = eval_.add(decision.outgoing, token.token);
+    if (behavior_ == BrokerBehavior::kRandomCounter) {
+      // "Using an arbitrary value instead of summing": without the
+      // encryption key the strongest corruption is scaling the cipher.
+      outgoing = eval_.scalar_mul(2 + rng_.below(1000), outgoing);
+    }
+    effects.messages.push_back(
+        {w, SecureRuleMessage{rule, eval_.rerandomize(outgoing, rng_)}});
+  }
+}
+
+Broker::Effects Broker::register_candidate(const arm::Candidate& candidate) {
+  Effects effects;
+  if (known_.contains(candidate)) return effects;
+  known_.insert(candidate);
+  if (!accountant_->has_rule(candidate)) accountant_->add_rule(candidate);
+  (void)vote_state(candidate);
+  // First-contact traffic (the controller's edge gates bootstrap to send).
+  evaluate_edges(candidate, effects);
+  return effects;
+}
+
+Broker::Effects Broker::on_accountant_update(const arm::Candidate& rule) {
+  Effects effects;
+  VoteState& state = vote_state(rule);
+  state.input = accountant_->reply(rule);
+  state.has_input = true;
+  evaluate_edges(rule, effects);
+  return effects;
+}
+
+bool Broker::accept_message(net::NodeId from, const SecureRuleMessage& message,
+                            Effects& effects) {
+  if (quarantined_.contains(from)) return false;
+  // Algorithm 4: an unknown candidate joins C together with the frequency
+  // vote over its full itemset.
+  if (!known_.contains(message.candidate)) {
+    Effects reg = register_candidate(message.candidate);
+    std::move(reg.messages.begin(), reg.messages.end(),
+              std::back_inserter(effects.messages));
+    std::move(reg.detections.begin(), reg.detections.end(),
+              std::back_inserter(effects.detections));
+    const arm::Candidate freq =
+        arm::frequency_candidate(message.candidate.rule.all_items());
+    if (!known_.contains(freq)) {
+      Effects more = register_candidate(freq);
+      std::move(more.messages.begin(), more.messages.end(),
+                std::back_inserter(effects.messages));
+      std::move(more.detections.begin(), more.detections.end(),
+                std::back_inserter(effects.detections));
+    }
+  }
+  VoteState& state = vote_state(message.candidate);
+  const auto edge_it = state.edges.find(from);
+  if (edge_it == state.edges.end()) return false;  // not a tree neighbour
+  if (!edge_it->second.contacted) {
+    edge_it->second.first_received = message.counter;
+    edge_it->second.contacted = true;
+  }
+  edge_it->second.received = message.counter;
+  return true;
+}
+
+Broker::Effects Broker::on_receive(net::NodeId from,
+                                   const SecureRuleMessage& message) {
+  Effects effects;
+  if (accept_message(from, message, effects))
+    evaluate_edges(message.candidate, effects);
+  return effects;
+}
+
+Broker::Effects Broker::store_received(net::NodeId from,
+                                       const SecureRuleMessage& message) {
+  Effects effects;
+  if (accept_message(from, message, effects)) dirty_.insert(message.candidate);
+  return effects;
+}
+
+void Broker::refresh_input(const arm::Candidate& rule) {
+  VoteState& state = vote_state(rule);
+  state.input = accountant_->reply(rule);
+  state.has_input = true;
+  dirty_.insert(rule);
+}
+
+Broker::Effects Broker::flush_dirty() {
+  Effects effects;
+  for (const auto& rule : dirty_) evaluate_edges(rule, effects);
+  dirty_.clear();
+  return effects;
+}
+
+Broker::Effects Broker::generate_candidates() {
+  Effects effects;
+  // Query every candidate's correctness through the output SFE.
+  arm::CandidateSet correct;
+  for (auto& [candidate, state] : votes_) {
+    auto decision = controller_->sfe_output(candidate, build_aggregate(state));
+    for (auto& d : decision.detections) effects.detections.push_back(d);
+    outputs_[candidate] = decision.correct;
+    if (decision.correct) correct.insert(candidate);
+  }
+  for (const auto& fresh : arm::derive_candidates(correct, known_)) {
+    Effects more = register_candidate(fresh);
+    std::move(more.messages.begin(), more.messages.end(),
+              std::back_inserter(effects.messages));
+    std::move(more.detections.begin(), more.detections.end(),
+              std::back_inserter(effects.detections));
+  }
+  return effects;
+}
+
+bool Broker::output_answer(const arm::Candidate& candidate) const {
+  const auto it = outputs_.find(candidate);
+  return it != outputs_.end() && it->second;
+}
+
+arm::RuleSet Broker::interim() const {
+  arm::RuleSet out;
+  for (const auto& [candidate, answer] : outputs_) {
+    if (!answer) continue;
+    if (candidate.kind == arm::VoteKind::kFrequency) {
+      out.insert(candidate.rule);
+      continue;
+    }
+    if (output_answer(arm::frequency_candidate(candidate.rule.all_items())))
+      out.insert(candidate.rule);
+  }
+  return out;
+}
+
+}  // namespace kgrid::core

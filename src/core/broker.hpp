@@ -1,0 +1,156 @@
+// The broker (paper Algorithms 1 and 4): the resource's network-facing
+// entity. It manages the mined model (candidate set + interim solution),
+// aggregates neighbours' oblivious counters with the evaluation handle
+// (never a key), consults its controller through SFE for every send and
+// output decision, and completes outgoing counters with the recipient's
+// encrypted share token.
+//
+// The broker is also the primary attack surface: a BrokerBehavior other
+// than kHonest makes it corrupt its SFE inputs or outgoing messages in one
+// of the ways §5.2 enumerates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "arm/apriori.hpp"
+#include "arm/candidates.hpp"
+#include "core/accountant.hpp"
+#include "core/attacks.hpp"
+#include "core/controller.hpp"
+#include "core/messages.hpp"
+#include "crypto/hom.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace kgrid::core {
+
+class Broker {
+ public:
+  struct Outgoing {
+    net::NodeId to;
+    SecureRuleMessage message;
+  };
+
+  struct Effects {
+    std::vector<Outgoing> messages;
+    std::vector<Detection> detections;
+  };
+
+  Broker(net::NodeId id, hom::EvalHandle eval, hom::CounterLayout layout,
+         std::vector<net::NodeId> neighbors, Accountant* accountant,
+         Controller* controller, Rng rng);
+
+  net::NodeId id() const { return id_; }
+  std::size_t candidate_count() const { return votes_.size(); }
+  void set_behavior(BrokerBehavior behavior) { behavior_ = behavior; }
+  BrokerBehavior behavior() const { return behavior_; }
+
+  /// Install the encrypted share token that `recipient`'s accountant
+  /// assigned to this broker, plus the recipient-side layout metadata
+  /// needed to build messages for it (all public except the token value).
+  void install_token(net::NodeId recipient, hom::Cipher token,
+                     hom::CounterLayout their_layout, std::size_t our_slot);
+
+  /// Attach a newly joined neighbour (requires a spare layout slot). Every
+  /// existing vote instance gains a zeroed edge; subsequent flushes
+  /// bootstrap it.
+  void add_neighbor(net::NodeId v);
+
+  /// Stop exchanging counters with a reported-malicious resource.
+  void quarantine(net::NodeId resource) { quarantined_.insert(resource); }
+  bool is_quarantined(net::NodeId resource) const {
+    return quarantined_.contains(resource);
+  }
+
+  /// Register a candidate (asks the accountant to start counting it).
+  /// Returns the first-contact bootstrap traffic.
+  Effects register_candidate(const arm::Candidate& candidate);
+
+  /// Algorithm 1, "on update notification from the accountant": refresh the
+  /// ⊥ input for `rule` and re-evaluate every edge.
+  Effects on_accountant_update(const arm::Candidate& rule);
+
+  /// Algorithm 1/4, on receiving a Secure-Scalable-Majority message.
+  /// Evaluates the send conditions immediately (event-driven discipline).
+  Effects on_receive(net::NodeId from, const SecureRuleMessage& message);
+
+  /// Batched variant: store the counter and mark the rule dirty; the send
+  /// conditions are evaluated once per step via flush_dirty(). Identical
+  /// protocol semantics at step granularity, far fewer message ripples —
+  /// what a deployment would do when steps are the work unit.
+  Effects store_received(net::NodeId from, const SecureRuleMessage& message);
+
+  /// Refresh the ⊥ input for `rule` from the accountant without evaluating
+  /// yet (pairs with flush_dirty()).
+  void refresh_input(const arm::Candidate& rule);
+
+  /// Evaluate the send conditions of every rule touched since the last
+  /// flush.
+  Effects flush_dirty();
+
+  /// Algorithm 4's periodic block: query rule correctness through SFE,
+  /// derive new candidates, and register them.
+  Effects generate_candidates();
+
+  /// R̃_u[DB_t] from the latest SFE output answers (confidence rules are
+  /// reported only when their itemset's frequency vote also holds).
+  arm::RuleSet interim() const;
+
+  /// Latest output answer for one candidate (false if never queried).
+  bool output_answer(const arm::Candidate& candidate) const;
+
+ private:
+  struct EdgeState {
+    hom::Cipher received;        // latest counter from this neighbour
+    hom::Cipher first_received;  // kept for the replay attack
+    bool contacted = false;
+  };
+
+  struct VoteState {
+    hom::Cipher input;  // latest accountant reply (⊥)
+    bool has_input = false;
+    std::unordered_map<net::NodeId, EdgeState> edges;
+  };
+
+  struct TokenInfo {
+    hom::Cipher token;
+    hom::CounterLayout their_layout;
+    std::size_t our_slot;
+  };
+
+  VoteState& vote_state(const arm::Candidate& candidate);
+
+  /// Full aggregate for the SFE: ⊥ input plus every neighbour's latest
+  /// counter, rerandomized (malicious behaviours corrupt this here).
+  hom::Cipher build_aggregate(const VoteState& state);
+
+  /// Evaluate the send condition for every non-quarantined edge.
+  void evaluate_edges(const arm::Candidate& rule, Effects& effects);
+
+  net::NodeId id_;
+  hom::EvalHandle eval_;
+  hom::CounterLayout layout_;
+  std::vector<net::NodeId> neighbors_;  // slot s = neighbors_[s-1]
+  Accountant* accountant_;
+  Controller* controller_;
+  Rng rng_;
+  BrokerBehavior behavior_ = BrokerBehavior::kHonest;
+
+  /// Store an incoming counter; returns true if it was accepted (sender is
+  /// a live tree neighbour). Registers unknown candidates.
+  bool accept_message(net::NodeId from, const SecureRuleMessage& message,
+                      Effects& effects);
+
+  std::unordered_map<arm::Candidate, VoteState, arm::CandidateHash> votes_;
+  arm::CandidateSet known_;
+  arm::CandidateSet dirty_;
+  std::unordered_map<arm::Candidate, bool, arm::CandidateHash> outputs_;
+  std::unordered_map<net::NodeId, TokenInfo> tokens_;
+  std::unordered_set<net::NodeId> quarantined_;
+};
+
+}  // namespace kgrid::core

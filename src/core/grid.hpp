@@ -1,0 +1,219 @@
+// Whole-grid harnesses: construct a GridEnv, instantiate one resource per
+// node (secure or baseline), distribute crypto material, and drive the
+// simulation while sampling the paper's metrics. These are the top-level
+// objects the examples and figure benches use.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "arm/metrics.hpp"
+#include "core/env.hpp"
+#include "core/ktpp.hpp"
+#include "core/resource.hpp"
+#include "majority/majority_rule.hpp"
+#include "sim/engine.hpp"
+
+namespace kgrid::core {
+
+struct SecureGridConfig {
+  GridEnvConfig env;
+  SecureConfig secure;
+  hom::Backend backend = hom::Backend::kPlain;
+  std::size_t paillier_bits = 1024;  // used with Backend::kPaillier
+  /// Per-resource attack assignments (resource id -> behaviour).
+  std::map<net::NodeId, ResourceAttack> attacks;
+  bool attach_monitor = false;  // audit every reveal against Def. 3.1
+};
+
+/// Secure-Majority-Rule over a simulated data grid.
+class SecureGrid {
+ public:
+  explicit SecureGrid(const SecureGridConfig& config)
+      : SecureGrid(config, make_grid_env(config.env)) {}
+
+  /// Run over a caller-built environment (custom topology or data, e.g. the
+  /// single-itemset significance experiments of the paper's Figure 3).
+  SecureGrid(const SecureGridConfig& config, GridEnv env)
+      : config_(config), env_(std::move(env)), monitor_(config.secure.k) {
+    Rng rng(config.env.seed ^ 0xdeadbeef);
+    crypto_ = config.backend == hom::Backend::kPlain
+                  ? hom::Context::make_plain()
+                  : hom::Context::make_paillier(config.paillier_bits, rng);
+
+    SecureConfig secure = config.secure;
+    if (secure.n_items == 0) secure.n_items = config.env.quest.n_items;
+
+    for (net::NodeId u = 0; u < env_.overlay.size(); ++u) {
+      auto r = std::make_unique<SecureResource>(
+          u, secure, env_.overlay.neighbors(u), crypto_, &env_.delays,
+          rng.split());
+      r->load_initial(env_.initial[u]);
+      r->queue_arrivals(env_.arrivals[u]);
+      if (const auto it = config.attacks.find(u); it != config.attacks.end())
+        r->set_attack(it->second);
+      if (config.attach_monitor) r->controller().set_monitor(&monitor_);
+      const sim::EntityId id = engine_.add_entity(r.get());
+      KGRID_CHECK(id == u, "entity id must equal node id");
+      resources_.push_back(std::move(r));
+    }
+
+    // Preprocessing: every accountant distributes its encrypted share
+    // tokens to its neighbours' brokers (paper §5.2), together with the
+    // public layout metadata those brokers need to address it.
+    for (net::NodeId u = 0; u < resources_.size(); ++u) {
+      const auto& neighbors = env_.overlay.neighbors(u);
+      for (std::size_t slot = 1; slot <= neighbors.size(); ++slot) {
+        const net::NodeId v = neighbors[slot - 1];
+        resources_[v]->broker().install_token(
+            u, resources_[u]->accountant().share_token(slot),
+            resources_[u]->accountant().layout(), slot);
+      }
+    }
+
+    // start() must precede seeding: it binds the resource to its entity id,
+    // which outgoing bootstrap messages carry as their sender.
+    for (net::NodeId u = 0; u < resources_.size(); ++u) {
+      resources_[u]->start(engine_, u, 1.0);
+      resources_[u]->seed_candidates(engine_);
+    }
+  }
+
+  sim::Engine& engine() { return engine_; }
+  const GridEnv& env() const { return env_; }
+  const KTtpMonitor& monitor() const { return monitor_; }
+  std::size_t size() const { return resources_.size(); }
+  SecureResource& resource(net::NodeId u) { return *resources_[u]; }
+
+  void run_steps(std::size_t steps) {
+    engine_.run_until(engine_.now() + static_cast<double>(steps));
+  }
+
+  double average_recall(const arm::RuleSet& reference) const {
+    double total = 0;
+    for (const auto& r : resources_)
+      total += arm::recall(r->interim(), reference);
+    return total / static_cast<double>(resources_.size());
+  }
+
+  double average_precision(const arm::RuleSet& reference) const {
+    double total = 0;
+    for (const auto& r : resources_)
+      total += arm::precision(r->interim(), reference);
+    return total / static_cast<double>(resources_.size());
+  }
+
+  /// Join a fresh resource as a leaf attached to `attach_to` (which must
+  /// have a spare layout slot — see SecureConfig::spare_slots), loading
+  /// `db` as its local database. Mirrors the paper's dynamic-membership
+  /// claim: the algorithm "dynamically adjusts to new data or newly added
+  /// resources". Returns the new resource's id.
+  net::NodeId join_leaf(net::NodeId attach_to, const data::Database& db) {
+    KGRID_CHECK(attach_to < resources_.size(), "attach target out of range");
+    Rng rng(config_.env.seed ^ (0x1757 + resources_.size()));
+    SecureConfig secure = config_.secure;
+    if (secure.n_items == 0) secure.n_items = config_.env.quest.n_items;
+    const auto new_id = static_cast<net::NodeId>(resources_.size());
+
+    auto r = std::make_unique<SecureResource>(
+        new_id, secure, std::vector<net::NodeId>{attach_to}, crypto_,
+        &env_.delays, rng.split());
+    r->load_initial(db);
+    if (config_.attach_monitor) r->controller().set_monitor(&monitor_);
+    const sim::EntityId id = engine_.add_entity(r.get());
+    KGRID_CHECK(id == new_id, "entity id must equal node id");
+    resources_.push_back(std::move(r));
+
+    SecureResource& fresh = *resources_[new_id];
+    SecureResource& anchor = *resources_[attach_to];
+    const std::size_t anchor_slot = anchor.add_neighbor(new_id);
+
+    // Share-token exchange, exactly as at setup.
+    fresh.broker().install_token(attach_to,
+                                 anchor.accountant().share_token(anchor_slot),
+                                 anchor.accountant().layout(), anchor_slot);
+    anchor.broker().install_token(new_id, fresh.accountant().share_token(1),
+                                  fresh.accountant().layout(), 1);
+
+    fresh.start(engine_, new_id, 1.0);
+    fresh.seed_candidates(engine_);
+    return new_id;
+  }
+
+  /// Fraction of resources that have quarantined `culprit`.
+  double quarantine_coverage(net::NodeId culprit) const {
+    std::size_t n = 0;
+    for (const auto& r : resources_)
+      n += r->id() != culprit && r->quarantined().contains(culprit);
+    return static_cast<double>(n) /
+           static_cast<double>(resources_.size() - 1);
+  }
+
+ private:
+  SecureGridConfig config_;
+  GridEnv env_;
+  hom::ContextPtr crypto_;
+  KTtpMonitor monitor_;
+  sim::Engine engine_;
+  std::vector<std::unique_ptr<SecureResource>> resources_;
+};
+
+/// The non-private Majority-Rule baseline over the same environment
+/// (the "[20]" series in the paper's Figure 2).
+class BaselineGrid {
+ public:
+  BaselineGrid(const GridEnvConfig& env_config,
+               const majority::MajorityRuleConfig& config)
+      : BaselineGrid(env_config, config, make_grid_env(env_config)) {}
+
+  BaselineGrid(const GridEnvConfig& env_config,
+               const majority::MajorityRuleConfig& config, GridEnv env)
+      : env_(std::move(env)) {
+    majority::MajorityRuleConfig cfg = config;
+    if (cfg.n_items == 0) cfg.n_items = env_config.quest.n_items;
+    for (net::NodeId u = 0; u < env_.overlay.size(); ++u) {
+      auto r = std::make_unique<majority::MajorityRuleResource>(
+          u, cfg, env_.overlay.neighbors(u), &env_.delays);
+      r->load_initial(env_.initial[u]);
+      r->queue_arrivals(env_.arrivals[u]);
+      const sim::EntityId id = engine_.add_entity(r.get());
+      KGRID_CHECK(id == u, "entity id must equal node id");
+      resources_.push_back(std::move(r));
+    }
+    for (net::NodeId u = 0; u < resources_.size(); ++u)
+      resources_[u]->start(engine_, u, 1.0);
+  }
+
+  sim::Engine& engine() { return engine_; }
+  const GridEnv& env() const { return env_; }
+  std::size_t size() const { return resources_.size(); }
+  majority::MajorityRuleResource& resource(net::NodeId u) {
+    return *resources_[u];
+  }
+
+  void run_steps(std::size_t steps) {
+    engine_.run_until(engine_.now() + static_cast<double>(steps));
+  }
+
+  double average_recall(const arm::RuleSet& reference) const {
+    double total = 0;
+    for (const auto& r : resources_)
+      total += arm::recall(r->interim(), reference);
+    return total / static_cast<double>(resources_.size());
+  }
+
+  double average_precision(const arm::RuleSet& reference) const {
+    double total = 0;
+    for (const auto& r : resources_)
+      total += arm::precision(r->interim(), reference);
+    return total / static_cast<double>(resources_.size());
+  }
+
+ private:
+  GridEnv env_;
+  sim::Engine engine_;
+  std::vector<std::unique_ptr<majority::MajorityRuleResource>> resources_;
+};
+
+}  // namespace kgrid::core

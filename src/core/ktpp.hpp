@@ -1,0 +1,75 @@
+// k-TTP reference monitor (paper Definition 3.1).
+//
+// The k-TTP grants an output for a group V only when, against every union of
+// previously-granted groups, the symmetric difference holds at least k
+// participants. In Secure-Majority-Rule the granted groups are *nested*
+// (votes only accumulate: V_{t1} ⊆ V_{t2}, db_{t1} ⊆ db_{t2}, §5.3), so the
+// worst-case test reduces to two checks per grant:
+//     |V| >= k                 (against the empty union)
+//     |V \ V_latest| >= k      (against the largest previous union)
+// which, expressed in the protocol's counters, are exactly
+//     num >= k,  num - num_last >= k    (resources)
+//     count >= k̃,  count - count_last >= k̃   (transactions).
+//
+// The monitor is attached to controllers in tests and asserts that every
+// *data-dependent* answer a controller hands its broker satisfies the
+// k-TTP condition. Data-independent answers (bootstrap sends, the
+// below-threshold always-forward region) reveal nothing and are not
+// recorded, mirroring Definition 3.1 where refused queries do not extend
+// G_i.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace kgrid::core {
+
+class KTtpMonitor {
+ public:
+  explicit KTtpMonitor(std::int64_t k) : k_(k) {}
+
+  struct Violation {
+    std::string context;
+    std::int64_t count_delta;
+    std::int64_t num_delta;
+  };
+
+  std::int64_t k() const { return k_; }
+  std::uint64_t grants() const { return grants_; }
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  /// Record that the controller revealed a data-dependent bit computed over
+  /// `count` transactions and `num` resources in the given context (one
+  /// context per controller/rule/gate).
+  void on_reveal(const std::string& context, std::int64_t count,
+                 std::int64_t num) {
+    ++grants_;
+    auto& prev = last_[context];
+    const std::int64_t count_delta = count - prev.count;
+    const std::int64_t num_delta = num - prev.num;
+    if (count_delta < k_ || num_delta < k_)
+      violations_.push_back({context, count_delta, num_delta});
+    // Nesting sanity: the protocol only accumulates votes.
+    if (count < prev.count || num < prev.num)
+      violations_.push_back({context + " (non-monotone group)", count_delta,
+                             num_delta});
+    prev = {count, num};
+  }
+
+ private:
+  struct Last {
+    std::int64_t count = 0;
+    std::int64_t num = 0;
+  };
+
+  std::int64_t k_;
+  std::uint64_t grants_ = 0;
+  std::map<std::string, Last> last_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace kgrid::core

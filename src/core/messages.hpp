@@ -1,0 +1,26 @@
+// Inter-resource message payloads of Secure-Majority-Rule.
+#pragma once
+
+#include "arm/rules.hpp"
+#include "crypto/hom.hpp"
+#include "net/topology.hpp"
+
+namespace kgrid::core {
+
+/// One Secure-Scalable-Majority message: an oblivious counter (in the
+/// *recipient's* layout) for one candidate rule. The candidate tag itself is
+/// public — the paper's output is the rule list, so candidate identities are
+/// not secret; only the vote counts are.
+struct SecureRuleMessage {
+  arm::Candidate candidate;
+  hom::Cipher counter;
+};
+
+/// "Broadcast that resource v is malicious" (Algorithm 3): flooded over the
+/// overlay tree with per-culprit dedup.
+struct MaliciousReport {
+  net::NodeId culprit;
+  net::NodeId reporter;
+};
+
+}  // namespace kgrid::core

@@ -1,0 +1,153 @@
+// Backend-agnostic homomorphic layer with capability-separated keys.
+//
+// The protocol (src/core) is written against this interface:
+//
+//   * EncryptKey   — held by accountants; can encrypt plaintexts.
+//   * EvalHandle   — held by brokers; can homomorphically add, scale, and
+//                    rerandomize ciphers, but can neither create a cipher of
+//                    a chosen value nor decrypt (the paper's "the broker
+//                    knows neither the decryption nor the encryption keys").
+//   * DecryptKey   — held by controllers; can decrypt.
+//
+// Two backends implement the interface:
+//
+//   * Backend::kPaillier — the real cryptosystem (src/crypto/paillier.*).
+//   * Backend::kPlain    — an ideal-functionality stand-in whose "ciphers"
+//     carry the plaintext fields plus a random salt that every operation
+//     refreshes, so equal plaintexts still yield distinct ciphers exactly as
+//     rerandomization guarantees. It exists because the paper's experiments
+//     simulate thousands of resources; see DESIGN.md "Faithfulness notes".
+//
+// Both backends share the packed-field plaintext representation of
+// packing.hpp, so all protocol logic (shares, timestamps, k-gating) is
+// identical and testable under real crypto.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "crypto/paillier.hpp"
+#include "util/rng.hpp"
+#include "wide/bigint.hpp"
+
+namespace kgrid::hom {
+
+enum class Backend { kPlain, kPaillier };
+
+/// An opaque additively-homomorphic ciphertext over packed 64-bit fields.
+class Cipher {
+ public:
+  Cipher() = default;
+
+  Backend backend() const { return backend_; }
+  bool empty() const { return backend_ == Backend::kPlain && plain_.empty(); }
+
+  /// Ciphertext equality. Distinct encryptions/rerandomizations of the same
+  /// plaintext compare unequal (probabilistic encryption), which tests rely
+  /// on to assert that brokers cannot detect unchanged counters.
+  friend bool operator==(const Cipher& a, const Cipher& b) = default;
+
+ private:
+  friend class Context;
+  friend class EncryptKey;
+  friend class EvalHandle;
+  friend class DecryptKey;
+
+  Backend backend_ = Backend::kPlain;
+  std::vector<std::uint64_t> plain_;  // plain backend: field values
+  std::uint64_t salt_ = 0;            // plain backend: rerandomization witness
+  wide::BigInt paillier_;             // paillier backend: cipher mod n^2
+};
+
+class Context;
+using ContextPtr = std::shared_ptr<const Context>;
+
+/// Accountant capability: create ciphers.
+class EncryptKey {
+ public:
+  Cipher encrypt(std::span<const std::uint64_t> fields, Rng& rng) const;
+  Cipher encrypt_value(std::uint64_t value, Rng& rng) const {
+    return encrypt(std::span(&value, 1), rng);
+  }
+
+ private:
+  friend class Context;
+  explicit EncryptKey(ContextPtr ctx) : ctx_(std::move(ctx)) {}
+  ContextPtr ctx_;
+};
+
+/// Broker capability: combine and refresh ciphers without reading them.
+class EvalHandle {
+ public:
+  /// Enc of the field-wise sum. Fields must not overflow 64 bits (protocol
+  /// invariant, see counter.hpp).
+  Cipher add(const Cipher& a, const Cipher& b) const;
+
+  /// Enc of the field-wise difference; only meaningful for single-field
+  /// ciphers whose value stays in (-2^63, 2^63) — packed multi-field
+  /// subtraction would borrow across fields.
+  Cipher sub_single(const Cipher& a, const Cipher& b) const;
+
+  /// Enc of m times each field (m * x for the paper's `m ∔ E(x)`).
+  Cipher scalar_mul(std::uint64_t m, const Cipher& a) const;
+
+  /// Fresh cipher of the same plaintext — conceals from a receiver whether
+  /// the value changed (paper §5.2).
+  Cipher rerandomize(const Cipher& a, Rng& rng) const;
+
+  /// Enc(0) with `n_fields` zero fields, usable as an aggregation seed.
+  Cipher zero(std::size_t n_fields, Rng& rng) const;
+
+ private:
+  friend class Context;
+  explicit EvalHandle(ContextPtr ctx) : ctx_(std::move(ctx)) {}
+  ContextPtr ctx_;
+};
+
+/// Controller capability: read ciphers.
+class DecryptKey {
+ public:
+  std::vector<std::uint64_t> decrypt(const Cipher& c, std::size_t n_fields) const;
+  std::uint64_t decrypt_value(const Cipher& c) const { return decrypt(c, 1)[0]; }
+  /// Single-field signed read (two's-complement in the field for the plain
+  /// backend, mod-n complement for Paillier).
+  std::int64_t decrypt_signed(const Cipher& c) const;
+
+ private:
+  friend class Context;
+  explicit DecryptKey(ContextPtr ctx) : ctx_(std::move(ctx)) {}
+  ContextPtr ctx_;
+};
+
+/// Immutable per-grid crypto context. One keypair is shared by all
+/// accountants (encryption side) and all controllers (decryption side),
+/// matching the paper's "encryption key shared by the accountants".
+class Context : public std::enable_shared_from_this<Context> {
+ public:
+  static ContextPtr make_plain();
+  static ContextPtr make_paillier(std::size_t n_bits, Rng& rng);
+
+  Backend backend() const { return backend_; }
+
+  /// Maximum number of 64-bit fields a single cipher can pack (unbounded for
+  /// the plain backend).
+  std::size_t max_fields() const;
+
+  EncryptKey encrypt_key() const { return EncryptKey(shared_from_this()); }
+  EvalHandle eval_handle() const { return EvalHandle(shared_from_this()); }
+  DecryptKey decrypt_key() const { return DecryptKey(shared_from_this()); }
+
+ private:
+  friend class EncryptKey;
+  friend class EvalHandle;
+  friend class DecryptKey;
+
+  Context() = default;
+
+  Backend backend_ = Backend::kPlain;
+  PaillierPrivateKey key_;  // unset for the plain backend
+};
+
+}  // namespace kgrid::hom

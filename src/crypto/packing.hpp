@@ -1,0 +1,37 @@
+// Vectorized plaintexts (paper §4.2).
+//
+// The paper extends the homomorphic cryptosystem to tuples of integers by
+// encoding (x_1 .. x_p) as a single plaintext with per-element moduli. We use
+// fixed 64-bit fields: the packed plaintext is sum_i x_i * 2^(64 i). As long
+// as each field never overflows 64 bits, homomorphic addition of packed
+// ciphertexts adds fields element-wise — the protocol's counter, share, and
+// timestamp fields all satisfy that bound (see counter.hpp).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+#include "wide/bigint.hpp"
+
+namespace kgrid::hom {
+
+inline wide::BigInt pack_fields(std::span<const std::uint64_t> fields) {
+  wide::BigInt out;
+  for (std::size_t i = fields.size(); i-- > 0;) {
+    out <<= 64;
+    out += wide::BigInt(fields[i]);
+  }
+  return out;
+}
+
+inline std::vector<std::uint64_t> unpack_fields(const wide::BigInt& packed,
+                                                std::size_t n_fields) {
+  KGRID_CHECK(!packed.is_negative(), "unpack_fields needs non-negative plaintext");
+  std::vector<std::uint64_t> out(n_fields, 0);
+  for (std::size_t i = 0; i < n_fields && i < packed.limb_count(); ++i)
+    out[i] = packed.limb(i);
+  return out;
+}
+
+}  // namespace kgrid::hom

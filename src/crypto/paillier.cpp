@@ -1,0 +1,121 @@
+#include "crypto/paillier.hpp"
+
+#include "util/check.hpp"
+#include "wide/prime.hpp"
+
+namespace kgrid::hom {
+
+using wide::BigInt;
+
+BigInt PaillierPublicKey::random_unit(Rng& rng) const {
+  // Uniform in [1, n); a non-unit reveals a factor of n, which happens with
+  // negligible probability for honestly generated keys — retry regardless.
+  for (;;) {
+    BigInt r = BigInt(1) + BigInt::random_below(rng, n - BigInt(1));
+    if (wide::gcd(r, n) == BigInt(1)) return r;
+  }
+}
+
+BigInt PaillierPublicKey::encrypt(const BigInt& m, Rng& rng) const {
+  KGRID_CHECK(!m.is_negative() && m < n, "Paillier plaintext out of range");
+  // (1 + m n) mod n^2 multiplied by r^n mod n^2.
+  const BigInt gm = (BigInt(1) + m * n) % n2;
+  const BigInt rn = mont_n2->pow(random_unit(rng), n);
+  return mont_n2->mul(gm, rn);
+}
+
+BigInt PaillierPublicKey::add(const BigInt& ca, const BigInt& cb) const {
+  return mont_n2->mul(ca, cb);
+}
+
+BigInt PaillierPublicKey::sub(const BigInt& ca, const BigInt& cb) const {
+  // Enc(a - b) = Enc(a) · Enc(b)^(n-1) — note n-1 ≡ -1 (mod n) in the
+  // exponent group of plaintexts.
+  return mont_n2->mul(ca, mont_n2->pow(cb, n - BigInt(1)));
+}
+
+BigInt PaillierPublicKey::scalar_mul(const BigInt& m, const BigInt& ca) const {
+  const BigInt e = m.mod_floor(n);
+  if (e.is_zero()) {
+    // Enc(0) with degenerate randomness; callers rerandomize when the result
+    // travels to another participant.
+    return BigInt(1);
+  }
+  return mont_n2->pow(ca, e);
+}
+
+BigInt PaillierPublicKey::rerandomize(const BigInt& ca, Rng& rng) const {
+  const BigInt rn = mont_n2->pow(random_unit(rng), n);
+  return mont_n2->mul(ca, rn);
+}
+
+BigInt PaillierPrivateKey::decrypt_no_crt(const BigInt& c) const {
+  KGRID_CHECK(!c.is_negative() && c < pub.n2, "Paillier ciphertext out of range");
+  const BigInt u = pub.mont_n2->pow(c, lambda);
+  const BigInt l = (u - BigInt(1)) / pub.n;
+  return (l * mu) % pub.n;
+}
+
+BigInt PaillierPrivateKey::decrypt(const BigInt& c) const {
+  KGRID_CHECK(!c.is_negative() && c < pub.n2, "Paillier ciphertext out of range");
+  // m_p = L_p(c^(p-1) mod p^2) · h_p mod p, and likewise mod q.
+  const BigInt p2 = mont_p2->modulus();
+  const BigInt q2 = mont_q2->modulus();
+  const BigInt up = mont_p2->pow(c % p2, p - BigInt(1));
+  const BigInt uq = mont_q2->pow(c % q2, q - BigInt(1));
+  const BigInt mp = (((up - BigInt(1)) / p) * hp) % p;
+  const BigInt mq = (((uq - BigInt(1)) / q) * hq) % q;
+  // Garner: m = m_q + q·((m_p − m_q)·q^-1 mod p).
+  const BigInt diff = (mp - mq).mod_floor(p);
+  return mq + q * ((diff * q_inv_p) % p);
+}
+
+BigInt PaillierPrivateKey::decrypt_signed(const BigInt& c) const {
+  BigInt m = decrypt(c);
+  if (m + m > pub.n) m -= pub.n;
+  return m;
+}
+
+PaillierPrivateKey paillier_keygen(std::size_t n_bits, Rng& rng) {
+  KGRID_CHECK(n_bits >= 64, "Paillier modulus too small");
+  const std::size_t half = n_bits / 2;
+  for (;;) {
+    const BigInt p = wide::random_prime(rng, half);
+    const BigInt q = wide::random_prime(rng, half);
+    if (p == q) continue;
+    const BigInt n = p * q;
+    const BigInt lambda =
+        wide::lcm(p - BigInt(1), q - BigInt(1));
+    // With equal-width primes gcd(n, lambda) == 1 always holds; keep the
+    // check as a key-sanity invariant.
+    if (wide::gcd(n, lambda) != BigInt(1)) continue;
+
+    PaillierPrivateKey key;
+    key.pub.n = n;
+    key.pub.n2 = n * n;
+    key.pub.mont_n2 = std::make_shared<const wide::Montgomery>(key.pub.n2);
+    key.lambda = lambda;
+    // g = n+1 makes L(g^lambda mod n^2) = lambda mod n, so mu = lambda^-1.
+    key.mu = wide::mod_inverse(lambda, n);
+
+    // CRT tables. With g = n+1: g^(p-1) mod p^2 = 1 + (p-1)n mod p^2, so
+    // L_p of it is (p-1)q mod p; compute generically for robustness.
+    key.p = p;
+    key.q = q;
+    key.mont_p2 = std::make_shared<const wide::Montgomery>(p * p);
+    key.mont_q2 = std::make_shared<const wide::Montgomery>(q * q);
+    const BigInt gp = key.mont_p2->pow(key.pub.n + BigInt(1), p - BigInt(1));
+    const BigInt gq = key.mont_q2->pow(key.pub.n + BigInt(1), q - BigInt(1));
+    key.hp = wide::mod_inverse((gp - BigInt(1)) / p, p);
+    key.hq = wide::mod_inverse((gq - BigInt(1)) / q, q);
+    key.q_inv_p = wide::mod_inverse(q, p);
+    return key;
+  }
+}
+
+BigInt paillier_encrypt_signed(const PaillierPublicKey& pk, const BigInt& m,
+                               Rng& rng) {
+  return pk.encrypt(m.mod_floor(pk.n), rng);
+}
+
+}  // namespace kgrid::hom

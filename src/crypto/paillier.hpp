@@ -1,0 +1,86 @@
+// The Paillier probabilistic additively-homomorphic public-key cryptosystem
+// (Paillier, Eurocrypt'99), which the paper's footnote 1 names as the basis of
+// its simulations.
+//
+//   KeyGen: n = p q (p, q random primes of equal width), g = n + 1,
+//           lambda = lcm(p-1, q-1), mu = lambda^-1 mod n.
+//   Enc(m; r) = (1 + m n) r^n mod n^2,   r uniform in Z_n^*.
+//   Dec(c)    = L(c^lambda mod n^2) mu mod n,   L(u) = (u - 1) / n.
+//
+// Homomorphisms (all mod n^2): Enc(a)·Enc(b) = Enc(a+b),
+// Enc(a)^m = Enc(a m), Enc(a)·r^n = fresh randomization of Enc(a).
+#pragma once
+
+#include <memory>
+
+#include "util/rng.hpp"
+#include "wide/bigint.hpp"
+#include "wide/modular.hpp"
+
+namespace kgrid::hom {
+
+struct PaillierPublicKey {
+  wide::BigInt n;
+  wide::BigInt n2;
+  // Montgomery context for the hot modulus n^2 (shared, immutable).
+  std::shared_ptr<const wide::Montgomery> mont_n2;
+
+  std::size_t plaintext_bits() const { return n.bit_length(); }
+
+  /// Enc(m; fresh r). m must lie in [0, n).
+  wide::BigInt encrypt(const wide::BigInt& m, Rng& rng) const;
+
+  /// Homomorphic addition: Enc(a+b) from Enc(a), Enc(b).
+  wide::BigInt add(const wide::BigInt& ca, const wide::BigInt& cb) const;
+
+  /// Homomorphic subtraction: Enc(a-b mod n).
+  wide::BigInt sub(const wide::BigInt& ca, const wide::BigInt& cb) const;
+
+  /// Homomorphic scalar multiple: Enc(a·m mod n).
+  wide::BigInt scalar_mul(const wide::BigInt& m, const wide::BigInt& ca) const;
+
+  /// Fresh randomization of an existing ciphertext (same plaintext,
+  /// indistinguishable cipher) — the paper's rerandomization operator.
+  wide::BigInt rerandomize(const wide::BigInt& ca, Rng& rng) const;
+
+ private:
+  wide::BigInt random_unit(Rng& rng) const;
+};
+
+struct PaillierPrivateKey {
+  PaillierPublicKey pub;
+  wide::BigInt lambda;
+  wide::BigInt mu;
+
+  // CRT acceleration (controllers decrypt on every SFE, so this is the
+  // secure protocol's hottest primitive): exponentiation is done separately
+  // mod p^2 and q^2 — four half-width modexps beat one full-width one by
+  // roughly 4x — and recombined with Garner's formula.
+  wide::BigInt p;
+  wide::BigInt q;
+  std::shared_ptr<const wide::Montgomery> mont_p2;
+  std::shared_ptr<const wide::Montgomery> mont_q2;
+  wide::BigInt hp;       // lambda_p^-1 of L_p(g^lambda_p mod p^2), mod p
+  wide::BigInt hq;       // likewise mod q
+  wide::BigInt q_inv_p;  // q^-1 mod p, for Garner recombination
+
+  /// Plaintext in [0, n).
+  wide::BigInt decrypt(const wide::BigInt& c) const;
+
+  /// Plaintext interpreted in (-n/2, n/2] — the paper's "standard shifting
+  /// techniques ... to support the encryption of negative integers".
+  wide::BigInt decrypt_signed(const wide::BigInt& c) const;
+
+  /// Reference implementation without CRT (kept for cross-checking; the
+  /// unit tests assert both paths agree).
+  wide::BigInt decrypt_no_crt(const wide::BigInt& c) const;
+};
+
+/// Generate a fresh keypair with an n of (about) `n_bits` bits.
+PaillierPrivateKey paillier_keygen(std::size_t n_bits, Rng& rng);
+
+/// Encrypt a signed value by reducing into [0, n).
+wide::BigInt paillier_encrypt_signed(const PaillierPublicKey& pk,
+                                     const wide::BigInt& m, Rng& rng);
+
+}  // namespace kgrid::hom

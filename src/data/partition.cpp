@@ -1,0 +1,14 @@
+#include "data/partition.hpp"
+
+namespace kgrid::data {
+
+std::vector<Database> partition_by_hash(const Database& db, std::size_t n_parts,
+                                        const PairwiseHash& hash) {
+  KGRID_CHECK(n_parts >= 1, "need at least one partition");
+  std::vector<Database> parts(n_parts);
+  for (const auto& t : db.transactions())
+    parts[hash.bucket(t.id, n_parts)].append(t);
+  return parts;
+}
+
+}  // namespace kgrid::data

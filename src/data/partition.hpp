@@ -1,0 +1,58 @@
+// Database partitioning across grid resources.
+//
+// The paper samples each resource's local database from the global synthetic
+// database with pairwise-independent hashing (§6): transaction t belongs to
+// resource h(t.id) mod n. The same mechanism also drives the dynamic-update
+// stream ("incrementing every resource with twenty additional transactions
+// at each step"): a partitioned stream hands each resource its own ordered
+// sequence of arrivals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/transaction.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace kgrid::data {
+
+/// Assign every transaction of `db` to one of `n_parts` partitions with a
+/// pairwise-independent hash of its id.
+std::vector<Database> partition_by_hash(const Database& db, std::size_t n_parts,
+                                        const PairwiseHash& hash);
+
+/// A partitioned arrival stream: transactions are revealed round-by-round so
+/// grid harnesses can grow local databases over time, as in the paper's
+/// dynamic experiments.
+class PartitionedStream {
+ public:
+  PartitionedStream(const Database& db, std::size_t n_parts,
+                    const PairwiseHash& hash)
+      : parts_(partition_by_hash(db, n_parts, hash)), cursors_(n_parts, 0) {}
+
+  std::size_t parts() const { return parts_.size(); }
+
+  /// Total transactions destined for partition p.
+  std::size_t total(std::size_t p) const { return parts_[p].size(); }
+
+  /// How many of partition p's transactions have been taken so far.
+  std::size_t consumed(std::size_t p) const { return cursors_[p]; }
+
+  bool exhausted(std::size_t p) const { return cursors_[p] >= parts_[p].size(); }
+
+  /// Take up to `max_count` next transactions for partition p.
+  std::vector<Transaction> take(std::size_t p, std::size_t max_count) {
+    KGRID_CHECK(p < parts_.size(), "partition out of range");
+    std::vector<Transaction> out;
+    while (out.size() < max_count && cursors_[p] < parts_[p].size())
+      out.push_back(parts_[p][cursors_[p]++]);
+    return out;
+  }
+
+ private:
+  std::vector<Database> parts_;
+  std::vector<std::size_t> cursors_;
+};
+
+}  // namespace kgrid::data

@@ -1,0 +1,119 @@
+#include "data/quest.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace kgrid::data {
+
+QuestParams QuestParams::preset(const char* name) {
+  QuestParams p;
+  if (std::strcmp(name, "T5I2") == 0) {
+    p.avg_transaction_len = 5;
+    p.avg_pattern_len = 2;
+  } else if (std::strcmp(name, "T10I4") == 0) {
+    p.avg_transaction_len = 10;
+    p.avg_pattern_len = 4;
+  } else if (std::strcmp(name, "T20I6") == 0) {
+    p.avg_transaction_len = 20;
+    p.avg_pattern_len = 6;
+  } else {
+    KGRID_CHECK(false, "unknown Quest preset");
+  }
+  return p;
+}
+
+QuestGenerator::QuestGenerator(const QuestParams& params, Rng rng)
+    : params_(params), rng_(rng) {
+  KGRID_CHECK(params_.n_items >= 2, "Quest needs at least 2 items");
+  KGRID_CHECK(params_.n_patterns >= 1, "Quest needs at least 1 pattern");
+  KGRID_CHECK(params_.avg_pattern_len >= 1.0, "Quest needs I >= 1");
+  KGRID_CHECK(params_.avg_transaction_len >= 1.0, "Quest needs T >= 1");
+
+  patterns_.reserve(params_.n_patterns);
+  corruption_.reserve(params_.n_patterns);
+  cumulative_weight_.reserve(params_.n_patterns);
+
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < params_.n_patterns; ++i) {
+    const Itemset* previous = patterns_.empty() ? nullptr : &patterns_.back();
+    patterns_.push_back(draw_pattern_items(previous));
+    total_weight += rng_.exponential(1.0);
+    cumulative_weight_.push_back(total_weight);
+    const double corr = params_.corruption_mean +
+                        params_.corruption_stddev * rng_.gaussian();
+    corruption_.push_back(std::clamp(corr, 0.0, 1.0));
+  }
+  for (auto& w : cumulative_weight_) w /= total_weight;
+}
+
+Itemset QuestGenerator::draw_pattern_items(const Itemset* previous) {
+  std::size_t len = rng_.poisson(params_.avg_pattern_len);
+  len = std::clamp<std::size_t>(len, 1, params_.n_items);
+  Itemset items;
+  items.reserve(len);
+  // Inherit a correlated fraction from the previous pattern.
+  if (previous != nullptr && !previous->empty()) {
+    for (Item it : *previous) {
+      if (items.size() >= len) break;
+      if (rng_.bernoulli(params_.correlation)) items.push_back(it);
+    }
+  }
+  while (items.size() < len) {
+    items.push_back(static_cast<Item>(rng_.below(params_.n_items)));
+    normalize(items);
+  }
+  normalize(items);
+  return items;
+}
+
+Transaction QuestGenerator::next() {
+  Transaction t;
+  t.id = next_id_++;
+  std::size_t target =
+      std::max<std::size_t>(1, rng_.poisson(params_.avg_transaction_len));
+  target = std::min(target, params_.n_items);
+
+  // On small, heavily-correlated domains a pick can contribute nothing new
+  // (its items are already in the transaction); bail out after a run of
+  // such stalls instead of spinning.
+  std::size_t stalls = 0;
+  while (t.items.size() < target && stalls < 16) {
+    // Weighted pattern pick via binary search on cumulative weights.
+    const double u = rng_.uniform();
+    const std::size_t idx = static_cast<std::size_t>(
+        std::lower_bound(cumulative_weight_.begin(), cumulative_weight_.end(), u) -
+        cumulative_weight_.begin());
+    const std::size_t pick = std::min(idx, patterns_.size() - 1);
+
+    // Corrupt: drop items while successive uniforms stay below the level.
+    Itemset fragment = patterns_[pick];
+    while (!fragment.empty() && rng_.uniform() < corruption_[pick])
+      fragment.erase(fragment.begin() +
+                     static_cast<std::ptrdiff_t>(rng_.below(fragment.size())));
+    if (fragment.empty()) {
+      ++stalls;
+      continue;
+    }
+
+    const bool overflows = t.items.size() + fragment.size() > target + fragment.size() / 2;
+    if (overflows && rng_.bernoulli(0.5)) break;  // move pattern to next transaction
+
+    const std::size_t before = t.items.size();
+    t.items.insert(t.items.end(), fragment.begin(), fragment.end());
+    normalize(t.items);
+    stalls = t.items.size() == before ? stalls + 1 : 0;
+  }
+  if (t.items.empty())
+    t.items.push_back(static_cast<Item>(rng_.below(params_.n_items)));
+  return t;
+}
+
+Database QuestGenerator::generate() {
+  Database db;
+  for (std::size_t i = 0; i < params_.n_transactions; ++i) db.append(next());
+  return db;
+}
+
+}  // namespace kgrid::data

@@ -1,0 +1,68 @@
+// IBM Quest-style synthetic transaction generator.
+//
+// The paper's databases (§6) are "produced using the standard association
+// patterns generation tool from the IBM Quest group": T5I2, T10I4, T20I6 —
+// T = average transaction length, I = average length of the maximal
+// potential itemsets ("patterns"). The original binary is long gone, so this
+// is a from-scratch implementation of the published algorithm
+// (Agrawal & Srikant, VLDB'94 §4.1):
+//
+//   * L maximal potential itemsets are drawn: sizes ~ Poisson(I); a fraction
+//     of each pattern's items is inherited from the previous pattern
+//     (correlation), the rest are uniform; each pattern carries an
+//     exponentially-distributed weight (normalized) and a corruption level
+//     ~ N(0.5, 0.1).
+//   * Each transaction draws its size ~ Poisson(T), then fills up with
+//     weighted random patterns; items are dropped from an assigned pattern
+//     while a uniform draw stays below its corruption level; an overflowing
+//     pattern is kept anyway in half the cases and dropped otherwise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/transaction.hpp"
+#include "util/rng.hpp"
+
+namespace kgrid::data {
+
+struct QuestParams {
+  std::size_t n_transactions = 10000;
+  std::size_t n_items = 1000;        // N
+  std::size_t n_patterns = 200;      // L
+  double avg_transaction_len = 10;   // T
+  double avg_pattern_len = 4;        // I
+  double correlation = 0.5;          // fraction of items shared with previous pattern
+  double corruption_mean = 0.5;
+  double corruption_stddev = 0.1;
+
+  /// Named presets matching the paper: "T5I2", "T10I4", "T20I6".
+  static QuestParams preset(const char* name);
+};
+
+class QuestGenerator {
+ public:
+  QuestGenerator(const QuestParams& params, Rng rng);
+
+  /// The potential maximal itemsets (exposed for tests and for seeding
+  /// planted-pattern experiments).
+  const std::vector<Itemset>& patterns() const { return patterns_; }
+
+  /// Generate the next transaction; ids are sequential from 0.
+  Transaction next();
+
+  /// Generate a whole database of params.n_transactions transactions.
+  Database generate();
+
+ private:
+  Itemset draw_pattern_items(const Itemset* previous);
+
+  QuestParams params_;
+  Rng rng_;
+  std::vector<Itemset> patterns_;
+  std::vector<double> cumulative_weight_;  // for weighted pattern choice
+  std::vector<double> corruption_;
+  TransactionId next_id_ = 0;
+};
+
+}  // namespace kgrid::data

@@ -1,0 +1,110 @@
+// Transactions, itemsets, and databases (paper §3, "Association Rule Mining
+// Model"): items from a domain I, transactions are subsets of I with unique
+// ids, a database is a list of transactions.
+//
+// Itemsets are sorted unique vectors so subset tests are linear merges and
+// itemsets can key hash maps.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace kgrid::data {
+
+using Item = std::uint32_t;
+using Itemset = std::vector<Item>;  // invariant: sorted, unique
+using TransactionId = std::uint64_t;
+
+struct Transaction {
+  TransactionId id = 0;
+  Itemset items;
+};
+
+/// Normalize an arbitrary item list into a canonical itemset.
+inline Itemset make_itemset(std::initializer_list<Item> items) {
+  Itemset out(items);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+inline void normalize(Itemset& items) {
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+}
+
+/// True iff `subset` ⊆ `superset` (both canonical).
+inline bool contains_all(const Itemset& superset, const Itemset& subset) {
+  return std::includes(superset.begin(), superset.end(), subset.begin(),
+                       subset.end());
+}
+
+inline Itemset set_union(const Itemset& a, const Itemset& b) {
+  Itemset out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+inline Itemset set_difference(const Itemset& a, const Itemset& b) {
+  Itemset out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+inline bool disjoint(const Itemset& a, const Itemset& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) ++ia;
+    else if (*ib < *ia) ++ib;
+    else return false;
+  }
+  return true;
+}
+
+inline std::string to_string(const Itemset& items) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(items[i]);
+  }
+  return out + "}";
+}
+
+/// An append-only transaction database (paper §3 assumes no deletions: a
+/// deletion is modelled by appending a negating transaction).
+class Database {
+ public:
+  Database() = default;
+
+  std::size_t size() const { return transactions_.size(); }
+  bool empty() const { return transactions_.empty(); }
+  const Transaction& operator[](std::size_t i) const { return transactions_[i]; }
+  const std::vector<Transaction>& transactions() const { return transactions_; }
+
+  void append(Transaction t) { transactions_.push_back(std::move(t)); }
+
+  /// Number of transactions containing every item of X (paper: Support).
+  std::size_t support(const Itemset& x) const {
+    std::size_t n = 0;
+    for (const auto& t : transactions_) n += contains_all(t.items, x);
+    return n;
+  }
+
+  /// Support(X) / |DB| (paper: Freq); zero for an empty database.
+  double frequency(const Itemset& x) const {
+    return empty() ? 0.0
+                   : static_cast<double>(support(x)) / static_cast<double>(size());
+  }
+
+ private:
+  std::vector<Transaction> transactions_;
+};
+
+}  // namespace kgrid::data

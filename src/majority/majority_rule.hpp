@@ -1,0 +1,204 @@
+// Majority-Rule (Wolff & Schuster, ICDM'03; paper §4.1) — the non-private,
+// large-scale distributed ARM algorithm that Secure-Majority-Rule secures.
+// It doubles as the repository's baseline for the paper's Figure-2
+// comparison ("a single scan in [20]").
+//
+// A resource turns the ARM problem into one Scalable-Majority vote per
+// candidate rule: frequency votes ⟨∅ ⇒ X, MinFreq⟩ and confidence votes
+// ⟨X ⇒ Y, MinConf⟩, with local inputs produced by budgeted incremental
+// counting over the local database partition (arm::IncrementalCounter).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "arm/apriori.hpp"
+#include "arm/candidates.hpp"
+#include "arm/counting.hpp"
+#include "majority/scalable_majority.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace kgrid::majority {
+
+/// Rational thresholds for exact integer vote arithmetic. `from_double`
+/// snaps to a denominator of 10^4, plenty for the paper's thresholds.
+inline Ratio ratio_from_double(double x) {
+  return Ratio{static_cast<std::int64_t>(x * 10000.0 + 0.5), 10000};
+}
+
+struct MajorityRuleConfig {
+  std::size_t n_items = 0;          // item domain; 0 disables seeding initial candidates
+  double min_freq = 0.1;
+  double min_conf = 0.8;
+  std::size_t count_budget = 100;    // transactions counted per step (paper §6)
+  std::size_t candidate_period = 5;  // candidate generation every k-th step (paper §6)
+  std::size_t arrivals_per_step = 20;  // dynamic growth per step (paper §6)
+};
+
+/// The network payload of the baseline protocol: one Scalable-Majority
+/// message, tagged by the vote instance it belongs to.
+struct RuleMessage {
+  arm::Candidate candidate;
+  VotePair vote;
+};
+
+class MajorityRuleResource : public sim::Entity {
+ public:
+  /// Timer ids used with the engine.
+  static constexpr std::uint64_t kStepTimer = 1;
+
+  MajorityRuleResource(net::NodeId id, const MajorityRuleConfig& config,
+                       std::vector<net::NodeId> neighbors,
+                       const net::LinkDelays* delays)
+      : id_(id), config_(config), neighbors_(std::move(neighbors)),
+        delays_(delays) {
+    for (const auto& cand : arm::initial_candidates(config_.n_items))
+      register_candidate(cand);
+  }
+
+  net::NodeId id() const { return id_; }
+  std::size_t step_count() const { return steps_; }
+  std::size_t candidate_count() const { return instances_.size(); }
+  std::size_t local_db_size() const { return counter_.db_size(); }
+
+  /// Load the initial local database partition (before the run starts).
+  void load_initial(const data::Database& db) {
+    for (const auto& t : db.transactions()) counter_.append(t);
+  }
+
+  /// Queue future arrivals; each step consumes config.arrivals_per_step.
+  void queue_arrivals(std::vector<data::Transaction> arrivals) {
+    future_.insert(future_.end(), std::make_move_iterator(arrivals.begin()),
+                   std::make_move_iterator(arrivals.end()));
+  }
+
+  /// The resource's interim solution R̃_u[DB_t]. The paper defines correct
+  /// rules as *confident rules between frequent itemsets*, so a confidence
+  /// vote only contributes when the frequency vote of its full itemset also
+  /// passes; frequency votes contribute directly.
+  arm::RuleSet interim() const {
+    arm::RuleSet out;
+    for (const auto& [cand, node] : instances_) {
+      // An empty vote (no transaction counted anywhere yet) passes Δ >= 0
+      // vacuously; do not report it.
+      if (node->knowledge().count == 0) continue;
+      if (!node->decide()) continue;
+      if (cand.kind == arm::VoteKind::kFrequency) {
+        out.insert(cand.rule);
+        continue;
+      }
+      const auto freq_it =
+          instances_.find(arm::frequency_candidate(cand.rule.all_items()));
+      if (freq_it != instances_.end() && freq_it->second->decide())
+        out.insert(cand.rule);
+    }
+    return out;
+  }
+
+  /// Kick off periodic steps; call once after registering with the engine.
+  void start(sim::Engine& engine, sim::EntityId self, sim::Time period) {
+    self_entity_ = self;
+    step_period_ = period;
+    engine.schedule(self, 0.0, kStepTimer);
+  }
+
+  void on_timer(sim::Engine& engine, std::uint64_t timer_id) override {
+    if (timer_id != kStepTimer) return;
+    step(engine);
+    engine.schedule(self_entity_, step_period_, kStepTimer);
+  }
+
+  void on_message(sim::Engine& engine, sim::EntityId from,
+                  std::any& payload) override {
+    const auto& msg = std::any_cast<const RuleMessage&>(payload);
+    // Algorithm 4: an unknown candidate learned from a neighbor joins C,
+    // along with the frequency vote for its full itemset.
+    if (!instances_.contains(msg.candidate)) {
+      register_candidate(msg.candidate);
+      const arm::Candidate freq =
+          arm::frequency_candidate(msg.candidate.rule.all_items());
+      if (!instances_.contains(freq)) register_candidate(freq);
+    }
+    auto& node = *instances_.at(msg.candidate);
+    deliver(engine, msg.candidate,
+            node.on_receive(static_cast<net::NodeId>(from), msg.vote));
+  }
+
+ private:
+  Ratio lambda_for(const arm::Candidate& c) const {
+    return ratio_from_double(c.kind == arm::VoteKind::kFrequency
+                                 ? config_.min_freq
+                                 : config_.min_conf);
+  }
+
+  void register_candidate(const arm::Candidate& cand) {
+    counter_.add_rule(cand);
+    auto node = std::make_unique<MajorityNode>(id_, lambda_for(cand), neighbors_);
+    pending_bootstrap_.push_back(cand);
+    instances_.emplace(cand, std::move(node));
+    known_.insert(cand);
+  }
+
+  void deliver(sim::Engine& engine, const arm::Candidate& cand,
+               const std::vector<MajorityNode::Outgoing>& outgoing) {
+    for (const auto& out : outgoing) {
+      const double delay = delays_ ? delays_->delay(id_, out.to) : 0.1;
+      engine.send(self_entity_, out.to, delay, RuleMessage{cand, out.message});
+    }
+  }
+
+  void step(sim::Engine& engine) {
+    ++steps_;
+    // 1. Dynamic growth: the paper appends 20 transactions per step.
+    for (std::size_t i = 0;
+         i < config_.arrivals_per_step && future_cursor_ < future_.size(); ++i)
+      counter_.append(std::move(future_[future_cursor_++]));
+
+    // 2. Budgeted counting; feed changed counts into the vote instances.
+    for (const auto& cand : counter_.advance(config_.count_budget)) {
+      const auto counts = counter_.counts(cand);
+      deliver(engine, cand,
+              instances_.at(cand)->set_input(
+                  {static_cast<std::int64_t>(counts.sum),
+                   static_cast<std::int64_t>(counts.count)}));
+    }
+
+    // 3. First-contact bootstrap for instances created since the last step.
+    for (const auto& cand : pending_bootstrap_)
+      deliver(engine, cand, instances_.at(cand)->bootstrap());
+    pending_bootstrap_.clear();
+
+    // 4. Candidate generation every candidate_period steps (paper: "on
+    //    every fifth step communicated with its controller to create new
+    //    candidate rules").
+    if (steps_ % config_.candidate_period == 0) {
+      arm::CandidateSet correct;
+      for (const auto& [cand, node] : instances_)
+        if (node->decide()) correct.insert(cand);
+      for (const auto& cand : arm::derive_candidates(correct, known_))
+        register_candidate(cand);
+    }
+  }
+
+  net::NodeId id_;
+  MajorityRuleConfig config_;
+  std::vector<net::NodeId> neighbors_;
+  const net::LinkDelays* delays_;
+  sim::EntityId self_entity_ = 0;
+  sim::Time step_period_ = 1.0;
+  std::size_t steps_ = 0;
+
+  arm::IncrementalCounter counter_;
+  std::vector<data::Transaction> future_;
+  std::size_t future_cursor_ = 0;
+  std::unordered_map<arm::Candidate, std::unique_ptr<MajorityNode>,
+                     arm::CandidateHash>
+      instances_;
+  arm::CandidateSet known_;
+  std::vector<arm::Candidate> pending_bootstrap_;
+};
+
+}  // namespace kgrid::majority

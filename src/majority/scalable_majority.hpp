@@ -1,0 +1,161 @@
+// Scalable-Majority (Wolff & Schuster, ICDM'03; paper §4.1) — the local,
+// non-private distributed majority-voting protocol that Majority-Rule and
+// Secure-Majority-Rule are built on.
+//
+// Each node u keeps, per tree edge uv, the last pair it sent ⟨sum^uv,
+// count^uv⟩ and the last it received ⟨sum^vu, count^vu⟩; its own input is a
+// virtual edge ⊥u. With a rational threshold λ = λn/λd it maintains
+//
+//   Δ^u  = Σ_{w ∈ N∪⊥} (λd·sum^wu − λn·count^wu)
+//   Δ^uv = λd·(sum^uv + sum^vu) − λn·(count^uv + count^vu)
+//
+// and sends to v on first contact or whenever
+//   (Δ^uv ≥ 0 ∧ Δ^uv > Δ^u) ∨ (Δ^uv < 0 ∧ Δ^uv < Δ^u),
+// the message being the sum of every input except v's. On quiescence all
+// nodes agree on sign(Δ) — the majority. (The paper's §4.1 prints Δ^uv with
+// a minus between the counts; Algorithm 1 and the ICDM'03 original use the
+// sum, which we follow.)
+//
+// This class is a pure state machine: the caller owns delivery (the sim
+// engine, or direct calls in tests).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "util/check.hpp"
+
+namespace kgrid::majority {
+
+/// Exact rational majority threshold λ = num/den, den > 0.
+struct Ratio {
+  std::int64_t num = 1;
+  std::int64_t den = 2;
+};
+
+struct VotePair {
+  std::int64_t sum = 0;
+  std::int64_t count = 0;
+};
+
+class MajorityNode {
+ public:
+  struct Outgoing {
+    net::NodeId to;
+    VotePair message;
+  };
+
+  MajorityNode(net::NodeId self, Ratio lambda,
+               const std::vector<net::NodeId>& neighbors)
+      : self_(self), lambda_(lambda) {
+    KGRID_CHECK(lambda.den > 0, "lambda denominator must be positive");
+    for (auto v : neighbors) edges_.try_emplace(v);
+  }
+
+  net::NodeId self() const { return self_; }
+
+  /// Replace the local input (the ⊥ edge) with the agglomerated local vote.
+  /// Returns messages that the change triggers.
+  std::vector<Outgoing> set_input(VotePair input) {
+    input_ = input;
+    return evaluate_all();
+  }
+
+  /// Deliver a message from neighbor v. Returns triggered messages.
+  std::vector<Outgoing> on_receive(net::NodeId v, VotePair message) {
+    auto it = edges_.find(v);
+    KGRID_CHECK(it != edges_.end(), "message from non-neighbor");
+    it->second.received = message;
+    return evaluate_all();
+  }
+
+  /// First-contact messages for every edge not yet written to
+  /// ("u will send a message to v upon first contact with it").
+  std::vector<Outgoing> bootstrap() {
+    std::vector<Outgoing> out;
+    for (auto& [v, edge] : edges_)
+      if (!edge.contacted) out.push_back(emit(v, edge));
+    return out;
+  }
+
+  /// Δ^u over all inputs. The node's current belief: the global majority is
+  /// "yes" iff Δ^u >= 0.
+  std::int64_t delta() const {
+    std::int64_t d = weight(input_);
+    for (const auto& [v, edge] : edges_) d += weight(edge.received);
+    return d;
+  }
+
+  bool decide() const { return delta() >= 0; }
+
+  std::int64_t delta_edge(net::NodeId v) const {
+    const auto it = edges_.find(v);
+    KGRID_CHECK(it != edges_.end(), "delta_edge for non-neighbor");
+    return weight(it->second.sent) + weight(it->second.received);
+  }
+
+  /// Aggregate of everything this node knows: ⊥ plus every neighbor.
+  VotePair knowledge() const {
+    VotePair k = input_;
+    for (const auto& [v, edge] : edges_) {
+      k.sum += edge.received.sum;
+      k.count += edge.received.count;
+    }
+    return k;
+  }
+
+ private:
+  struct Edge {
+    VotePair sent;
+    VotePair received;
+    bool contacted = false;
+  };
+
+  std::int64_t weight(const VotePair& p) const {
+    return lambda_.den * p.sum - lambda_.num * p.count;
+  }
+
+  /// The message for v: the sum of all inputs except v's own contribution.
+  VotePair message_for(net::NodeId v) const {
+    VotePair m = input_;
+    for (const auto& [w, edge] : edges_) {
+      if (w == v) continue;
+      m.sum += edge.received.sum;
+      m.count += edge.received.count;
+    }
+    return m;
+  }
+
+  Outgoing emit(net::NodeId v, Edge& edge) {
+    edge.sent = message_for(v);
+    edge.contacted = true;
+    return {v, edge.sent};
+  }
+
+  /// Re-evaluate the send condition on every edge (one pass suffices: after
+  /// sending to v, Δ^uv == Δ^u, so the condition is false for v).
+  std::vector<Outgoing> evaluate_all() {
+    std::vector<Outgoing> out;
+    const std::int64_t du = delta();
+    for (auto& [v, edge] : edges_) {
+      if (!edge.contacted) {
+        out.push_back(emit(v, edge));
+        continue;
+      }
+      const std::int64_t duv = weight(edge.sent) + weight(edge.received);
+      const bool must_send =
+          (duv >= 0 && duv > du) || (duv < 0 && duv < du);
+      if (must_send) out.push_back(emit(v, edge));
+    }
+    return out;
+  }
+
+  net::NodeId self_;
+  Ratio lambda_;
+  VotePair input_;
+  std::unordered_map<net::NodeId, Edge> edges_;
+};
+
+}  // namespace kgrid::majority

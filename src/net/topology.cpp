@@ -1,0 +1,178 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace kgrid::net {
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  KGRID_CHECK(u < size() && v < size(), "node id out of range");
+  const auto& smaller =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u] : adjacency_[v];
+  const NodeId target = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::find(smaller.begin(), smaller.end(), target) != smaller.end();
+}
+
+bool Graph::add_edge(NodeId u, NodeId v) {
+  KGRID_CHECK(u < size() && v < size(), "node id out of range");
+  if (u == v || has_edge(u, v)) return false;
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++edge_count_;
+  return true;
+}
+
+bool Graph::connected() const {
+  if (size() == 0) return true;
+  std::vector<bool> seen(size(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : adjacency_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++visited;
+        frontier.push(v);
+      }
+    }
+  }
+  return visited == size();
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t m_edges, Rng& rng) {
+  KGRID_CHECK(m_edges >= 1, "BA needs m >= 1");
+  KGRID_CHECK(n > m_edges, "BA needs n > m");
+  Graph g(n);
+  // Seed clique of m+1 nodes.
+  const std::size_t seed_nodes = m_edges + 1;
+  for (NodeId u = 0; u < seed_nodes; ++u)
+    for (NodeId v = u + 1; v < seed_nodes; ++v) g.add_edge(u, v);
+
+  // `endpoints` holds every edge endpoint once; sampling uniformly from it
+  // is sampling nodes with probability proportional to degree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * n * m_edges);
+  for (NodeId u = 0; u < seed_nodes; ++u)
+    for (NodeId v : g.neighbors(u)) {
+      (void)v;
+      endpoints.push_back(u);
+    }
+
+  for (NodeId u = static_cast<NodeId>(seed_nodes); u < n; ++u) {
+    std::size_t added = 0;
+    while (added < m_edges) {
+      const NodeId target = endpoints[rng.below(endpoints.size())];
+      if (g.add_edge(u, target)) {
+        endpoints.push_back(u);
+        endpoints.push_back(target);
+        ++added;
+      }
+    }
+  }
+  return g;
+}
+
+Graph erdos_renyi(std::size_t n, double p, Rng& rng) {
+  KGRID_CHECK(p >= 0.0 && p <= 1.0, "ER needs p in [0,1]");
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      if (rng.bernoulli(p)) g.add_edge(u, v);
+  return g;
+}
+
+Graph random_tree(std::size_t n, Rng& rng) {
+  Graph g(n);
+  for (NodeId u = 1; u < n; ++u)
+    g.add_edge(u, static_cast<NodeId>(rng.below(u)));
+  return g;
+}
+
+Graph ring(std::size_t n) {
+  Graph g(n);
+  if (n < 2) return g;
+  for (NodeId u = 0; u < n; ++u) g.add_edge(u, static_cast<NodeId>((u + 1) % n));
+  return g;
+}
+
+Graph path(std::size_t n) {
+  Graph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) g.add_edge(u, u + 1);
+  return g;
+}
+
+void ensure_connected(Graph& g, Rng& rng) {
+  if (g.size() == 0) return;
+  std::vector<NodeId> component(g.size(), static_cast<NodeId>(-1));
+  std::vector<NodeId> representatives;
+  for (NodeId start = 0; start < g.size(); ++start) {
+    if (component[start] != static_cast<NodeId>(-1)) continue;
+    const NodeId comp = static_cast<NodeId>(representatives.size());
+    representatives.push_back(start);
+    std::queue<NodeId> frontier;
+    frontier.push(start);
+    component[start] = comp;
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (NodeId v : g.neighbors(u))
+        if (component[v] == static_cast<NodeId>(-1)) {
+          component[v] = comp;
+          frontier.push(v);
+        }
+    }
+  }
+  // Collect component 0's members once so repair edges land on random nodes
+  // of the main component instead of always on one hub.
+  std::vector<NodeId> main_component;
+  for (NodeId u = 0; u < g.size(); ++u)
+    if (component[u] == 0) main_component.push_back(u);
+  for (std::size_t c = 1; c < representatives.size(); ++c)
+    g.add_edge(representatives[c],
+               main_component[rng.below(main_component.size())]);
+  KGRID_CHECK(g.connected(), "ensure_connected failed");
+}
+
+Graph spanning_tree(const Graph& g, NodeId root) {
+  KGRID_CHECK(g.connected(), "spanning_tree needs a connected graph");
+  KGRID_CHECK(root < g.size(), "root out of range");
+  Graph tree(g.size());
+  std::vector<bool> seen(g.size(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(root);
+  seen[root] = true;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        tree.add_edge(u, v);
+        frontier.push(v);
+      }
+    }
+  }
+  return tree;
+}
+
+LinkDelays::LinkDelays(std::uint64_t seed, double lo, double hi)
+    : seed_(seed), lo_(lo), hi_(hi) {
+  KGRID_CHECK(lo > 0.0 && hi >= lo, "LinkDelays needs 0 < lo <= hi");
+}
+
+double LinkDelays::delay(NodeId u, NodeId v) const {
+  const std::uint64_t a = std::min(u, v);
+  const std::uint64_t b = std::max(u, v);
+  std::uint64_t state = seed_ ^ (a * 0x9e3779b97f4a7c15ull) ^ (b << 32);
+  const std::uint64_t h = splitmix64(state);
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return lo_ + (hi_ - lo_) * unit;
+}
+
+}  // namespace kgrid::net

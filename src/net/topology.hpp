@@ -1,0 +1,83 @@
+// Network topologies for the simulated data grid.
+//
+// The paper generates topologies with BRITE in its Barabási–Albert mode [4]
+// and assumes "an underlying mechanism maintains a communication tree that
+// spans all the resources". We provide the BA generator, classic alternatives
+// for experiments, and a BFS spanning-tree extractor that yields the overlay
+// the protocol runs on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace kgrid::net {
+
+using NodeId = std::uint32_t;
+
+/// Simple undirected graph with adjacency lists. Self-loops and duplicate
+/// edges are rejected.
+class Graph {
+ public:
+  explicit Graph(std::size_t n) : adjacency_(n) {}
+
+  std::size_t size() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  bool has_edge(NodeId u, NodeId v) const;
+  /// Adds the undirected edge; returns false (no-op) for self-loops and
+  /// duplicates.
+  bool add_edge(NodeId u, NodeId v);
+
+  const std::vector<NodeId>& neighbors(NodeId u) const { return adjacency_[u]; }
+  std::size_t degree(NodeId u) const { return adjacency_[u].size(); }
+
+  bool connected() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+/// Barabási–Albert preferential attachment: starts from a clique of
+/// m_edges+1 nodes, then each new node attaches to m_edges existing nodes
+/// with probability proportional to their degree. Always connected.
+Graph barabasi_albert(std::size_t n, std::size_t m_edges, Rng& rng);
+
+/// Erdős–Rényi G(n, p). May be disconnected; callers that need an overlay
+/// should check connected() or use ensure_connected().
+Graph erdos_renyi(std::size_t n, double p, Rng& rng);
+
+/// Uniform random recursive tree (each node attaches to a uniformly random
+/// earlier node). Always connected, n-1 edges.
+Graph random_tree(std::size_t n, Rng& rng);
+
+Graph ring(std::size_t n);
+Graph path(std::size_t n);
+
+/// Adds the fewest edges required to make the graph connected (links each
+/// extra component to the first one).
+void ensure_connected(Graph& g, Rng& rng);
+
+/// BFS spanning tree rooted at `root` — the communication overlay the
+/// protocol exchanges messages on. Requires a connected graph.
+Graph spanning_tree(const Graph& g, NodeId root);
+
+/// Deterministic symmetric per-link propagation delays in [lo, hi): the
+/// delay of link (u, v) is a pure function of the seed and the unordered
+/// pair, so no storage scales with the graph ("links with different
+/// propagation delays as in the real world", paper §6).
+class LinkDelays {
+ public:
+  LinkDelays(std::uint64_t seed, double lo, double hi);
+
+  double delay(NodeId u, NodeId v) const;
+
+ private:
+  std::uint64_t seed_;
+  double lo_;
+  double hi_;
+};
+
+}  // namespace kgrid::net

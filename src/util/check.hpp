@@ -1,0 +1,29 @@
+// Lightweight invariant checking used across the library.
+//
+// KGRID_CHECK is active in all build types: protocol and crypto invariants
+// guard correctness of the *simulation results*, so silently continuing on a
+// violated invariant would corrupt every measurement downstream.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <source_location>
+#include <string_view>
+
+namespace kgrid {
+
+[[noreturn]] inline void check_failed(std::string_view expr, std::string_view msg,
+                                      const std::source_location& loc) {
+  std::fprintf(stderr, "kgrid check failed: %.*s (%.*s) at %s:%u\n",
+               static_cast<int>(expr.size()), expr.data(),
+               static_cast<int>(msg.size()), msg.data(), loc.file_name(),
+               static_cast<unsigned>(loc.line()));
+  std::abort();
+}
+
+}  // namespace kgrid
+
+#define KGRID_CHECK(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) ::kgrid::check_failed(#cond, msg, std::source_location::current()); \
+  } while (false)

@@ -1,0 +1,51 @@
+// Minimal command-line flag parsing shared by the examples and the figure
+// benches (so every binary supports --flag=value overrides without a
+// dependency).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace kgrid {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg.remove_prefix(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        flags_[std::string(arg)] = "1";
+      } else {
+        flags_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      }
+    }
+  }
+
+  bool has(const std::string& name) const { return flags_.contains(name); }
+
+  std::string get(const std::string& name, const std::string& fallback) const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : it->second;
+  }
+
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+  double get_double(const std::string& name, double fallback) const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace kgrid

@@ -1,0 +1,65 @@
+// Pairwise-independent hash family.
+//
+// The paper (§6) samples each resource's local database from the global
+// synthetic database "using standard, pair-wise independent hashing
+// techniques" so that a million-transaction database can back thousands of
+// simulated resources without materializing every partition. We use the
+// classic (a·x + b mod p) mod m family over the Mersenne prime p = 2^61 − 1,
+// which is exactly pairwise independent for x < p.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace kgrid {
+
+class PairwiseHash {
+ public:
+  static constexpr std::uint64_t kPrime = (1ull << 61) - 1;
+
+  /// Draw a random member of the family. `a` is non-zero so the hash is not
+  /// constant.
+  static PairwiseHash random(Rng& rng) {
+    return PairwiseHash(1 + rng.below(kPrime - 1), rng.below(kPrime));
+  }
+
+  PairwiseHash(std::uint64_t a, std::uint64_t b) : a_(a % kPrime), b_(b % kPrime) {
+    KGRID_CHECK(a_ != 0, "pairwise hash needs a != 0");
+  }
+
+  /// h(x) in [0, p).
+  std::uint64_t operator()(std::uint64_t x) const {
+    return add_mod(mul_mod(a_, x % kPrime), b_);
+  }
+
+  /// h(x) reduced into [0, buckets).
+  std::uint64_t bucket(std::uint64_t x, std::uint64_t buckets) const {
+    KGRID_CHECK(buckets > 0, "bucket() needs positive bucket count");
+    return (*this)(x) % buckets;
+  }
+
+ private:
+  static std::uint64_t add_mod(std::uint64_t x, std::uint64_t y) {
+    std::uint64_t s = x + y;  // < 2^62, no overflow
+    if (s >= kPrime) s -= kPrime;
+    return s;
+  }
+
+  // Multiplication modulo 2^61-1 using 128-bit intermediate and the Mersenne
+  // reduction (hi*2^64 + lo ≡ hi*8 + lo splitting at bit 61).
+  static std::uint64_t mul_mod(std::uint64_t x, std::uint64_t y) {
+    const unsigned __int128 z = static_cast<unsigned __int128>(x) * y;
+    std::uint64_t lo = static_cast<std::uint64_t>(z) & kPrime;
+    std::uint64_t hi = static_cast<std::uint64_t>(z >> 61);
+    std::uint64_t s = lo + hi;
+    if (s >= kPrime) s -= kPrime;
+    return s;
+  }
+
+  std::uint64_t a_;
+  std::uint64_t b_;
+};
+
+}  // namespace kgrid

@@ -1,0 +1,144 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component of the library (topology generation, the Quest
+// data generator, Paillier nonce selection in the plain backend, attack
+// schedules) takes an explicit Rng so that whole-grid simulations are
+// reproducible from a single seed. The generator is xoshiro256** seeded via
+// splitmix64 (Blackman & Vigna), which passes BigCrush and allows cheap
+// stream splitting for per-entity independence.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace kgrid {
+
+/// splitmix64: used to expand a single seed into generator state and to
+/// derive independent child seeds.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9d2c5680u) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent child generator; used to give each simulated
+  /// entity its own stream so event ordering cannot perturb other entities'
+  /// randomness.
+  Rng split() {
+    std::uint64_t s = (*this)();
+    return Rng(s);
+  }
+
+  /// Uniform integer in [0, bound) by rejection (unbiased).
+  std::uint64_t below(std::uint64_t bound) {
+    KGRID_CHECK(bound > 0, "below() needs positive bound");
+    const std::uint64_t threshold = -bound % bound;  // 2^64 mod bound
+    for (;;) {
+      std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    KGRID_CHECK(lo <= hi, "range() needs lo <= hi");
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponential with the given mean (used for Quest pattern weights).
+  double exponential(double mean) {
+    double u;
+    do { u = uniform(); } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Poisson-distributed count. Knuth's method for small means, normal
+  /// approximation with continuity correction for large ones (the Quest
+  /// generator draws transaction sizes with means up to ~20, so the exact
+  /// branch dominates).
+  std::uint64_t poisson(double mean) {
+    KGRID_CHECK(mean >= 0.0, "poisson() needs non-negative mean");
+    if (mean == 0.0) return 0;
+    if (mean < 64.0) {
+      const double limit = std::exp(-mean);
+      double prod = uniform();
+      std::uint64_t n = 0;
+      while (prod > limit) {
+        ++n;
+        prod *= uniform();
+      }
+      return n;
+    }
+    const double g = gaussian() * std::sqrt(mean) + mean;
+    return g < 0.5 ? 0 : static_cast<std::uint64_t>(g + 0.5);
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double gaussian() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return u * m;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace kgrid

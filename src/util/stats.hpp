@@ -1,0 +1,64 @@
+// Small streaming-statistics helpers used by the benchmark harnesses and by
+// simulation observers (convergence curves, message counts).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace kgrid {
+
+/// Welford's online mean/variance.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const { return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1); }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile over a retained sample (series in the figure benches are
+/// small, so retention is fine).
+class Percentiles {
+ public:
+  void add(double x) { xs_.push_back(x); }
+
+  std::size_t count() const { return xs_.size(); }
+
+  /// q in [0,1]; nearest-rank.
+  double quantile(double q) const {
+    KGRID_CHECK(!xs_.empty(), "quantile of empty sample");
+    KGRID_CHECK(q >= 0.0 && q <= 1.0, "quantile q out of range");
+    std::vector<double> sorted = xs_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[idx];
+  }
+
+ private:
+  std::vector<double> xs_;
+};
+
+}  // namespace kgrid

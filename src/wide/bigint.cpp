@@ -1,0 +1,424 @@
+#include "wide/bigint.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace kgrid::wide {
+
+namespace {
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+}  // namespace
+
+BigInt::BigInt(std::int64_t v) {
+  if (v == 0) return;
+  negative_ = v < 0;
+  // Avoid UB on INT64_MIN: negate in unsigned space.
+  const u64 mag = negative_ ? 0ull - static_cast<u64>(v) : static_cast<u64>(v);
+  limbs_.push_back(mag);
+}
+
+BigInt::BigInt(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  const u64 top = limbs_.back();
+  return (limbs_.size() - 1) * 64 +
+         static_cast<std::size_t>(64 - std::countl_zero(top));
+}
+
+bool BigInt::bit(std::size_t i) const {
+  const std::size_t limb_idx = i / 64;
+  if (limb_idx >= limbs_.size()) return false;
+  return (limbs_[limb_idx] >> (i % 64)) & 1;
+}
+
+std::uint64_t BigInt::to_u64() const {
+  KGRID_CHECK(!negative_ && limbs_.size() <= 1, "value does not fit in u64");
+  return limbs_.empty() ? 0 : limbs_[0];
+}
+
+std::int64_t BigInt::to_i64() const {
+  if (limbs_.empty()) return 0;
+  KGRID_CHECK(limbs_.size() == 1, "value does not fit in i64");
+  const u64 mag = limbs_[0];
+  if (negative_) {
+    KGRID_CHECK(mag <= (1ull << 63), "value does not fit in i64");
+    return static_cast<std::int64_t>(0ull - mag);
+  }
+  KGRID_CHECK(mag < (1ull << 63), "value does not fit in i64");
+  return static_cast<std::int64_t>(mag);
+}
+
+int BigInt::compare_magnitude(const BigInt& lhs, const BigInt& rhs) {
+  if (lhs.limbs_.size() != rhs.limbs_.size())
+    return lhs.limbs_.size() < rhs.limbs_.size() ? -1 : 1;
+  for (std::size_t i = lhs.limbs_.size(); i-- > 0;) {
+    if (lhs.limbs_[i] != rhs.limbs_[i]) return lhs.limbs_[i] < rhs.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::strong_ordering operator<=>(const BigInt& lhs, const BigInt& rhs) {
+  if (lhs.negative_ != rhs.negative_)
+    return lhs.negative_ ? std::strong_ordering::less : std::strong_ordering::greater;
+  const int mag = BigInt::compare_magnitude(lhs, rhs);
+  const int signed_cmp = lhs.negative_ ? -mag : mag;
+  if (signed_cmp < 0) return std::strong_ordering::less;
+  if (signed_cmp > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+void BigInt::add_magnitude(std::vector<Limb>& acc, const std::vector<Limb>& rhs) {
+  if (acc.size() < rhs.size()) acc.resize(rhs.size(), 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < rhs.size(); ++i) {
+    const u128 s = static_cast<u128>(acc[i]) + rhs[i] + carry;
+    acc[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  for (std::size_t i = rhs.size(); carry && i < acc.size(); ++i) {
+    const u128 s = static_cast<u128>(acc[i]) + carry;
+    acc[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  if (carry) acc.push_back(carry);
+}
+
+void BigInt::sub_magnitude(std::vector<Limb>& acc, const std::vector<Limb>& rhs) {
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < rhs.size(); ++i) {
+    const u128 d = static_cast<u128>(acc[i]) - rhs[i] - borrow;
+    acc[i] = static_cast<u64>(d);
+    borrow = static_cast<u64>((d >> 64) & 1);
+  }
+  for (std::size_t i = rhs.size(); borrow && i < acc.size(); ++i) {
+    const u128 d = static_cast<u128>(acc[i]) - borrow;
+    acc[i] = static_cast<u64>(d);
+    borrow = static_cast<u64>((d >> 64) & 1);
+  }
+  KGRID_CHECK(borrow == 0, "sub_magnitude underflow: |acc| < |rhs|");
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (negative_ == rhs.negative_) {
+    add_magnitude(limbs_, rhs.limbs_);
+  } else {
+    const int cmp = compare_magnitude(*this, rhs);
+    if (cmp >= 0) {
+      sub_magnitude(limbs_, rhs.limbs_);
+    } else {
+      std::vector<Limb> tmp = rhs.limbs_;
+      sub_magnitude(tmp, limbs_);
+      limbs_ = std::move(tmp);
+      negative_ = rhs.negative_;
+    }
+  }
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) {
+  // a - b == a + (-b); avoid copying rhs by toggling our handling inline.
+  if (negative_ != rhs.negative_) {
+    add_magnitude(limbs_, rhs.limbs_);
+  } else {
+    const int cmp = compare_magnitude(*this, rhs);
+    if (cmp >= 0) {
+      sub_magnitude(limbs_, rhs.limbs_);
+    } else {
+      std::vector<Limb> tmp = rhs.limbs_;
+      sub_magnitude(tmp, limbs_);
+      limbs_ = std::move(tmp);
+      negative_ = !negative_;
+    }
+  }
+  trim();
+  return *this;
+}
+
+std::vector<BigInt::Limb> BigInt::mul_magnitude(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<Limb> out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    u64 carry = 0;
+    const u64 ai = a[i];
+    if (ai == 0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const u128 cur = static_cast<u128>(ai) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    std::size_t k = i + b.size();
+    while (carry) {
+      const u128 cur = static_cast<u128>(out[k]) + carry;
+      out[k] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+      ++k;
+    }
+  }
+  return out;
+}
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  negative_ = negative_ != rhs.negative_;
+  limbs_ = mul_magnitude(limbs_, rhs.limbs_);
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator<<=(std::size_t bits) {
+  if (limbs_.empty() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  std::vector<Limb> out(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out[i + limb_shift] |= bit_shift == 0 ? limbs_[i] : (limbs_[i] << bit_shift);
+    if (bit_shift != 0)
+      out[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+  }
+  limbs_ = std::move(out);
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator>>=(std::size_t bits) {
+  if (limbs_.empty() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) {
+    limbs_.clear();
+    negative_ = false;
+    return *this;
+  }
+  std::vector<Limb> out(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = bit_shift == 0 ? limbs_[i + limb_shift] : (limbs_[i + limb_shift] >> bit_shift);
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size())
+      out[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+  }
+  limbs_ = std::move(out);
+  trim();
+  return *this;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.limbs_.empty()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::abs() const {
+  BigInt out = *this;
+  out.negative_ = false;
+  return out;
+}
+
+std::pair<BigInt, BigInt> BigInt::divmod(const BigInt& num, const BigInt& den) {
+  KGRID_CHECK(!den.is_zero(), "division by zero");
+  const int cmp = compare_magnitude(num, den);
+  if (cmp < 0) return {BigInt(), num};
+  if (den.limbs_.size() == 1) {
+    // Fast single-limb path.
+    const u64 d = den.limbs_[0];
+    std::vector<Limb> q(num.limbs_.size(), 0);
+    u64 rem = 0;
+    for (std::size_t i = num.limbs_.size(); i-- > 0;) {
+      const u128 cur = (static_cast<u128>(rem) << 64) | num.limbs_[i];
+      q[i] = static_cast<u64>(cur / d);
+      rem = static_cast<u64>(cur % d);
+    }
+    BigInt quotient;
+    quotient.limbs_ = std::move(q);
+    quotient.negative_ = num.negative_ != den.negative_;
+    quotient.trim();
+    BigInt remainder(rem);
+    remainder.negative_ = num.negative_ && rem != 0;
+    return {std::move(quotient), std::move(remainder)};
+  }
+
+  // Knuth TAOCP vol.2 Algorithm D on magnitudes.
+  const std::size_t n = den.limbs_.size();
+  const std::size_t m = num.limbs_.size() - n;
+  const int shift = std::countl_zero(den.limbs_.back());
+
+  // Normalized copies: v (divisor) has its top bit set; u gains one limb.
+  std::vector<Limb> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = den.limbs_[i] << shift;
+    if (shift && i > 0) v[i] |= den.limbs_[i - 1] >> (64 - shift);
+  }
+  std::vector<Limb> u(num.limbs_.size() + 1, 0);
+  for (std::size_t i = 0; i < num.limbs_.size(); ++i) {
+    u[i] |= num.limbs_[i] << shift;
+    if (shift && i + 1 <= num.limbs_.size())
+      u[i + 1] |= shift ? (num.limbs_[i] >> (64 - shift)) : 0;
+  }
+
+  std::vector<Limb> q(m + 1, 0);
+  const u64 vtop = v[n - 1];
+  const u64 vsecond = v[n - 2];
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate qhat from the top two limbs of the current remainder window.
+    const u128 numerator = (static_cast<u128>(u[j + n]) << 64) | u[j + n - 1];
+    u128 qhat = numerator / vtop;
+    u128 rhat = numerator % vtop;
+    const u128 kBase = static_cast<u128>(1) << 64;
+    while (qhat >= kBase ||
+           qhat * vsecond > ((rhat << 64) | u[j + n - 2])) {
+      --qhat;
+      rhat += vtop;
+      if (rhat >= kBase) break;
+    }
+    // qhat <= true digit + 1 here, but in a rare corner it can still equal
+    // the base; clamp so the u64 cast below is lossless (the add-back step
+    // then absorbs the remaining overestimate of one).
+    if (qhat >= kBase) qhat = kBase - 1;
+    // Multiply-subtract qhat * v from u[j .. j+n].
+    u64 borrow = 0;
+    u64 mul_carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const u128 prod = static_cast<u128>(static_cast<u64>(qhat)) * v[i] + mul_carry;
+      mul_carry = static_cast<u64>(prod >> 64);
+      const u128 diff = static_cast<u128>(u[i + j]) - static_cast<u64>(prod) - borrow;
+      u[i + j] = static_cast<u64>(diff);
+      borrow = static_cast<u64>((diff >> 64) & 1);
+    }
+    const u128 diff_top = static_cast<u128>(u[j + n]) - mul_carry - borrow;
+    u[j + n] = static_cast<u64>(diff_top);
+    const bool went_negative = (diff_top >> 64) & 1;
+
+    q[j] = static_cast<u64>(qhat);
+    if (went_negative) {
+      // qhat was one too large: add v back once.
+      --q[j];
+      u64 carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const u128 s = static_cast<u128>(u[i + j]) + v[i] + carry;
+        u[i + j] = static_cast<u64>(s);
+        carry = static_cast<u64>(s >> 64);
+      }
+      u[j + n] += carry;
+    }
+  }
+
+  BigInt quotient;
+  quotient.limbs_ = std::move(q);
+  quotient.negative_ = num.negative_ != den.negative_;
+  quotient.trim();
+
+  // Denormalize remainder (low n limbs of u, shifted back).
+  BigInt remainder;
+  remainder.limbs_.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  remainder.trim();
+  remainder >>= static_cast<std::size_t>(shift);
+  remainder.negative_ = num.negative_ && !remainder.is_zero();
+  return {std::move(quotient), std::move(remainder)};
+}
+
+BigInt BigInt::mod_floor(const BigInt& m) const {
+  KGRID_CHECK(!m.is_zero() && !m.is_negative(), "mod_floor needs positive modulus");
+  BigInt r = *this % m;
+  if (r.is_negative()) r += m;
+  return r;
+}
+
+BigInt BigInt::random_bits(Rng& rng, std::size_t bits) {
+  BigInt out;
+  if (bits == 0) return out;
+  const std::size_t limbs = (bits + 63) / 64;
+  out.limbs_.resize(limbs);
+  for (auto& limb : out.limbs_) limb = rng();
+  const std::size_t excess = limbs * 64 - bits;
+  if (excess) out.limbs_.back() >>= excess;
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::random_below(Rng& rng, const BigInt& bound) {
+  KGRID_CHECK(!bound.is_zero() && !bound.is_negative(), "random_below needs positive bound");
+  const std::size_t bits = bound.bit_length();
+  for (;;) {
+    BigInt candidate = random_bits(rng, bits);
+    if (candidate < bound) return candidate;
+  }
+}
+
+BigInt BigInt::from_hex(std::string_view s) {
+  BigInt out;
+  bool negative = false;
+  if (!s.empty() && s.front() == '-') {
+    negative = true;
+    s.remove_prefix(1);
+  }
+  KGRID_CHECK(!s.empty(), "from_hex: empty input");
+  for (char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else { KGRID_CHECK(false, "from_hex: invalid digit"); }
+    out <<= 4;
+    out += BigInt(static_cast<std::uint64_t>(digit));
+  }
+  out.negative_ = negative && !out.is_zero();
+  return out;
+}
+
+BigInt BigInt::from_dec(std::string_view s) {
+  BigInt out;
+  bool negative = false;
+  if (!s.empty() && s.front() == '-') {
+    negative = true;
+    s.remove_prefix(1);
+  }
+  KGRID_CHECK(!s.empty(), "from_dec: empty input");
+  for (char c : s) {
+    KGRID_CHECK(c >= '0' && c <= '9', "from_dec: invalid digit");
+    out *= BigInt(std::uint64_t{10});
+    out += BigInt(static_cast<std::uint64_t>(c - '0'));
+  }
+  out.negative_ = negative && !out.is_zero();
+  return out;
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  std::string out;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int nibble = 15; nibble >= 0; --nibble) {
+      const unsigned digit = (limbs_[i] >> (nibble * 4)) & 0xF;
+      if (out.empty() && digit == 0) continue;
+      out.push_back("0123456789abcdef"[digit]);
+    }
+  }
+  if (negative_) out.insert(out.begin(), '-');
+  return out;
+}
+
+std::string BigInt::to_dec() const {
+  if (is_zero()) return "0";
+  std::string digits;
+  BigInt cur = abs();
+  const BigInt ten(std::uint64_t{10});
+  while (!cur.is_zero()) {
+    auto [q, r] = divmod(cur, ten);
+    digits.push_back(static_cast<char>('0' + r.to_u64()));
+    cur = std::move(q);
+  }
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+}  // namespace kgrid::wide

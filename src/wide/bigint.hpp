@@ -1,0 +1,111 @@
+// Arbitrary-precision integers.
+//
+// This is the arithmetic substrate for the Paillier cryptosystem (src/crypto).
+// It is a sign-magnitude bignum over 64-bit limbs with schoolbook
+// multiplication and Knuth Algorithm-D division — entirely self-contained so
+// that the repository has no external crypto/bignum dependency.
+//
+// Representation invariants:
+//   * limbs are little-endian (limbs_[0] is least significant);
+//   * no most-significant zero limbs are stored;
+//   * zero is represented by an empty limb vector with negative_ == false.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace kgrid::wide {
+
+class BigInt {
+ public:
+  using Limb = std::uint64_t;
+
+  BigInt() = default;
+  BigInt(std::int64_t v);   // NOLINT(google-explicit-constructor): numeric literal ergonomics
+  BigInt(std::uint64_t v);  // NOLINT(google-explicit-constructor)
+  BigInt(int v) : BigInt(static_cast<std::int64_t>(v)) {}  // NOLINT
+
+  /// Parse from decimal ("-123") or, with from_hex, lowercase/uppercase hex
+  /// without 0x prefix. Aborts on malformed input (these are test/CLI
+  /// helpers, not an untrusted-input parser).
+  static BigInt from_dec(std::string_view s);
+  static BigInt from_hex(std::string_view s);
+
+  std::string to_dec() const;
+  std::string to_hex() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  bool is_even() const { return !is_odd(); }
+
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const;
+  /// Bit i (LSB = 0) of the magnitude.
+  bool bit(std::size_t i) const;
+  std::size_t limb_count() const { return limbs_.size(); }
+  Limb limb(std::size_t i) const { return i < limbs_.size() ? limbs_[i] : 0; }
+
+  /// Value as u64, asserting it fits.
+  std::uint64_t to_u64() const;
+  /// Value as i64, asserting it fits.
+  std::int64_t to_i64() const;
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  BigInt& operator<<=(std::size_t bits);
+  BigInt& operator>>=(std::size_t bits);
+
+  friend BigInt operator+(BigInt lhs, const BigInt& rhs) { return lhs += rhs; }
+  friend BigInt operator-(BigInt lhs, const BigInt& rhs) { return lhs -= rhs; }
+  friend BigInt operator*(BigInt lhs, const BigInt& rhs) { return lhs *= rhs; }
+  friend BigInt operator<<(BigInt lhs, std::size_t bits) { return lhs <<= bits; }
+  friend BigInt operator>>(BigInt lhs, std::size_t bits) { return lhs >>= bits; }
+
+  /// Truncated division (C++ semantics: quotient rounds toward zero,
+  /// remainder has the sign of the dividend). Divisor must be non-zero.
+  /// Returns {quotient, remainder}.
+  static std::pair<BigInt, BigInt> divmod(const BigInt& num, const BigInt& den);
+
+  friend BigInt operator/(const BigInt& lhs, const BigInt& rhs) {
+    return divmod(lhs, rhs).first;
+  }
+  friend BigInt operator%(const BigInt& lhs, const BigInt& rhs) {
+    return divmod(lhs, rhs).second;
+  }
+
+  /// Euclidean residue in [0, m) for m > 0 regardless of this value's sign.
+  BigInt mod_floor(const BigInt& m) const;
+
+  friend bool operator==(const BigInt& lhs, const BigInt& rhs) = default;
+  friend std::strong_ordering operator<=>(const BigInt& lhs, const BigInt& rhs);
+
+  /// Uniformly random value in [0, 2^bits).
+  static BigInt random_bits(Rng& rng, std::size_t bits);
+  /// Uniformly random value in [0, bound), bound > 0, by rejection.
+  static BigInt random_below(Rng& rng, const BigInt& bound);
+
+ private:
+  static int compare_magnitude(const BigInt& lhs, const BigInt& rhs);
+  static void add_magnitude(std::vector<Limb>& acc, const std::vector<Limb>& rhs);
+  /// Requires |acc| >= |rhs| as magnitudes.
+  static void sub_magnitude(std::vector<Limb>& acc, const std::vector<Limb>& rhs);
+  static std::vector<Limb> mul_magnitude(const std::vector<Limb>& a,
+                                         const std::vector<Limb>& b);
+  void trim();
+
+  std::vector<Limb> limbs_;
+  bool negative_ = false;
+};
+
+}  // namespace kgrid::wide

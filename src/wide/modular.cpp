@@ -1,0 +1,184 @@
+#include "wide/modular.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace kgrid::wide {
+
+namespace {
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+}  // namespace
+
+BigInt gcd(BigInt a, BigInt b) {
+  a = a.abs();
+  b = b.abs();
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt lcm(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigInt();
+  return (a.abs() / gcd(a, b)) * b.abs();
+}
+
+BigInt mod_inverse(const BigInt& a, const BigInt& m) {
+  KGRID_CHECK(m > BigInt(1), "mod_inverse needs modulus > 1");
+  // Extended Euclid maintaining only the coefficient of a.
+  BigInt r0 = m;
+  BigInt r1 = a.mod_floor(m);
+  BigInt t0(0);
+  BigInt t1(1);
+  while (!r1.is_zero()) {
+    auto [q, r2] = BigInt::divmod(r0, r1);
+    BigInt t2 = t0 - q * t1;
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    t1 = std::move(t2);
+  }
+  KGRID_CHECK(r0 == BigInt(1), "mod_inverse: operand not coprime to modulus");
+  return t0.mod_floor(m);
+}
+
+BigInt mod_pow(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  KGRID_CHECK(m > BigInt(1), "mod_pow needs modulus > 1");
+  KGRID_CHECK(!exp.is_negative(), "mod_pow needs non-negative exponent");
+  if (m.is_odd()) return Montgomery(m).pow(base.mod_floor(m), exp);
+  // Even modulus: plain left-to-right square-and-multiply. Not on the crypto
+  // hot path (Paillier moduli are odd); kept for completeness.
+  BigInt result(1);
+  BigInt b = base.mod_floor(m);
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    result = (result * result) % m;
+    if (exp.bit(i)) result = (result * b) % m;
+  }
+  return result;
+}
+
+Montgomery::Montgomery(const BigInt& modulus) : m_(modulus) {
+  KGRID_CHECK(m_ > BigInt(1) && m_.is_odd(), "Montgomery needs odd modulus > 1");
+  k_ = m_.limb_count();
+  m_limbs_.resize(k_);
+  for (std::size_t i = 0; i < k_; ++i) m_limbs_[i] = m_.limb(i);
+
+  // m' = -m^-1 mod 2^64 via Newton iteration (doubles correct bits each step).
+  const u64 m0 = m_limbs_[0];
+  u64 inv = m0;              // 3 correct bits to start (m0 odd)
+  for (int i = 0; i < 5; ++i) inv *= 2 - m0 * inv;
+  m_prime_ = 0 - inv;        // -(m0^-1) mod 2^64
+
+  // R^2 mod m where R = 2^(64 k): one big division at setup time.
+  BigInt r2 = BigInt(1);
+  r2 <<= 2 * 64 * k_;
+  r2 = r2 % m_;
+  r2_ = to_limbs(r2);
+
+  BigInt r = BigInt(1);
+  r <<= 64 * k_;
+  one_ = to_limbs(r % m_);
+}
+
+std::vector<Montgomery::Limb> Montgomery::to_limbs(const BigInt& x) const {
+  KGRID_CHECK(!x.is_negative() && x < m_, "Montgomery operand out of range");
+  std::vector<Limb> out(k_, 0);
+  for (std::size_t i = 0; i < k_; ++i) out[i] = x.limb(i);
+  return out;
+}
+
+BigInt Montgomery::from_limbs(const std::vector<Limb>& x) const {
+  // Rebuild a BigInt from a fixed-width limb vector (may carry high zeros).
+  BigInt out;
+  for (std::size_t i = x.size(); i-- > 0;) {
+    out <<= 64;
+    out += BigInt(x[i]);
+  }
+  return out;
+}
+
+std::vector<Montgomery::Limb> Montgomery::mont_mul(
+    const std::vector<Limb>& a, const std::vector<Limb>& b) const {
+  // CIOS (coarsely integrated operand scanning), Koc et al.
+  // t has k+2 limbs: accumulates a*b interleaved with Montgomery reduction.
+  std::vector<Limb> t(k_ + 2, 0);
+  for (std::size_t i = 0; i < k_; ++i) {
+    // t += a[i] * b
+    u64 carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const u128 cur = static_cast<u128>(a[i]) * b[j] + t[j] + carry;
+      t[j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    u128 top = static_cast<u128>(t[k_]) + carry;
+    t[k_] = static_cast<u64>(top);
+    t[k_ + 1] = static_cast<u64>(top >> 64);
+
+    // Reduce: add (t[0] * m') * m, shifting one limb out.
+    const u64 u_factor = t[0] * m_prime_;
+    u128 cur = static_cast<u128>(u_factor) * m_limbs_[0] + t[0];
+    carry = static_cast<u64>(cur >> 64);
+    for (std::size_t j = 1; j < k_; ++j) {
+      cur = static_cast<u128>(u_factor) * m_limbs_[j] + t[j] + carry;
+      t[j - 1] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    top = static_cast<u128>(t[k_]) + carry;
+    t[k_ - 1] = static_cast<u64>(top);
+    t[k_] = t[k_ + 1] + static_cast<u64>(top >> 64);
+    t[k_ + 1] = 0;
+  }
+
+  // Final conditional subtraction: result in [0, 2m) here.
+  std::vector<Limb> result(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k_));
+  bool ge = t[k_] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = k_; i-- > 0;) {
+      if (result[i] != m_limbs_[i]) {
+        ge = result[i] > m_limbs_[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < k_; ++i) {
+      const u128 d = static_cast<u128>(result[i]) - m_limbs_[i] - borrow;
+      result[i] = static_cast<u64>(d);
+      borrow = static_cast<u64>((d >> 64) & 1);
+    }
+  }
+  return result;
+}
+
+BigInt Montgomery::mul(const BigInt& a, const BigInt& b) const {
+  const auto am = mont_mul(to_limbs(a), r2_);
+  const auto bm = mont_mul(to_limbs(b), r2_);
+  const auto prod = mont_mul(am, bm);
+  std::vector<Limb> one_limbs(k_, 0);
+  one_limbs[0] = 1;
+  return from_limbs(mont_mul(prod, one_limbs));
+}
+
+BigInt Montgomery::pow(const BigInt& base, const BigInt& exp) const {
+  KGRID_CHECK(!exp.is_negative(), "Montgomery::pow needs non-negative exponent");
+  const auto base_m = mont_mul(to_limbs(base.mod_floor(m_)), r2_);
+  std::vector<Limb> acc = one_;  // Montgomery form of 1
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    acc = mont_mul(acc, acc);
+    if (exp.bit(i)) acc = mont_mul(acc, base_m);
+  }
+  // Convert out of Montgomery form: multiply by 1.
+  std::vector<Limb> one_limbs(k_, 0);
+  one_limbs[0] = 1;
+  return from_limbs(mont_mul(acc, one_limbs));
+}
+
+}  // namespace kgrid::wide

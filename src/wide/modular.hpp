@@ -1,0 +1,57 @@
+// Modular arithmetic over BigInt: gcd/lcm, modular inverse, and Montgomery
+// exponentiation for odd moduli (the hot path of Paillier encryption and
+// decryption, whose moduli n and n^2 are always odd).
+#pragma once
+
+#include <vector>
+
+#include "wide/bigint.hpp"
+
+namespace kgrid::wide {
+
+BigInt gcd(BigInt a, BigInt b);
+BigInt lcm(const BigInt& a, const BigInt& b);
+
+/// Inverse of a modulo m (m > 1). Aborts if gcd(a, m) != 1 — in this library
+/// a non-invertible operand always indicates a broken key or corrupted state.
+BigInt mod_inverse(const BigInt& a, const BigInt& m);
+
+/// Modular exponentiation base^exp mod m for m > 1, exp >= 0.
+/// Dispatches to Montgomery for odd m, to square-and-multiply with division
+/// for even m.
+BigInt mod_pow(const BigInt& base, const BigInt& exp, const BigInt& m);
+
+/// Reusable Montgomery context for a fixed odd modulus. Paillier key
+/// material holds one of these per modulus so repeated encryptions amortize
+/// the setup (R^2 mod m and m'^-1).
+class Montgomery {
+ public:
+  explicit Montgomery(const BigInt& modulus);
+
+  const BigInt& modulus() const { return m_; }
+
+  /// base^exp mod m, base in [0, m).
+  BigInt pow(const BigInt& base, const BigInt& exp) const;
+
+  /// a*b mod m, both in [0, m).
+  BigInt mul(const BigInt& a, const BigInt& b) const;
+
+ private:
+  using Limb = BigInt::Limb;
+
+  std::vector<Limb> to_limbs(const BigInt& x) const;
+  BigInt from_limbs(const std::vector<Limb>& x) const;
+  /// CIOS Montgomery product: returns a*b*R^-1 mod m on raw limb vectors of
+  /// size k (the modulus width).
+  std::vector<Limb> mont_mul(const std::vector<Limb>& a,
+                             const std::vector<Limb>& b) const;
+
+  BigInt m_;
+  std::vector<Limb> m_limbs_;
+  std::size_t k_ = 0;        // limb count of the modulus
+  Limb m_prime_ = 0;         // -m^-1 mod 2^64
+  std::vector<Limb> r2_;     // R^2 mod m (R = 2^(64k))
+  std::vector<Limb> one_;    // R mod m (Montgomery form of 1)
+};
+
+}  // namespace kgrid::wide

@@ -1,0 +1,69 @@
+#include "wide/prime.hpp"
+
+#include <array>
+
+#include "util/check.hpp"
+#include "wide/modular.hpp"
+
+namespace kgrid::wide {
+
+namespace {
+
+constexpr std::array<std::uint64_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+}  // namespace
+
+bool is_probable_prime(const BigInt& n, Rng& rng, int rounds) {
+  if (n.is_negative()) return false;
+  if (n < BigInt(2)) return false;
+  for (std::uint64_t p : kSmallPrimes) {
+    const BigInt bp(p);
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+
+  // n - 1 = d * 2^r with d odd.
+  const BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  std::size_t r = 0;
+  while (d.is_even()) {
+    d >>= 1;
+    ++r;
+  }
+
+  const Montgomery mont(n);
+  const BigInt two(2);
+  for (int round = 0; round < rounds; ++round) {
+    // Base in [2, n-2].
+    const BigInt a = two + BigInt::random_below(rng, n - BigInt(3));
+    BigInt x = mont.pow(a, d);
+    if (x == BigInt(1) || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 0; i + 1 < r; ++i) {
+      x = mont.mul(x, x);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigInt random_prime(Rng& rng, std::size_t bits, int rounds) {
+  KGRID_CHECK(bits >= 8, "random_prime needs >= 8 bits");
+  for (;;) {
+    BigInt candidate = BigInt::random_bits(rng, bits);
+    // Force exact width and oddness.
+    if (!candidate.bit(bits - 1)) candidate += BigInt(1) << (bits - 1);
+    if (candidate.is_even()) candidate += BigInt(1);
+    if (is_probable_prime(candidate, rng, rounds)) return candidate;
+  }
+}
+
+}  // namespace kgrid::wide

@@ -1,0 +1,20 @@
+// Probabilistic primality testing and random prime generation for Paillier
+// key material.
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.hpp"
+#include "wide/bigint.hpp"
+
+namespace kgrid::wide {
+
+/// Miller–Rabin with `rounds` random bases (error probability <= 4^-rounds),
+/// preceded by trial division against small primes. Handles all n >= 0.
+bool is_probable_prime(const BigInt& n, Rng& rng, int rounds = 24);
+
+/// Uniformly-flavoured random prime with exactly `bits` bits (top bit set so
+/// products of two such primes have predictable width). bits >= 8.
+BigInt random_prime(Rng& rng, std::size_t bits, int rounds = 24);
+
+}  // namespace kgrid::wide

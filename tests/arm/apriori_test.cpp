@@ -1,0 +1,157 @@
+#include "arm/apriori.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/quest.hpp"
+#include "util/rng.hpp"
+
+namespace kgrid::arm {
+namespace {
+
+using data::Database;
+
+// Hand-checkable 5-transaction database.
+Database tiny_db() {
+  Database db;
+  db.append({0, {1, 2, 3}});
+  db.append({1, {1, 2}});
+  db.append({2, {1, 3}});
+  db.append({3, {2, 3}});
+  db.append({4, {1, 2, 3}});
+  return db;
+}
+
+TEST(FrequentItemsets, TinyKnownSupports) {
+  const auto freq = frequent_itemsets(tiny_db(), 0.6);  // support >= 3
+  EXPECT_EQ(freq.size(), 6u);
+  EXPECT_EQ(freq.at({1}), 4u);
+  EXPECT_EQ(freq.at({2}), 4u);
+  EXPECT_EQ(freq.at({3}), 4u);
+  EXPECT_EQ(freq.at({1, 2}), 3u);
+  EXPECT_EQ(freq.at({1, 3}), 3u);
+  EXPECT_EQ(freq.at({2, 3}), 3u);
+  EXPECT_FALSE(freq.contains({1, 2, 3}));  // support 2 < 3
+}
+
+TEST(FrequentItemsets, LowThresholdFindsTriple) {
+  const auto freq = frequent_itemsets(tiny_db(), 0.4);  // support >= 2
+  EXPECT_TRUE(freq.contains({1, 2, 3}));
+  EXPECT_EQ(freq.at({1, 2, 3}), 2u);
+}
+
+TEST(FrequentItemsets, EmptyDatabase) {
+  EXPECT_TRUE(frequent_itemsets(Database{}, 0.5).empty());
+}
+
+TEST(FrequentItemsets, ThresholdOneRequiresUniversalItems) {
+  Database db;
+  db.append({0, {1, 2}});
+  db.append({1, {1}});
+  const auto freq = frequent_itemsets(db, 1.0);
+  EXPECT_TRUE(freq.contains({1}));
+  EXPECT_FALSE(freq.contains({2}));
+}
+
+TEST(FrequentItemsets, DownwardClosure) {
+  Rng rng(10);
+  data::QuestParams p;
+  p.n_transactions = 800;
+  p.n_items = 60;
+  p.n_patterns = 15;
+  p.avg_transaction_len = 8;
+  p.avg_pattern_len = 3;
+  const Database db = data::QuestGenerator(p, rng).generate();
+  const auto freq = frequent_itemsets(db, 0.05);
+  for (const auto& [itemset, support] : freq) {
+    EXPECT_GE(support, static_cast<std::size_t>(0.05 * 800));
+    // Every subset obtained by dropping one item is frequent too.
+    for (std::size_t i = 0; i < itemset.size() && itemset.size() > 1; ++i) {
+      data::Itemset subset = itemset;
+      subset.erase(subset.begin() + static_cast<std::ptrdiff_t>(i));
+      EXPECT_TRUE(freq.contains(subset)) << data::to_string(itemset);
+    }
+  }
+}
+
+TEST(FrequentItemsets, MatchesBruteForceOnSmallDomain) {
+  Rng rng(11);
+  Database db;
+  for (data::TransactionId i = 0; i < 300; ++i) {
+    data::Itemset items;
+    for (data::Item it = 0; it < 6; ++it)
+      if (rng.bernoulli(0.4)) items.push_back(it);
+    if (items.empty()) items.push_back(0);
+    db.append({i, items});
+  }
+  const double min_freq = 0.15;
+  const auto freq = frequent_itemsets(db, min_freq);
+  const auto min_support =
+      static_cast<std::size_t>(std::ceil(min_freq * static_cast<double>(db.size())));
+  // Enumerate all 2^6-1 itemsets and compare.
+  for (std::uint64_t mask = 1; mask < 64; ++mask) {
+    data::Itemset x;
+    for (data::Item it = 0; it < 6; ++it)
+      if (mask >> it & 1) x.push_back(it);
+    const std::size_t support = db.support(x);
+    if (support >= min_support) {
+      ASSERT_TRUE(freq.contains(x)) << data::to_string(x);
+      EXPECT_EQ(freq.at(x), support);
+    } else {
+      EXPECT_FALSE(freq.contains(x)) << data::to_string(x);
+    }
+  }
+}
+
+TEST(MineRules, TinyKnownRules) {
+  // min_freq 0.6 (itemsets of support >= 3), min_conf 0.75.
+  const auto rules = mine_rules(tiny_db(), {0.6, 0.75});
+  // Frequency rules for all six frequent itemsets.
+  EXPECT_TRUE(rules.contains(Rule{{}, {1}}));
+  EXPECT_TRUE(rules.contains(Rule{{}, {1, 2}}));
+  // conf(1 => 2) = 3/4 >= 0.75 ✓; conf(3 => 1) = 3/4 ✓.
+  EXPECT_TRUE(rules.contains(Rule{{1}, {2}}));
+  EXPECT_TRUE(rules.contains(Rule{{3}, {1}}));
+  // Every confidence rule here has confidence exactly 3/4.
+  for (const auto& r : rules)
+    if (!r.lhs.empty()) EXPECT_EQ(tiny_db().support(r.all_items()), 3u);
+}
+
+TEST(MineRules, ConfidenceThresholdFilters) {
+  const auto strict = mine_rules(tiny_db(), {0.6, 0.9});
+  // 3/4 < 0.9: no confidence rules survive; frequency rules remain.
+  for (const auto& r : strict) EXPECT_TRUE(r.lhs.empty()) << to_string(r);
+  EXPECT_EQ(strict.size(), 6u);
+}
+
+TEST(MineRules, RulesConsistentWithDefinition) {
+  Rng rng(12);
+  data::QuestParams p;
+  p.n_transactions = 500;
+  p.n_items = 40;
+  p.n_patterns = 10;
+  p.avg_transaction_len = 6;
+  p.avg_pattern_len = 3;
+  const Database db = data::QuestGenerator(p, rng).generate();
+  const MiningThresholds th{0.08, 0.7};
+  const auto rules = mine_rules(db, th);
+  ASSERT_FALSE(rules.empty());
+  for (const auto& r : rules) {
+    const auto all = r.all_items();
+    EXPECT_TRUE(data::disjoint(r.lhs, r.rhs));
+    EXPECT_FALSE(r.rhs.empty());
+    EXPECT_GE(db.frequency(all), th.min_freq);
+    if (!r.lhs.empty())
+      EXPECT_LE(th.min_conf * db.frequency(r.lhs), db.frequency(all) + 1e-12);
+  }
+}
+
+TEST(RulesFromFrequent, AgreesWithMineRules) {
+  const MiningThresholds th{0.6, 0.75};
+  const auto a = mine_rules(tiny_db(), th);
+  const auto b =
+      rules_from_frequent(frequent_itemsets(tiny_db(), th.min_freq), th.min_conf);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace kgrid::arm

@@ -1,0 +1,124 @@
+#include "arm/counting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace kgrid::arm {
+namespace {
+
+data::Transaction tx(data::TransactionId id, std::initializer_list<data::Item> items) {
+  return {id, data::make_itemset(items)};
+}
+
+TEST(IncrementalCounter, FrequencyVoteCountsAllTransactions) {
+  IncrementalCounter counter;
+  counter.append(tx(0, {1, 2}));
+  counter.append(tx(1, {1}));
+  counter.append(tx(2, {3}));
+  const auto rule = frequency_candidate({1});
+  counter.add_rule(rule);
+  const auto changed = counter.advance(100);
+  ASSERT_EQ(changed.size(), 1u);
+  const auto counts = counter.counts(rule);
+  EXPECT_EQ(counts.count, 3u);
+  EXPECT_EQ(counts.sum, 2u);
+  EXPECT_EQ(counts.processed, 3u);
+}
+
+TEST(IncrementalCounter, ConfidenceVoteCountsOnlyLhs) {
+  IncrementalCounter counter;
+  counter.append(tx(0, {1, 2}));
+  counter.append(tx(1, {1}));
+  counter.append(tx(2, {2}));
+  const auto rule = confidence_candidate({1}, {2});
+  counter.add_rule(rule);
+  counter.advance(100);
+  const auto counts = counter.counts(rule);
+  EXPECT_EQ(counts.count, 2u);  // {1,2} and {1}
+  EXPECT_EQ(counts.sum, 1u);    // only {1,2}
+}
+
+TEST(IncrementalCounter, BudgetLimitsProgressPerStep) {
+  IncrementalCounter counter;
+  for (data::TransactionId i = 0; i < 10; ++i) counter.append(tx(i, {1}));
+  const auto rule = frequency_candidate({1});
+  counter.add_rule(rule);
+
+  counter.advance(3);
+  EXPECT_EQ(counter.counts(rule).processed, 3u);
+  EXPECT_TRUE(counter.backlog());
+  counter.advance(3);
+  EXPECT_EQ(counter.counts(rule).processed, 6u);
+  counter.advance(100);
+  EXPECT_EQ(counter.counts(rule).processed, 10u);
+  EXPECT_FALSE(counter.backlog());
+}
+
+TEST(IncrementalCounter, AdvanceReportsOnlyChangedRules) {
+  IncrementalCounter counter;
+  counter.append(tx(0, {1}));
+  const auto present = frequency_candidate({1});
+  const auto confidence_absent = confidence_candidate({9}, {1});
+  counter.add_rule(present);
+  counter.add_rule(confidence_absent);
+  const auto changed = counter.advance(100);
+  // The confidence rule saw no lhs-holder: counts unchanged, not reported.
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0], present);
+  // Nothing more to scan: a second advance reports nothing.
+  EXPECT_TRUE(counter.advance(100).empty());
+}
+
+TEST(IncrementalCounter, LateRuleScansFromTheBeginning) {
+  IncrementalCounter counter;
+  for (data::TransactionId i = 0; i < 6; ++i) counter.append(tx(i, {1}));
+  const auto early = frequency_candidate({1});
+  counter.add_rule(early);
+  counter.advance(100);
+
+  const auto late = frequency_candidate({1, 2});
+  counter.add_rule(late);
+  EXPECT_EQ(counter.counts(late).processed, 0u);
+  counter.advance(100);
+  EXPECT_EQ(counter.counts(late).processed, 6u);
+  EXPECT_EQ(counter.counts(late).count, 6u);
+  EXPECT_EQ(counter.counts(late).sum, 0u);
+}
+
+TEST(IncrementalCounter, AppendAfterScanIsPickedUp) {
+  IncrementalCounter counter;
+  counter.append(tx(0, {1}));
+  const auto rule = frequency_candidate({1});
+  counter.add_rule(rule);
+  counter.advance(100);
+  EXPECT_EQ(counter.counts(rule).count, 1u);
+
+  counter.append(tx(1, {1}));
+  counter.append(tx(2, {2}));
+  const auto changed = counter.advance(100);
+  EXPECT_EQ(changed.size(), 1u);
+  EXPECT_EQ(counter.counts(rule).count, 3u);
+  EXPECT_EQ(counter.counts(rule).sum, 2u);
+}
+
+TEST(IncrementalCounter, AddRuleIsIdempotent) {
+  IncrementalCounter counter;
+  counter.append(tx(0, {1}));
+  const auto rule = frequency_candidate({1});
+  counter.add_rule(rule);
+  counter.advance(100);
+  counter.add_rule(rule);  // must not reset progress
+  EXPECT_EQ(counter.counts(rule).processed, 1u);
+  EXPECT_TRUE(counter.has_rule(rule));
+  EXPECT_EQ(counter.rule_count(), 1u);
+}
+
+TEST(IncrementalCounter, CountsForUnknownRuleAborts) {
+  IncrementalCounter counter;
+  EXPECT_DEATH((void)counter.counts(frequency_candidate({1})),
+               "unregistered rule");
+}
+
+}  // namespace
+}  // namespace kgrid::arm

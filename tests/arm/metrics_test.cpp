@@ -1,0 +1,53 @@
+#include "arm/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kgrid::arm {
+namespace {
+
+RuleSet rules(std::initializer_list<Rule> rs) { return RuleSet(rs); }
+
+TEST(Metrics, RecallAndPrecisionBasics) {
+  const RuleSet reference = rules({Rule{{}, {1}}, Rule{{}, {2}}, Rule{{1}, {2}}});
+  const RuleSet interim = rules({Rule{{}, {1}}, Rule{{1}, {2}}, Rule{{}, {9}}});
+  EXPECT_DOUBLE_EQ(recall(interim, reference), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(precision(interim, reference), 2.0 / 3.0);
+}
+
+TEST(Metrics, PerfectScores) {
+  const RuleSet reference = rules({Rule{{}, {1}}, Rule{{}, {2}}});
+  EXPECT_DOUBLE_EQ(recall(reference, reference), 1.0);
+  EXPECT_DOUBLE_EQ(precision(reference, reference), 1.0);
+}
+
+TEST(Metrics, EmptySetsConventions) {
+  const RuleSet reference = rules({Rule{{}, {1}}});
+  EXPECT_DOUBLE_EQ(recall({}, reference), 0.0);
+  EXPECT_DOUBLE_EQ(precision({}, reference), 1.0);
+  EXPECT_DOUBLE_EQ(recall(reference, {}), 1.0);
+  EXPECT_DOUBLE_EQ(precision(reference, {}), 0.0);
+}
+
+TEST(Metrics, SignificanceDefinition) {
+  // sum/(lambda*count) - 1: exactly at threshold -> 0.
+  EXPECT_DOUBLE_EQ(significance(10, 100, 0.1), 0.0);
+  EXPECT_DOUBLE_EQ(significance(20, 100, 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(significance(5, 100, 0.1), -0.5);
+  EXPECT_DOUBLE_EQ(significance(0, 0, 0.1), 0.0);
+}
+
+TEST(Metrics, RuleEqualityIsStructural) {
+  EXPECT_EQ((Rule{{1}, {2}}), (Rule{{1}, {2}}));
+  EXPECT_NE((Rule{{1}, {2}}), (Rule{{2}, {1}}));
+  EXPECT_NE((Rule{{}, {1, 2}}), (Rule{{1}, {2}}));
+}
+
+TEST(Metrics, RuleHashConsistency) {
+  RuleHash h;
+  EXPECT_EQ(h(Rule{{1}, {2}}), h(Rule{{1}, {2}}));
+  // lhs/rhs boundary must matter: {1}=>{2} vs {}=>{1,2}.
+  EXPECT_NE(h(Rule{{1}, {2}}), h(Rule{{}, {1, 2}}));
+}
+
+}  // namespace
+}  // namespace kgrid::arm

@@ -1,0 +1,149 @@
+// Malicious-participant tests (paper §5.2): every tampering attack the
+// shares and timestamps are designed to bind is detected and quarantined;
+// undetectable attacks harm at most validity/liveness, never privacy.
+#include <gtest/gtest.h>
+
+#include "core/grid.hpp"
+
+namespace kgrid::core {
+namespace {
+
+SecureGridConfig attack_config(std::uint64_t seed) {
+  SecureGridConfig cfg;
+  cfg.env.n_resources = 8;
+  cfg.env.seed = seed;
+  cfg.env.quest.n_transactions = 800;
+  cfg.env.quest.n_items = 16;
+  cfg.env.quest.n_patterns = 6;
+  cfg.env.quest.avg_transaction_len = 5;
+  cfg.env.quest.avg_pattern_len = 2;
+  cfg.secure.min_freq = 0.25;
+  cfg.secure.min_conf = 0.8;
+  cfg.secure.k = 2;
+  cfg.secure.arrivals_per_step = 0;
+  cfg.attach_monitor = true;
+  return cfg;
+}
+
+// The attacked resource: pick one with at least 2 neighbours so aggregate
+// corruption has material to work with.
+net::NodeId pick_victim(SecureGrid& grid) {
+  for (net::NodeId u = 0; u < grid.size(); ++u)
+    if (grid.env().overlay.degree(u) >= 2) return u;
+  return 0;
+}
+
+TEST(Attacks, DoubleCountDetectedAndQuarantined) {
+  SecureGridConfig cfg = attack_config(31);
+  // Resource 0's broker turns malicious at step 10 (after honest traffic
+  // established the timestamp traces).
+  cfg.attacks[0] = {BrokerBehavior::kDoubleCount, ControllerBehavior::kHonest,
+                    10};
+  SecureGrid grid(cfg);
+  grid.run_steps(60);
+  // Its own controller sees the share mismatch and halts + broadcasts.
+  EXPECT_TRUE(grid.resource(0).controller().halted());
+  EXPECT_GT(grid.quarantine_coverage(0), 0.99);
+}
+
+TEST(Attacks, OmitNeighbourDetected) {
+  SecureGridConfig cfg = attack_config(32);
+  SecureGrid probe(cfg);  // find a victim with degree >= 2 for this seed
+  const net::NodeId victim = pick_victim(probe);
+  cfg.attacks[victim] = {BrokerBehavior::kOmitNeighbour,
+                         ControllerBehavior::kHonest, 10};
+  SecureGrid grid(cfg);
+  grid.run_steps(60);
+  EXPECT_TRUE(grid.resource(victim).controller().halted());
+}
+
+TEST(Attacks, ReplayOldDetected) {
+  SecureGridConfig cfg = attack_config(33);
+  cfg.attacks[0] = {BrokerBehavior::kReplayOld, ControllerBehavior::kHonest,
+                    12};
+  SecureGrid grid(cfg);
+  grid.run_steps(80);
+  EXPECT_TRUE(grid.resource(0).controller().halted());
+}
+
+TEST(Attacks, RandomCounterDetectedAtReceiver) {
+  SecureGridConfig cfg = attack_config(34);
+  cfg.attacks[0] = {BrokerBehavior::kRandomCounter, ControllerBehavior::kHonest,
+                    10};
+  SecureGrid grid(cfg);
+  grid.run_steps(60);
+  // The scaled cipher corrupts share and timestamps; some receiver's
+  // controller detects it and the grid learns about a malicious resource.
+  bool somebody_detected = false;
+  for (net::NodeId u = 0; u < grid.size(); ++u)
+    somebody_detected |= grid.resource(u).controller().halted();
+  EXPECT_TRUE(somebody_detected);
+}
+
+TEST(Attacks, MuteBrokerHarmsOnlyLiveness) {
+  SecureGridConfig cfg = attack_config(35);
+  cfg.attacks[0] = {BrokerBehavior::kMuteBroker, ControllerBehavior::kHonest,
+                    0};
+  SecureGrid grid(cfg);
+  grid.run_steps(150);
+  // No detection fires (refusing to send is indistinguishable from delay)…
+  for (net::NodeId u = 0; u < grid.size(); ++u)
+    EXPECT_FALSE(grid.resource(u).controller().halted()) << u;
+  // …and privacy is intact.
+  EXPECT_TRUE(grid.monitor().violations().empty());
+}
+
+TEST(Attacks, LyingControllerHarmsValidityNotPrivacy) {
+  SecureGridConfig cfg = attack_config(36);
+  cfg.attacks[0] = {BrokerBehavior::kHonest, ControllerBehavior::kLieController,
+                    0};
+  SecureGrid grid(cfg);
+  const auto reference = grid.env().reference({0.25, 0.8});
+  grid.run_steps(150);
+  // The lied-to resource's own interim view is wrecked…
+  EXPECT_LT(arm::recall(grid.resource(0).interim(), reference), 0.5);
+  // …but no k-TTP violation occurred anywhere (privacy holds).
+  EXPECT_TRUE(grid.monitor().violations().empty());
+}
+
+TEST(Attacks, HonestMajorityStillConvergesUnderAttack) {
+  SecureGridConfig cfg = attack_config(37);
+  // Mute a *leaf*: its silence withholds only its own partition. (Muting a
+  // hub legitimately partitions the overlay — a liveness fact of any
+  // tree-overlay protocol, not a defect.)
+  net::NodeId leaf = 0;
+  {
+    SecureGrid probe(cfg);
+    for (net::NodeId u = 0; u < probe.size(); ++u)
+      if (probe.env().overlay.degree(u) == 1) leaf = u;
+  }
+  cfg.attacks[leaf] = {BrokerBehavior::kMuteBroker, ControllerBehavior::kHonest,
+                       0};
+  SecureGrid grid(cfg);
+  const auto reference = grid.env().reference({0.25, 0.8});
+  grid.run_steps(200);
+  // Resources other than the mute one still converge on the remaining data
+  // ("malicious participants can, at most, harm the validity of the
+  // result").
+  double recall_sum = 0;
+  std::size_t counted = 0;
+  for (net::NodeId u = 0; u < grid.size(); ++u) {
+    if (u == leaf) continue;
+    recall_sum += arm::recall(grid.resource(u).interim(), reference);
+    ++counted;
+  }
+  EXPECT_GT(recall_sum / static_cast<double>(counted), 0.7);
+}
+
+TEST(Attacks, ReportsFloodTheWholeGrid) {
+  SecureGridConfig cfg = attack_config(38);
+  cfg.env.n_resources = 16;
+  cfg.attacks[3] = {BrokerBehavior::kDoubleCount, ControllerBehavior::kHonest,
+                    10};
+  SecureGrid grid(cfg);
+  grid.run_steps(80);
+  EXPECT_GT(grid.quarantine_coverage(3), 0.99);
+}
+
+}  // namespace
+}  // namespace kgrid::core

@@ -1,0 +1,86 @@
+#include "core/env.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kgrid::core {
+namespace {
+
+GridEnvConfig small_cfg() {
+  GridEnvConfig cfg;
+  cfg.n_resources = 10;
+  cfg.seed = 3;
+  cfg.quest.n_transactions = 500;
+  cfg.quest.n_items = 20;
+  cfg.quest.n_patterns = 8;
+  cfg.quest.avg_transaction_len = 5;
+  cfg.quest.avg_pattern_len = 2;
+  return cfg;
+}
+
+TEST(GridEnv, OverlayIsASpanningTree) {
+  const GridEnv env = make_grid_env(small_cfg());
+  EXPECT_EQ(env.overlay.size(), 10u);
+  EXPECT_EQ(env.overlay.edge_count(), 9u);
+  EXPECT_TRUE(env.overlay.connected());
+}
+
+TEST(GridEnv, PartitionsCoverTheGlobalDatabase) {
+  const GridEnv env = make_grid_env(small_cfg());
+  std::size_t total = 0;
+  for (const auto& part : env.initial) total += part.size();
+  for (const auto& stream : env.arrivals) total += stream.size();
+  EXPECT_EQ(total, env.global.size());
+  EXPECT_EQ(env.global.size(), 500u);
+}
+
+TEST(GridEnv, InitialFractionSplitsPartitions) {
+  GridEnvConfig cfg = small_cfg();
+  cfg.initial_fraction = 0.5;
+  const GridEnv env = make_grid_env(cfg);
+  std::size_t initial = 0, streamed = 0;
+  for (const auto& part : env.initial) initial += part.size();
+  for (const auto& stream : env.arrivals) streamed += stream.size();
+  EXPECT_EQ(initial + streamed, 500u);
+  EXPECT_NEAR(static_cast<double>(initial), 250.0, 10.0);
+  // Default: everything initial.
+  const GridEnv all = make_grid_env(small_cfg());
+  for (const auto& stream : all.arrivals) EXPECT_TRUE(stream.empty());
+}
+
+TEST(GridEnv, DeterministicFromSeed) {
+  const GridEnv a = make_grid_env(small_cfg());
+  const GridEnv b = make_grid_env(small_cfg());
+  ASSERT_EQ(a.global.size(), b.global.size());
+  for (std::size_t i = 0; i < a.global.size(); ++i)
+    EXPECT_EQ(a.global[i].items, b.global[i].items);
+  for (net::NodeId u = 0; u < a.overlay.size(); ++u)
+    EXPECT_EQ(a.overlay.neighbors(u), b.overlay.neighbors(u));
+}
+
+TEST(GridEnv, DifferentSeedsDiffer) {
+  GridEnvConfig cfg = small_cfg();
+  cfg.seed = 4;
+  const GridEnv a = make_grid_env(small_cfg());
+  const GridEnv b = make_grid_env(cfg);
+  bool any_difference = a.overlay.neighbors(1) != b.overlay.neighbors(1);
+  for (std::size_t i = 0; i < 20 && !any_difference; ++i)
+    any_difference = a.global[i].items != b.global[i].items;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GridEnv, ReferenceMatchesDirectMining) {
+  const GridEnv env = make_grid_env(small_cfg());
+  const arm::MiningThresholds th{0.2, 0.8};
+  EXPECT_EQ(env.reference(th), arm::mine_rules(env.global, th));
+}
+
+TEST(GridEnv, TinyGridUsesPathTopology) {
+  GridEnvConfig cfg = small_cfg();
+  cfg.n_resources = 2;
+  const GridEnv env = make_grid_env(cfg);
+  EXPECT_EQ(env.overlay.size(), 2u);
+  EXPECT_EQ(env.overlay.edge_count(), 1u);
+}
+
+}  // namespace
+}  // namespace kgrid::core

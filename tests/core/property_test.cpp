@@ -1,0 +1,91 @@
+// Property sweeps over seeds, topologies, and attack schedules: whatever
+// happens, (a) no controller ever reveals a statistic violating the k-TTP
+// condition, and (b) honest grids converge to the ground truth.
+#include <gtest/gtest.h>
+
+#include "core/grid.hpp"
+
+namespace kgrid::core {
+namespace {
+
+struct PropertyCase {
+  std::uint64_t seed;
+  std::size_t n_resources;
+  std::int64_t k;
+  BrokerBehavior attack;
+  const char* name;
+};
+
+class SecureGridProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+SecureGridConfig config_for(const PropertyCase& param) {
+  SecureGridConfig cfg;
+  cfg.env.n_resources = param.n_resources;
+  cfg.env.seed = param.seed;
+  cfg.env.quest.n_transactions = param.n_resources * 150;
+  cfg.env.quest.n_items = 18;
+  cfg.env.quest.n_patterns = 7;
+  cfg.env.quest.avg_transaction_len = 5;
+  cfg.env.quest.avg_pattern_len = 2;
+  cfg.env.initial_fraction = 0.8;
+  cfg.secure.min_freq = 0.25;
+  cfg.secure.min_conf = 0.8;
+  cfg.secure.k = param.k;
+  cfg.secure.arrivals_per_step = 5;
+  cfg.attach_monitor = true;
+  if (param.attack != BrokerBehavior::kHonest)
+    cfg.attacks[param.seed % param.n_resources] = {
+        param.attack, ControllerBehavior::kHonest, 8};
+  return cfg;
+}
+
+TEST_P(SecureGridProperty, NoKTtpViolationEver) {
+  SecureGrid grid(config_for(GetParam()));
+  grid.run_steps(80);
+  EXPECT_TRUE(grid.monitor().violations().empty())
+      << grid.monitor().violations()[0].context << " count_delta="
+      << grid.monitor().violations()[0].count_delta
+      << " num_delta=" << grid.monitor().violations()[0].num_delta;
+}
+
+TEST_P(SecureGridProperty, HonestRunsConverge) {
+  const PropertyCase& param = GetParam();
+  if (param.attack != BrokerBehavior::kHonest) GTEST_SKIP();
+  SecureGrid grid(config_for(param));
+  const auto reference = grid.env().reference({0.25, 0.8});
+  grid.run_steps(150);
+  EXPECT_GT(grid.average_recall(reference), 0.85) << "seed " << param.seed;
+  EXPECT_GT(grid.average_precision(reference), 0.85) << "seed " << param.seed;
+}
+
+std::vector<PropertyCase> property_cases() {
+  std::vector<PropertyCase> cases;
+  // Honest sweeps over seeds, sizes, and k.
+  for (std::uint64_t seed : {101ull, 202ull, 303ull})
+    cases.push_back({seed, 6 + seed % 7, static_cast<std::int64_t>(1 + seed % 4),
+                     BrokerBehavior::kHonest, "honest"});
+  // Attacked sweeps over every tampering behaviour.
+  const std::pair<BrokerBehavior, const char*> attacks[] = {
+      {BrokerBehavior::kDoubleCount, "double"},
+      {BrokerBehavior::kOmitNeighbour, "omit"},
+      {BrokerBehavior::kReplayOld, "replay"},
+      {BrokerBehavior::kRandomCounter, "random"},
+      {BrokerBehavior::kMuteBroker, "mute"},
+  };
+  std::uint64_t seed = 900;
+  for (const auto& [behavior, name] : attacks)
+    cases.push_back({seed++, 9, 2, behavior, name});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SecureGridProperty,
+                         ::testing::ValuesIn(property_cases()),
+                         [](const auto& info) {
+                           return std::string(info.param.name) + "_s" +
+                                  std::to_string(info.param.seed) + "_n" +
+                                  std::to_string(info.param.n_resources) +
+                                  "_k" + std::to_string(info.param.k);
+                         });
+
+}  // namespace
+}  // namespace kgrid::core

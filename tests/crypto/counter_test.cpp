@@ -1,0 +1,129 @@
+#include "crypto/counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace kgrid::hom {
+namespace {
+
+class CounterTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  CounterTest() : rng_(7) {
+    ctx_ = GetParam() == Backend::kPlain ? Context::make_plain()
+                                         : Context::make_paillier(1024, rng_);
+  }
+
+  Rng rng_;
+  ContextPtr ctx_;
+};
+
+TEST_P(CounterTest, LayoutIndices) {
+  const CounterLayout layout(3);
+  EXPECT_EQ(layout.n_fields(), 8u);  // sum,count,num,share + 4 ts slots
+  EXPECT_EQ(layout.ts_slots(), 4u);
+  EXPECT_EQ(layout.ts_field(0), 4u);
+  EXPECT_EQ(layout.ts_field(3), 7u);
+}
+
+TEST_P(CounterTest, MakeAndViewRoundTrip) {
+  const CounterLayout layout(2);
+  const Cipher c = make_counter(ctx_->encrypt_key(), layout, /*sum=*/10,
+                                /*count=*/25, /*num=*/1, /*share=*/777,
+                                /*ts_slot=*/1, /*ts=*/42, rng_);
+  const auto fields = ctx_->decrypt_key().decrypt(c, layout.n_fields());
+  const auto view = CounterView::from_fields(layout, fields);
+  EXPECT_EQ(view.sum, 10);
+  EXPECT_EQ(view.count, 25);
+  EXPECT_EQ(view.num, 1);
+  EXPECT_EQ(view.share, 777u);
+  EXPECT_EQ(view.timestamps, (std::vector<std::uint64_t>{0, 42, 0}));
+}
+
+TEST_P(CounterTest, AggregationAddsFieldsAndShares) {
+  const CounterLayout layout(2);
+  const auto enc = ctx_->encrypt_key();
+  const auto eval = ctx_->eval_handle();
+  const auto shares = draw_shares(3, rng_);
+
+  Cipher agg = eval.zero(layout.n_fields(), rng_);
+  std::uint64_t ts = 5;
+  for (std::size_t slot = 0; slot < 3; ++slot) {
+    agg = eval.add(agg, make_counter(enc, layout, 100 + slot, 200 + slot, 1,
+                                     shares[slot], slot, ts + slot, rng_));
+  }
+  const auto view = CounterView::from_fields(
+      layout, ctx_->decrypt_key().decrypt(agg, layout.n_fields()));
+  EXPECT_EQ(view.sum, 303);
+  EXPECT_EQ(view.count, 603);
+  EXPECT_EQ(view.num, 3);
+  EXPECT_EQ(view.share, 1u);  // full aggregate: shares sum to 1
+  EXPECT_EQ(view.timestamps, (std::vector<std::uint64_t>{5, 6, 7}));
+}
+
+TEST_P(CounterTest, DoubleCountingBreaksShareInvariant) {
+  const CounterLayout layout(1);
+  const auto enc = ctx_->encrypt_key();
+  const auto eval = ctx_->eval_handle();
+  const auto shares = draw_shares(2, rng_);
+
+  const Cipher a = make_counter(enc, layout, 1, 1, 1, shares[0], 0, 1, rng_);
+  const Cipher b = make_counter(enc, layout, 1, 1, 1, shares[1], 1, 1, rng_);
+
+  // Counting `a` twice and omitting `b`.
+  const Cipher bad = eval.add(a, eval.rerandomize(a, rng_));
+  const auto view = CounterView::from_fields(
+      layout, ctx_->decrypt_key().decrypt(bad, layout.n_fields()));
+  EXPECT_NE(view.share, 1u);
+
+  // Honest aggregate passes.
+  const auto good_view = CounterView::from_fields(
+      layout, ctx_->decrypt_key().decrypt(eval.add(a, b), layout.n_fields()));
+  EXPECT_EQ(good_view.share, 1u);
+}
+
+TEST_P(CounterTest, ShareTokenAddsOnlyShareField) {
+  const CounterLayout layout(1);
+  const auto enc = ctx_->encrypt_key();
+  const auto eval = ctx_->eval_handle();
+  const Cipher base = make_counter(enc, layout, 5, 6, 1, 0, 0, 9, rng_);
+  const Cipher token = make_share_token(enc, layout, 12345, rng_);
+  const auto view = CounterView::from_fields(
+      layout,
+      ctx_->decrypt_key().decrypt(eval.add(base, token), layout.n_fields()));
+  EXPECT_EQ(view.sum, 5);
+  EXPECT_EQ(view.count, 6);
+  EXPECT_EQ(view.share, 12345u);
+  EXPECT_EQ(view.timestamps[0], 9u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, CounterTest,
+                         ::testing::Values(Backend::kPlain, Backend::kPaillier),
+                         [](const auto& info) {
+                           return info.param == Backend::kPlain ? "Plain"
+                                                                : "Paillier";
+                         });
+
+TEST(Shares, SumToOneModuloShareModulus) {
+  Rng rng(3);
+  for (std::size_t n : {1u, 2u, 3u, 10u, 64u}) {
+    const auto shares = draw_shares(n, rng);
+    ASSERT_EQ(shares.size(), n);
+    std::uint64_t total = 0;
+    for (auto s : shares) {
+      EXPECT_LT(s, kShareModulus);
+      total = (total + s) % kShareModulus;
+    }
+    EXPECT_EQ(total, 1u) << n;
+  }
+}
+
+TEST(Shares, DistinctDrawsDiffer) {
+  Rng rng(4);
+  const auto a = draw_shares(4, rng);
+  const auto b = draw_shares(4, rng);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace kgrid::hom

@@ -1,0 +1,87 @@
+#include "data/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/quest.hpp"
+#include "util/rng.hpp"
+
+namespace kgrid::data {
+namespace {
+
+Database small_db(std::size_t n) {
+  Database db;
+  for (TransactionId i = 0; i < n; ++i)
+    db.append({i, {static_cast<Item>(i % 7), static_cast<Item>(100 + i % 3)}});
+  return db;
+}
+
+TEST(Partition, EveryTransactionLandsExactlyOnce) {
+  Rng rng(1);
+  const Database db = small_db(1000);
+  const auto parts = partition_by_hash(db, 8, PairwiseHash::random(rng));
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  EXPECT_EQ(total, db.size());
+}
+
+TEST(Partition, DeterministicForFixedHash) {
+  const Database db = small_db(100);
+  const PairwiseHash h(123, 456);
+  const auto a = partition_by_hash(db, 4, h);
+  const auto b = partition_by_hash(db, 4, h);
+  for (std::size_t p = 0; p < 4; ++p) {
+    ASSERT_EQ(a[p].size(), b[p].size());
+    for (std::size_t i = 0; i < a[p].size(); ++i)
+      EXPECT_EQ(a[p][i].id, b[p][i].id);
+  }
+}
+
+TEST(Partition, RoughlyBalanced) {
+  Rng rng(2);
+  const Database db = small_db(8000);
+  const auto parts = partition_by_hash(db, 8, PairwiseHash::random(rng));
+  for (const auto& p : parts)
+    EXPECT_NEAR(static_cast<double>(p.size()), 1000.0, 200.0);
+}
+
+TEST(Partition, SinglePartitionIsIdentity) {
+  Rng rng(3);
+  const Database db = small_db(50);
+  const auto parts = partition_by_hash(db, 1, PairwiseHash::random(rng));
+  EXPECT_EQ(parts[0].size(), 50u);
+}
+
+TEST(PartitionedStream, TakeDrainsInOrder) {
+  Rng rng(4);
+  const Database db = small_db(100);
+  PartitionedStream stream(db, 4, PairwiseHash::random(rng));
+  for (std::size_t p = 0; p < 4; ++p) {
+    std::size_t taken = 0;
+    TransactionId last = 0;
+    bool first = true;
+    while (!stream.exhausted(p)) {
+      const auto batch = stream.take(p, 7);
+      for (const auto& t : batch) {
+        if (!first) EXPECT_GT(t.id, last);  // global order preserved per part
+        last = t.id;
+        first = false;
+      }
+      taken += batch.size();
+    }
+    EXPECT_EQ(taken, stream.total(p));
+    EXPECT_EQ(stream.consumed(p), stream.total(p));
+    EXPECT_TRUE(stream.take(p, 5).empty());
+  }
+}
+
+TEST(PartitionedStream, TakeRespectsBatchSize) {
+  Rng rng(5);
+  const Database db = small_db(100);
+  PartitionedStream stream(db, 2, PairwiseHash::random(rng));
+  const auto batch = stream.take(0, 3);
+  EXPECT_LE(batch.size(), 3u);
+  EXPECT_EQ(stream.consumed(0), batch.size());
+}
+
+}  // namespace
+}  // namespace kgrid::data

@@ -1,0 +1,116 @@
+#include "data/quest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace kgrid::data {
+namespace {
+
+TEST(QuestParams, Presets) {
+  const auto t5 = QuestParams::preset("T5I2");
+  EXPECT_DOUBLE_EQ(t5.avg_transaction_len, 5);
+  EXPECT_DOUBLE_EQ(t5.avg_pattern_len, 2);
+  const auto t20 = QuestParams::preset("T20I6");
+  EXPECT_DOUBLE_EQ(t20.avg_transaction_len, 20);
+  EXPECT_DOUBLE_EQ(t20.avg_pattern_len, 6);
+  EXPECT_DEATH(QuestParams::preset("T99I9"), "unknown Quest preset");
+}
+
+TEST(QuestGenerator, DeterministicFromSeed) {
+  QuestParams p;
+  p.n_transactions = 50;
+  QuestGenerator g1(p, Rng(5)), g2(p, Rng(5));
+  const Database a = g1.generate(), b = g2.generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].items, b[i].items);
+}
+
+TEST(QuestGenerator, SequentialIdsAndCanonicalItems) {
+  QuestParams p;
+  p.n_transactions = 200;
+  QuestGenerator gen(p, Rng(6));
+  const Database db = gen.generate();
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(db[i].id, i);
+    const auto& items = db[i].items;
+    EXPECT_FALSE(items.empty());
+    EXPECT_TRUE(std::is_sorted(items.begin(), items.end()));
+    EXPECT_EQ(std::adjacent_find(items.begin(), items.end()), items.end());
+    for (auto item : items) EXPECT_LT(item, p.n_items);
+  }
+}
+
+TEST(QuestGenerator, AverageTransactionLengthTracksT) {
+  for (const char* preset : {"T5I2", "T10I4", "T20I6"}) {
+    QuestParams p = QuestParams::preset(preset);
+    p.n_transactions = 3000;
+    QuestGenerator gen(p, Rng(7));
+    const Database db = gen.generate();
+    double total = 0;
+    for (const auto& t : db.transactions()) total += static_cast<double>(t.items.size());
+    const double avg = total / static_cast<double>(db.size());
+    // Corruption and overflow policies bias the mean; the ordering and
+    // rough magnitude must survive.
+    EXPECT_GT(avg, p.avg_transaction_len * 0.4) << preset;
+    EXPECT_LT(avg, p.avg_transaction_len * 1.6) << preset;
+  }
+}
+
+TEST(QuestGenerator, PatternsShapeValid) {
+  QuestParams p;
+  p.n_patterns = 100;
+  p.avg_pattern_len = 4;
+  QuestGenerator gen(p, Rng(8));
+  ASSERT_EQ(gen.patterns().size(), 100u);
+  double total = 0;
+  for (const auto& pat : gen.patterns()) {
+    EXPECT_GE(pat.size(), 1u);
+    EXPECT_TRUE(std::is_sorted(pat.begin(), pat.end()));
+    total += static_cast<double>(pat.size());
+  }
+  EXPECT_NEAR(total / 100.0, 4.0, 1.0);
+}
+
+TEST(QuestGenerator, PlantsAssociationStructure) {
+  // A Quest database must contain itemsets far more frequent than
+  // independence would allow — that is its purpose.
+  QuestParams p;
+  p.n_transactions = 4000;
+  p.n_items = 200;
+  p.n_patterns = 20;
+  p.avg_transaction_len = 10;
+  p.avg_pattern_len = 4;
+  QuestGenerator gen(p, Rng(9));
+  const Database db = gen.generate();
+
+  // Take a planted pattern of size >= 2 and compare its joint frequency to
+  // the product of its item frequencies.
+  bool verified = false;
+  for (const auto& pattern : gen.patterns()) {
+    if (pattern.size() < 2 || pattern.size() > 4) continue;
+    const double joint = db.frequency(pattern);
+    if (joint < 0.02) continue;  // too rare to measure reliably
+    double independent = 1.0;
+    for (auto item : pattern) independent *= db.frequency({item});
+    EXPECT_GT(joint, 4.0 * independent);
+    verified = true;
+    break;
+  }
+  EXPECT_TRUE(verified) << "no measurable planted pattern found";
+}
+
+TEST(QuestGenerator, DifferentSeedsDifferentData) {
+  QuestParams p;
+  p.n_transactions = 20;
+  const Database a = QuestGenerator(p, Rng(1)).generate();
+  const Database b = QuestGenerator(p, Rng(2)).generate();
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) same += a[i].items == b[i].items;
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace kgrid::data

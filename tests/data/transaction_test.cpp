@@ -1,0 +1,60 @@
+#include "data/transaction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kgrid::data {
+namespace {
+
+TEST(Itemset, MakeItemsetCanonicalizes) {
+  EXPECT_EQ(make_itemset({3, 1, 2, 1, 3}), (Itemset{1, 2, 3}));
+  EXPECT_EQ(make_itemset({}), Itemset{});
+}
+
+TEST(Itemset, ContainsAll) {
+  const Itemset t = {1, 3, 5, 7};
+  EXPECT_TRUE(contains_all(t, {3, 7}));
+  EXPECT_TRUE(contains_all(t, {}));
+  EXPECT_TRUE(contains_all(t, t));
+  EXPECT_FALSE(contains_all(t, {2}));
+  EXPECT_FALSE(contains_all(t, {1, 2}));
+  EXPECT_FALSE(contains_all({}, {1}));
+}
+
+TEST(Itemset, SetAlgebra) {
+  EXPECT_EQ(set_union({1, 3}, {2, 3}), (Itemset{1, 2, 3}));
+  EXPECT_EQ(set_difference({1, 2, 3}, {2}), (Itemset{1, 3}));
+  EXPECT_EQ(set_difference({1}, {1}), Itemset{});
+  EXPECT_TRUE(disjoint({1, 3}, {2, 4}));
+  EXPECT_FALSE(disjoint({1, 3}, {3}));
+  EXPECT_TRUE(disjoint({}, {1}));
+}
+
+TEST(Itemset, ToString) {
+  EXPECT_EQ(to_string(Itemset{1, 2}), "{1,2}");
+  EXPECT_EQ(to_string(Itemset{}), "{}");
+}
+
+TEST(Database, SupportAndFrequency) {
+  Database db;
+  db.append({0, {1, 2, 3}});
+  db.append({1, {1, 2}});
+  db.append({2, {2, 3}});
+  db.append({3, {4}});
+  EXPECT_EQ(db.size(), 4u);
+  EXPECT_EQ(db.support({2}), 3u);
+  EXPECT_EQ(db.support({1, 2}), 2u);
+  EXPECT_EQ(db.support({1, 4}), 0u);
+  EXPECT_EQ(db.support({}), 4u);  // every transaction contains ∅
+  EXPECT_DOUBLE_EQ(db.frequency({2}), 0.75);
+  EXPECT_DOUBLE_EQ(Database{}.frequency({1}), 0.0);
+}
+
+TEST(Database, AppendOnlyGrowth) {
+  Database db;
+  for (TransactionId i = 0; i < 10; ++i) db.append({i, {static_cast<Item>(i % 3)}});
+  EXPECT_EQ(db.size(), 10u);
+  EXPECT_EQ(db[9].id, 9u);
+}
+
+}  // namespace
+}  // namespace kgrid::data

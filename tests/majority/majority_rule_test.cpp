@@ -1,0 +1,172 @@
+#include "majority/majority_rule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arm/metrics.hpp"
+#include "data/partition.hpp"
+#include "data/quest.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace kgrid::majority {
+namespace {
+
+struct BaselineGrid {
+  std::vector<std::unique_ptr<MajorityRuleResource>> resources;
+  sim::Engine engine;
+  data::Database global;
+
+  BaselineGrid(std::size_t n_resources, const data::Database& db,
+               const MajorityRuleConfig& config, std::uint64_t seed) {
+    Rng rng(seed);
+    const net::Graph tree = net::spanning_tree(
+        n_resources > 3 ? net::barabasi_albert(n_resources, 2, rng)
+                        : net::path(n_resources),
+        0);
+    static net::LinkDelays delays(7, 0.05, 0.4);
+    const auto parts =
+        data::partition_by_hash(db, n_resources, PairwiseHash::random(rng));
+    global = db;
+    for (net::NodeId u = 0; u < n_resources; ++u) {
+      auto r = std::make_unique<MajorityRuleResource>(u, config,
+                                                      tree.neighbors(u), &delays);
+      r->load_initial(parts[u]);
+      const sim::EntityId id = engine.add_entity(r.get());
+      EXPECT_EQ(id, u);  // resource index == entity id is a harness invariant
+      resources.push_back(std::move(r));
+    }
+    for (std::size_t u = 0; u < n_resources; ++u)
+      resources[u]->start(engine, static_cast<sim::EntityId>(u), 1.0);
+  }
+
+  void run_steps(std::size_t steps) {
+    engine.run_until(engine.now() + static_cast<double>(steps));
+  }
+
+  double average_recall(const arm::RuleSet& reference) const {
+    double total = 0;
+    for (const auto& r : resources) total += arm::recall(r->interim(), reference);
+    return total / static_cast<double>(resources.size());
+  }
+
+  double average_precision(const arm::RuleSet& reference) const {
+    double total = 0;
+    for (const auto& r : resources)
+      total += arm::precision(r->interim(), reference);
+    return total / static_cast<double>(resources.size());
+  }
+};
+
+data::Database quest_db(std::size_t n, std::uint64_t seed) {
+  data::QuestParams p;
+  p.n_transactions = n;
+  p.n_items = 24;
+  p.n_patterns = 8;
+  p.avg_transaction_len = 6;
+  p.avg_pattern_len = 3;
+  return data::QuestGenerator(p, Rng(seed)).generate();
+}
+
+TEST(MajorityRule, SingleResourceMatchesApriori) {
+  // One resource, no network: after enough counting steps the interim
+  // solution equals the sequential miner's output.
+  const data::Database db = quest_db(400, 1);
+  MajorityRuleConfig config;
+  config.n_items = 24;
+  config.min_freq = 0.2;
+  config.min_conf = 0.8;
+  config.count_budget = 100;
+  config.arrivals_per_step = 0;
+  BaselineGrid grid(1, db, config, 11);
+  grid.run_steps(80);
+
+  const auto reference = arm::mine_rules(db, {config.min_freq, config.min_conf});
+  EXPECT_DOUBLE_EQ(grid.average_recall(reference), 1.0);
+  EXPECT_DOUBLE_EQ(grid.average_precision(reference), 1.0);
+}
+
+TEST(MajorityRule, DistributedGridConvergesToGlobalRules) {
+  const data::Database db = quest_db(1200, 2);
+  MajorityRuleConfig config;
+  config.n_items = 24;
+  config.min_freq = 0.2;
+  config.min_conf = 0.8;
+  config.count_budget = 100;
+  config.arrivals_per_step = 0;
+  BaselineGrid grid(8, db, config, 12);
+  grid.run_steps(150);
+
+  const auto reference = arm::mine_rules(db, {config.min_freq, config.min_conf});
+  EXPECT_GT(grid.average_recall(reference), 0.95);
+  EXPECT_GT(grid.average_precision(reference), 0.95);
+}
+
+TEST(MajorityRule, ConvergenceImprovesWithScans) {
+  const data::Database db = quest_db(1200, 3);
+  MajorityRuleConfig config;
+  config.n_items = 24;
+  config.min_freq = 0.25;
+  config.min_conf = 0.8;
+  config.count_budget = 50;
+  config.arrivals_per_step = 0;
+  BaselineGrid grid(6, db, config, 13);
+  const auto reference = arm::mine_rules(db, {config.min_freq, config.min_conf});
+
+  grid.run_steps(4);
+  const double early = grid.average_recall(reference);
+  grid.run_steps(200);
+  const double late = grid.average_recall(reference);
+  EXPECT_GE(late, early);
+  EXPECT_GT(late, 0.9);
+}
+
+TEST(MajorityRule, DynamicArrivalsAreIncorporated) {
+  const data::Database db = quest_db(900, 4);
+  // Split: 300 initial, 600 streamed in.
+  data::Database initial, streamed;
+  for (std::size_t i = 0; i < db.size(); ++i)
+    (i < 300 ? initial : streamed).append(db[i]);
+
+  MajorityRuleConfig config;
+  config.n_items = 24;
+  config.min_freq = 0.2;
+  config.min_conf = 0.8;
+  config.count_budget = 100;
+  config.arrivals_per_step = 5;
+  BaselineGrid grid(3, initial, config, 14);
+  // Queue the stream round-robin.
+  for (std::size_t i = 0; i < streamed.size(); ++i)
+    grid.resources[i % 3]->queue_arrivals({streamed[i]});
+
+  grid.run_steps(300);
+  const auto reference = arm::mine_rules(db, {config.min_freq, config.min_conf});
+  EXPECT_GT(grid.average_recall(reference), 0.9);
+  EXPECT_GT(grid.average_precision(reference), 0.9);
+  std::size_t total_local = 0;
+  for (const auto& r : grid.resources) total_local += r->local_db_size();
+  EXPECT_EQ(total_local, 900u);  // every transaction absorbed somewhere
+}
+
+TEST(MajorityRule, CandidateSetGrowsFromSeeds) {
+  const data::Database db = quest_db(600, 5);
+  MajorityRuleConfig config;
+  config.n_items = 24;
+  config.min_freq = 0.15;
+  config.min_conf = 0.7;
+  config.arrivals_per_step = 0;
+  BaselineGrid grid(4, db, config, 15);
+  const std::size_t initial_candidates = grid.resources[0]->candidate_count();
+  EXPECT_EQ(initial_candidates, 24u);
+  grid.run_steps(120);
+  EXPECT_GT(grid.resources[0]->candidate_count(), initial_candidates);
+}
+
+TEST(MajorityRule, RatioFromDouble) {
+  EXPECT_EQ(ratio_from_double(0.5).num, 5000);
+  EXPECT_EQ(ratio_from_double(0.5).den, 10000);
+  EXPECT_EQ(ratio_from_double(0.1).num, 1000);
+  EXPECT_EQ(ratio_from_double(1.0).num, 10000);
+}
+
+}  // namespace
+}  // namespace kgrid::majority

@@ -1,0 +1,217 @@
+#include "majority/scalable_majority.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace kgrid::majority {
+namespace {
+
+// A tiny synchronous network harness: owns one MajorityNode per graph node
+// and delivers messages until quiescence.
+class Net {
+ public:
+  Net(const net::Graph& g, Ratio lambda) {
+    for (net::NodeId u = 0; u < g.size(); ++u)
+      nodes_.emplace_back(u, lambda, g.neighbors(u));
+  }
+
+  MajorityNode& node(net::NodeId u) { return nodes_[u]; }
+  std::size_t messages() const { return messages_; }
+
+  void set_input(net::NodeId u, VotePair input) {
+    enqueue(u, nodes_[u].set_input(input));
+  }
+
+  void bootstrap_all() {
+    for (auto& n : nodes_) enqueue(n.self(), n.bootstrap());
+  }
+
+  /// Deliver queued messages (FIFO) until none remain. Aborts the test if
+  /// the protocol livelocks.
+  void run(std::size_t budget = 200000) {
+    while (!queue_.empty()) {
+      ASSERT_GT(budget--, 0u) << "protocol did not quiesce";
+      auto [from, to, msg] = queue_.front();
+      queue_.pop_front();
+      enqueue(to, nodes_[to].on_receive(from, msg));
+    }
+  }
+
+  /// All nodes agree on the majority decision and it matches `expected`.
+  void expect_consensus(bool expected) {
+    for (auto& n : nodes_)
+      EXPECT_EQ(n.decide(), expected) << "node " << n.self();
+  }
+
+ private:
+  void enqueue(net::NodeId from, const std::vector<MajorityNode::Outgoing>& out) {
+    for (const auto& o : out) {
+      queue_.push_back({from, o.to, o.message});
+      ++messages_;
+    }
+  }
+
+  std::vector<MajorityNode> nodes_;
+  std::deque<std::tuple<net::NodeId, net::NodeId, VotePair>> queue_;
+  std::size_t messages_ = 0;
+};
+
+// True majority over explicit votes with threshold lambda.
+bool true_majority(const std::vector<VotePair>& votes, Ratio lambda) {
+  std::int64_t sum = 0, count = 0;
+  for (const auto& v : votes) {
+    sum += v.sum;
+    count += v.count;
+  }
+  return lambda.den * sum - lambda.num * count >= 0;
+}
+
+void run_case(const net::Graph& tree, const std::vector<VotePair>& votes,
+              Ratio lambda) {
+  Net net(tree, lambda);
+  net.bootstrap_all();
+  for (net::NodeId u = 0; u < tree.size(); ++u) net.set_input(u, votes[u]);
+  net.run();
+  net.expect_consensus(true_majority(votes, lambda));
+}
+
+TEST(ScalableMajority, TwoNodesAgree) {
+  const net::Graph g = net::path(2);
+  run_case(g, {{1, 1}, {0, 1}}, Ratio{1, 2});   // 1 of 2 votes yes, λ=1/2 → pass
+  run_case(g, {{0, 1}, {0, 1}}, Ratio{1, 2});   // 0 of 2 → fail
+  run_case(g, {{1, 1}, {1, 1}}, Ratio{1, 2});   // 2 of 2 → pass
+}
+
+TEST(ScalableMajority, PathConsensusMatchesTruth) {
+  Rng rng(31);
+  const net::Graph g = net::path(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<VotePair> votes(g.size());
+    for (auto& v : votes) {
+      v.count = 1 + static_cast<std::int64_t>(rng.below(50));
+      v.sum = static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(v.count) + 1));
+    }
+    run_case(g, votes, Ratio{1, 2});
+  }
+}
+
+TEST(ScalableMajority, RandomTreesVariousThresholds) {
+  Rng rng(32);
+  for (int trial = 0; trial < 15; ++trial) {
+    const net::Graph tree = net::random_tree(2 + rng.below(60), rng);
+    std::vector<VotePair> votes(tree.size());
+    for (auto& v : votes) {
+      v.count = 1 + static_cast<std::int64_t>(rng.below(100));
+      v.sum = static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(v.count) + 1));
+    }
+    const Ratio lambda{static_cast<std::int64_t>(1 + rng.below(9)), 10};
+    run_case(tree, votes, lambda);
+  }
+}
+
+TEST(ScalableMajority, SpanningTreeOfBaGraph) {
+  Rng rng(33);
+  const net::Graph tree = net::spanning_tree(net::barabasi_albert(120, 2, rng), 0);
+  std::vector<VotePair> votes(tree.size());
+  for (auto& v : votes) {
+    v.count = 10;
+    v.sum = static_cast<std::int64_t>(rng.below(11));
+  }
+  run_case(tree, votes, Ratio{1, 2});
+}
+
+TEST(ScalableMajority, DynamicInputChangeReconverges) {
+  Rng rng(34);
+  const net::Graph tree = net::random_tree(25, rng);
+  Net net(tree, Ratio{1, 2});
+  net.bootstrap_all();
+  std::vector<VotePair> votes(tree.size(), VotePair{0, 10});  // all no
+  for (net::NodeId u = 0; u < tree.size(); ++u) net.set_input(u, votes[u]);
+  net.run();
+  net.expect_consensus(false);
+
+  // Flip enough inputs to change the global majority.
+  for (net::NodeId u = 0; u < 15; ++u) {
+    votes[u] = {10, 10};
+    net.set_input(u, votes[u]);
+  }
+  net.run();
+  net.expect_consensus(true_majority(votes, Ratio{1, 2}));
+  EXPECT_TRUE(true_majority(votes, Ratio{1, 2}));
+}
+
+TEST(ScalableMajority, LocalityHighSignificanceUsesFewMessages) {
+  // With a landslide vote, most nodes never need to talk beyond the
+  // bootstrap — the locality property behind the paper's Figure 3.
+  Rng rng(35);
+  const net::Graph tree = net::random_tree(200, rng);
+
+  Net landslide(tree, Ratio{1, 2});
+  landslide.bootstrap_all();
+  for (net::NodeId u = 0; u < tree.size(); ++u)
+    landslide.set_input(u, {10, 10});
+  landslide.run();
+  landslide.expect_consensus(true);
+
+  Net tight(tree, Ratio{1, 2});
+  tight.bootstrap_all();
+  for (net::NodeId u = 0; u < tree.size(); ++u)
+    tight.set_input(u, {u % 2 == 0 ? 6 : 4, 10});  // ~50/50
+  tight.run();
+
+  EXPECT_LT(landslide.messages(), tight.messages());
+}
+
+TEST(ScalableMajority, DeltaEdgeEqualsDeltaAfterSend) {
+  // Invariant behind one-pass evaluation: after u sends to v, Δ^uv == Δ^u.
+  // An all-no input disagrees with the bootstrapped zero edge (Δ^uv = 0 >
+  // Δ^u), forcing a send.
+  const net::Graph g = net::path(2);
+  MajorityNode a(0, Ratio{1, 2}, g.neighbors(0));
+  (void)a.bootstrap();
+  const auto out = a.set_input({0, 4});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(a.delta_edge(1), a.delta());
+}
+
+TEST(ScalableMajority, SendOnlyOnDisagreement) {
+  // Locality: knowledge that agrees with (and does not exceed) the edge's
+  // view triggers no message — nodes stay silent unless the edge overstates
+  // the vote relative to what they know.
+  const net::Graph g = net::path(2);
+  MajorityNode a(0, Ratio{1, 2}, g.neighbors(0));
+  (void)a.bootstrap();                       // edge view: Δ^uv = 0
+  EXPECT_TRUE(a.set_input({3, 4}).empty());  // Δ^u = 2 > 0: same sign, silent
+  EXPECT_EQ(a.set_input({0, 4}).size(), 1u);  // Δ^u = -4 < 0 <= Δ^uv: send
+}
+
+TEST(ScalableMajority, KnowledgeAggregatesReceivedMessages) {
+  const net::Graph g = net::path(3);
+  MajorityNode b(1, Ratio{1, 2}, g.neighbors(1));
+  (void)b.bootstrap();
+  (void)b.set_input({1, 10});
+  (void)b.on_receive(0, {5, 10});
+  (void)b.on_receive(2, {7, 10});
+  const VotePair k = b.knowledge();
+  EXPECT_EQ(k.sum, 13);
+  EXPECT_EQ(k.count, 30);
+}
+
+TEST(ScalableMajority, TieBreaksTowardYes) {
+  // Δ == 0 decides "yes" (>= in the decision rule).
+  const net::Graph g = net::path(2);
+  run_case(g, {{1, 2}, {1, 2}}, Ratio{1, 2});  // exactly at threshold
+  Net net(g, Ratio{1, 2});
+  net.bootstrap_all();
+  net.set_input(0, {1, 2});
+  net.set_input(1, {1, 2});
+  net.run();
+  net.expect_consensus(true);
+}
+
+}  // namespace
+}  // namespace kgrid::majority

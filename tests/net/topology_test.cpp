@@ -1,0 +1,154 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace kgrid::net {
+namespace {
+
+TEST(Graph, AddEdgeRejectsSelfLoopsAndDuplicates) {
+  Graph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));  // duplicate, other orientation
+  EXPECT_FALSE(g.add_edge(2, 2));  // self loop
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, DegreeAndNeighbors) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.neighbors(1), (std::vector<NodeId>{0}));
+}
+
+TEST(Graph, ConnectedDetection) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.connected());
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.connected());
+  EXPECT_TRUE(Graph(0).connected());
+  EXPECT_TRUE(Graph(1).connected());
+}
+
+TEST(BarabasiAlbert, ShapeInvariants) {
+  Rng rng(1);
+  const std::size_t n = 300, m = 2;
+  const Graph g = barabasi_albert(n, m, rng);
+  EXPECT_EQ(g.size(), n);
+  EXPECT_TRUE(g.connected());
+  // Seed clique of m+1 nodes contributes m(m+1)/2 edges, each later node m.
+  EXPECT_EQ(g.edge_count(), m * (m + 1) / 2 + (n - m - 1) * m);
+  for (NodeId u = 0; u < n; ++u) EXPECT_GE(g.degree(u), m);
+}
+
+TEST(BarabasiAlbert, PreferentialAttachmentProducesHubs) {
+  Rng rng(2);
+  const Graph g = barabasi_albert(2000, 2, rng);
+  std::size_t max_degree = 0;
+  for (NodeId u = 0; u < g.size(); ++u) max_degree = std::max(max_degree, g.degree(u));
+  // A BA graph has power-law hubs; a degree-regular graph would cap at ~4.
+  EXPECT_GT(max_degree, 30u);
+}
+
+TEST(ErdosRenyi, EdgeDensityMatchesP) {
+  Rng rng(3);
+  const std::size_t n = 200;
+  const double p = 0.05;
+  const Graph g = erdos_renyi(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expected, expected * 0.25);
+}
+
+TEST(RandomTree, IsATree) {
+  Rng rng(4);
+  const Graph g = random_tree(500, rng);
+  EXPECT_EQ(g.edge_count(), 499u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(RingAndPath, Shapes) {
+  const Graph r = ring(5);
+  EXPECT_EQ(r.edge_count(), 5u);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_EQ(r.degree(u), 2u);
+  const Graph p = path(5);
+  EXPECT_EQ(p.edge_count(), 4u);
+  EXPECT_EQ(p.degree(0), 1u);
+  EXPECT_EQ(p.degree(2), 2u);
+  EXPECT_TRUE(p.connected());
+}
+
+TEST(EnsureConnected, RepairsDisconnectedGraph) {
+  Rng rng(5);
+  Graph g(10);  // fully disconnected
+  ensure_connected(g, rng);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.edge_count(), 9u);  // minimal repair
+
+  Graph g2 = erdos_renyi(100, 0.005, rng);  // almost surely disconnected
+  ensure_connected(g2, rng);
+  EXPECT_TRUE(g2.connected());
+}
+
+TEST(SpanningTree, CoversAllNodesWithTreeEdgeCount) {
+  Rng rng(6);
+  const Graph g = barabasi_albert(200, 3, rng);
+  const Graph t = spanning_tree(g, 0);
+  EXPECT_EQ(t.size(), g.size());
+  EXPECT_EQ(t.edge_count(), g.size() - 1);
+  EXPECT_TRUE(t.connected());
+  // Every tree edge is a graph edge.
+  for (NodeId u = 0; u < t.size(); ++u)
+    for (NodeId v : t.neighbors(u)) EXPECT_TRUE(g.has_edge(u, v));
+}
+
+TEST(SpanningTree, WorksFromAnyRoot) {
+  Rng rng(7);
+  const Graph g = barabasi_albert(50, 2, rng);
+  for (NodeId root : {NodeId{0}, NodeId{17}, NodeId{49}}) {
+    const Graph t = spanning_tree(g, root);
+    EXPECT_TRUE(t.connected());
+    EXPECT_EQ(t.edge_count(), g.size() - 1);
+  }
+}
+
+TEST(LinkDelays, SymmetricDeterministicInRange) {
+  const LinkDelays d(42, 0.1, 0.5);
+  for (NodeId u = 0; u < 50; ++u) {
+    for (NodeId v = u + 1; v < 50; ++v) {
+      const double duv = d.delay(u, v);
+      EXPECT_EQ(duv, d.delay(v, u));
+      EXPECT_GE(duv, 0.1);
+      EXPECT_LT(duv, 0.5);
+    }
+  }
+  EXPECT_EQ(d.delay(3, 9), d.delay(3, 9));
+}
+
+TEST(LinkDelays, DifferentSeedsDiffer) {
+  const LinkDelays a(1, 0.1, 0.5), b(2, 0.1, 0.5);
+  int equal = 0;
+  for (NodeId u = 0; u < 20; ++u) equal += a.delay(u, u + 1) == b.delay(u, u + 1);
+  EXPECT_LT(equal, 3);
+}
+
+TEST(LinkDelays, LinksHaveDistinctDelays) {
+  const LinkDelays d(9, 0.1, 0.5);
+  std::map<double, int> seen;
+  for (NodeId u = 0; u < 30; ++u) ++seen[d.delay(u, u + 1)];
+  EXPECT_GT(seen.size(), 25u);
+}
+
+}  // namespace
+}  // namespace kgrid::net

@@ -1,0 +1,68 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace kgrid {
+namespace {
+
+TEST(PairwiseHash, DeterministicForFixedCoefficients) {
+  PairwiseHash h(12345, 67890);
+  EXPECT_EQ(h(42), h(42));
+  EXPECT_EQ(h.bucket(42, 10), h.bucket(42, 10));
+}
+
+TEST(PairwiseHash, OutputsBelowPrime) {
+  Rng rng(1);
+  PairwiseHash h = PairwiseHash::random(rng);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(h(rng()), PairwiseHash::kPrime);
+}
+
+TEST(PairwiseHash, LinearIdentity) {
+  // h(x) = a x + b mod p exactly, for x < p.
+  const std::uint64_t a = 987654321, b = 123456789;
+  PairwiseHash h(a, b);
+  for (std::uint64_t x : {0ull, 1ull, 2ull, 1000000ull}) {
+    const unsigned __int128 expected =
+        (static_cast<unsigned __int128>(a) * x + b) % PairwiseHash::kPrime;
+    EXPECT_EQ(h(x), static_cast<std::uint64_t>(expected));
+  }
+}
+
+TEST(PairwiseHash, BucketsRoughlyUniform) {
+  Rng rng(2);
+  PairwiseHash h = PairwiseHash::random(rng);
+  const std::uint64_t buckets = 16;
+  std::vector<int> counts(buckets, 0);
+  const int n = 64000;
+  for (int x = 0; x < n; ++x) ++counts[h.bucket(static_cast<std::uint64_t>(x), buckets)];
+  for (auto c : counts) EXPECT_NEAR(c, n / static_cast<int>(buckets), n / 80);
+}
+
+TEST(PairwiseHash, DistinctMembersDisagree) {
+  Rng rng(3);
+  PairwiseHash h1 = PairwiseHash::random(rng);
+  PairwiseHash h2 = PairwiseHash::random(rng);
+  int agree = 0;
+  for (std::uint64_t x = 0; x < 1000; ++x) agree += h1.bucket(x, 100) == h2.bucket(x, 100);
+  EXPECT_LT(agree, 50);  // ~1% expected agreement
+}
+
+TEST(PairwiseHash, PairwiseIndependenceSpotCheck) {
+  // Over random family members, P[h(x1)=y1 and h(x2)=y2] ~ 1/m^2.
+  Rng rng(4);
+  const std::uint64_t m = 8;
+  int joint = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    PairwiseHash h = PairwiseHash::random(rng);
+    joint += h.bucket(17, m) == 3 && h.bucket(99, m) == 5;
+  }
+  EXPECT_NEAR(joint / static_cast<double>(trials), 1.0 / (m * m), 0.01);
+}
+
+}  // namespace
+}  // namespace kgrid

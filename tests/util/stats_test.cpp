@@ -1,0 +1,43 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kgrid {
+namespace {
+
+TEST(RunningStats, MeanAndVarianceKnown) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Percentiles, NearestRank) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.add(i);
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 100.0);
+  EXPECT_NEAR(p.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(p.quantile(0.9), 90.0, 1.0);
+}
+
+TEST(Percentiles, UnsortedInsertOrder) {
+  Percentiles p;
+  for (double x : {9.0, 1.0, 5.0}) p.add(x);
+  EXPECT_DOUBLE_EQ(p.quantile(0.5), 5.0);
+}
+
+}  // namespace
+}  // namespace kgrid

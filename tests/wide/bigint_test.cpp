@@ -1,0 +1,239 @@
+#include "wide/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace kgrid::wide {
+namespace {
+
+using i64 = std::int64_t;
+using i128 = __int128;
+
+std::string dec_of_i128(i128 v) {
+  if (v == 0) return "0";
+  const bool neg = v < 0;
+  unsigned __int128 mag = neg ? static_cast<unsigned __int128>(-(v + 1)) + 1
+                              : static_cast<unsigned __int128>(v);
+  std::string s;
+  while (mag) {
+    s.push_back(static_cast<char>('0' + static_cast<int>(mag % 10)));
+    mag /= 10;
+  }
+  if (neg) s.push_back('-');
+  std::reverse(s.begin(), s.end());
+  return s;
+}
+
+TEST(BigInt, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_negative());
+  EXPECT_EQ(z.to_dec(), "0");
+  EXPECT_EQ(z.bit_length(), 0u);
+}
+
+TEST(BigInt, SmallConstruction) {
+  EXPECT_EQ(BigInt(i64{42}).to_dec(), "42");
+  EXPECT_EQ(BigInt(i64{-42}).to_dec(), "-42");
+  EXPECT_EQ(BigInt(std::uint64_t{0xFFFFFFFFFFFFFFFFull}).to_dec(),
+            "18446744073709551615");
+}
+
+TEST(BigInt, Int64MinRoundTrip) {
+  const i64 min = std::numeric_limits<i64>::min();
+  BigInt v(min);
+  EXPECT_EQ(v.to_dec(), "-9223372036854775808");
+  EXPECT_EQ(v.to_i64(), min);
+}
+
+TEST(BigInt, DecParseRoundTrip) {
+  const std::string s = "123456789012345678901234567890123456789";
+  EXPECT_EQ(BigInt::from_dec(s).to_dec(), s);
+  EXPECT_EQ(BigInt::from_dec("-" + s).to_dec(), "-" + s);
+  EXPECT_EQ(BigInt::from_dec("000123").to_dec(), "123");
+  EXPECT_EQ(BigInt::from_dec("-0").to_dec(), "0");
+}
+
+TEST(BigInt, HexParseRoundTrip) {
+  EXPECT_EQ(BigInt::from_hex("ff").to_dec(), "255");
+  EXPECT_EQ(BigInt::from_hex("DeadBeef").to_hex(), "deadbeef");
+  const std::string big = "123456789abcdef0123456789abcdef";
+  EXPECT_EQ(BigInt::from_hex(big).to_hex(), big);
+}
+
+TEST(BigInt, ComparisonOrdering) {
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_LT(BigInt(-3), BigInt(0));
+  EXPECT_LT(BigInt(0), BigInt(7));
+  EXPECT_LT(BigInt(7), BigInt::from_dec("18446744073709551616"));
+  EXPECT_GT(BigInt::from_dec("-7"), BigInt::from_dec("-18446744073709551616"));
+  EXPECT_EQ(BigInt(5), BigInt(std::uint64_t{5}));
+}
+
+TEST(BigInt, AdditionMatchesInt128) {
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const i64 a = static_cast<i64>(rng());
+    const i64 b = static_cast<i64>(rng());
+    const i128 expected = static_cast<i128>(a) + b;
+    EXPECT_EQ((BigInt(a) + BigInt(b)).to_dec(), dec_of_i128(expected));
+  }
+}
+
+TEST(BigInt, SubtractionMatchesInt128) {
+  Rng rng(12);
+  for (int i = 0; i < 500; ++i) {
+    const i64 a = static_cast<i64>(rng());
+    const i64 b = static_cast<i64>(rng());
+    const i128 expected = static_cast<i128>(a) - b;
+    EXPECT_EQ((BigInt(a) - BigInt(b)).to_dec(), dec_of_i128(expected));
+  }
+}
+
+TEST(BigInt, MultiplicationMatchesInt128) {
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const i64 a = static_cast<i64>(rng()) >> 1;
+    const i64 b = static_cast<i64>(rng()) >> 1;
+    const i128 expected = static_cast<i128>(a) * b;
+    EXPECT_EQ((BigInt(a) * BigInt(b)).to_dec(), dec_of_i128(expected));
+  }
+}
+
+TEST(BigInt, DivModMatchesInt128) {
+  Rng rng(14);
+  for (int i = 0; i < 500; ++i) {
+    const i64 a = static_cast<i64>(rng());
+    i64 b = static_cast<i64>(rng() >> 32);
+    if (b == 0) b = 3;
+    auto [q, r] = BigInt::divmod(BigInt(a), BigInt(b));
+    EXPECT_EQ(q.to_dec(), dec_of_i128(static_cast<i128>(a) / b));
+    EXPECT_EQ(r.to_dec(), dec_of_i128(static_cast<i128>(a) % b));
+  }
+}
+
+TEST(BigInt, DivModReconstructsDividend) {
+  Rng rng(15);
+  for (int i = 0; i < 200; ++i) {
+    BigInt a = BigInt::random_bits(rng, 1 + rng.below(512));
+    BigInt b = BigInt::random_bits(rng, 1 + rng.below(256));
+    if (b.is_zero()) b = BigInt(1);
+    if (rng.bernoulli(0.5)) a = -a;
+    if (rng.bernoulli(0.5)) b = -b;
+    auto [q, r] = BigInt::divmod(a, b);
+    EXPECT_EQ(q * b + r, a) << "a=" << a.to_hex() << " b=" << b.to_hex();
+    EXPECT_LT(r.abs(), b.abs());
+    // Truncated semantics: remainder sign follows dividend.
+    if (!r.is_zero()) EXPECT_EQ(r.is_negative(), a.is_negative());
+  }
+}
+
+TEST(BigInt, DivisionKnuthAddBackStress) {
+  // Divisor patterns with all-ones top limbs exercise the qhat correction
+  // and add-back branch of Algorithm D.
+  const BigInt b = (BigInt(1) << 128) - BigInt(1);
+  for (int k = 0; k < 64; ++k) {
+    const BigInt a = ((BigInt(1) << 256) - (BigInt(1) << k));
+    auto [q, r] = BigInt::divmod(a, b);
+    EXPECT_EQ(q * b + r, a) << k;
+    EXPECT_LT(r, b) << k;
+  }
+}
+
+TEST(BigInt, ShiftsRoundTrip) {
+  Rng rng(16);
+  for (int i = 0; i < 100; ++i) {
+    const BigInt a = BigInt::random_bits(rng, 200);
+    const std::size_t s = rng.below(130);
+    EXPECT_EQ((a << s) >> s, a);
+  }
+  EXPECT_EQ((BigInt(1) << 64).to_hex(), "10000000000000000");
+  EXPECT_EQ((BigInt(3) << 1).to_dec(), "6");
+  EXPECT_EQ((BigInt(7) >> 1).to_dec(), "3");
+  EXPECT_EQ((BigInt(7) >> 100).to_dec(), "0");
+}
+
+TEST(BigInt, MulAssociativeCommutativeDistributive) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    const BigInt a = BigInt::random_bits(rng, 300);
+    const BigInt b = BigInt::random_bits(rng, 300);
+    const BigInt c = BigInt::random_bits(rng, 300);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST(BigInt, SelfAliasingOps) {
+  BigInt a = BigInt::from_dec("123456789123456789123456789");
+  BigInt a2 = a;
+  a += a;
+  EXPECT_EQ(a, a2 * BigInt(2));
+  a -= a;
+  EXPECT_TRUE(a.is_zero());
+  BigInt b = BigInt::from_dec("987654321987654321");
+  BigInt b2 = b;
+  b *= b;
+  EXPECT_EQ(b, b2 * b2);
+}
+
+TEST(BigInt, ModFloorAlwaysNonNegative) {
+  const BigInt m(7);
+  EXPECT_EQ(BigInt(10).mod_floor(m).to_dec(), "3");
+  EXPECT_EQ(BigInt(-10).mod_floor(m).to_dec(), "4");
+  EXPECT_EQ(BigInt(-7).mod_floor(m).to_dec(), "0");
+  EXPECT_EQ(BigInt(0).mod_floor(m).to_dec(), "0");
+}
+
+TEST(BigInt, BitLengthAndBits) {
+  EXPECT_EQ(BigInt(1).bit_length(), 1u);
+  EXPECT_EQ(BigInt(255).bit_length(), 8u);
+  EXPECT_EQ(BigInt(256).bit_length(), 9u);
+  EXPECT_EQ((BigInt(1) << 1000).bit_length(), 1001u);
+  const BigInt v(std::uint64_t{0b1010});
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_FALSE(v.bit(2));
+  EXPECT_TRUE(v.bit(3));
+  EXPECT_FALSE(v.bit(64));
+}
+
+TEST(BigInt, RandomBitsWithinRange) {
+  Rng rng(18);
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t bits = 1 + rng.below(300);
+    const BigInt v = BigInt::random_bits(rng, bits);
+    EXPECT_LE(v.bit_length(), bits);
+  }
+}
+
+TEST(BigInt, RandomBelowWithinRange) {
+  Rng rng(19);
+  const BigInt bound = BigInt::from_dec("1000000000000000000000000000");
+  for (int i = 0; i < 200; ++i) {
+    const BigInt v = BigInt::random_below(rng, bound);
+    EXPECT_FALSE(v.is_negative());
+    EXPECT_LT(v, bound);
+  }
+}
+
+TEST(BigInt, NegationAndAbs) {
+  const BigInt a = BigInt::from_dec("-12345678901234567890");
+  EXPECT_EQ((-a).to_dec(), "12345678901234567890");
+  EXPECT_EQ(a.abs().to_dec(), "12345678901234567890");
+  EXPECT_EQ((-BigInt(0)).to_dec(), "0");
+}
+
+TEST(BigInt, LargeFactorialKnownValue) {
+  BigInt f(1);
+  for (int i = 2; i <= 30; ++i) f *= BigInt(i);
+  EXPECT_EQ(f.to_dec(), "265252859812191058636308480000000");
+}
+
+}  // namespace
+}  // namespace kgrid::wide

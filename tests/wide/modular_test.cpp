@@ -1,0 +1,163 @@
+#include "wide/modular.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "wide/prime.hpp"
+
+namespace kgrid::wide {
+namespace {
+
+TEST(Gcd, KnownValues) {
+  EXPECT_EQ(gcd(BigInt(12), BigInt(18)).to_dec(), "6");
+  EXPECT_EQ(gcd(BigInt(17), BigInt(5)).to_dec(), "1");
+  EXPECT_EQ(gcd(BigInt(0), BigInt(9)).to_dec(), "9");
+  EXPECT_EQ(gcd(BigInt(9), BigInt(0)).to_dec(), "9");
+  EXPECT_EQ(gcd(BigInt(-12), BigInt(18)).to_dec(), "6");
+}
+
+TEST(Gcd, DividesBothOperands) {
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    const BigInt a = BigInt::random_bits(rng, 256);
+    const BigInt b = BigInt::random_bits(rng, 256);
+    if (a.is_zero() || b.is_zero()) continue;
+    const BigInt g = gcd(a, b);
+    EXPECT_TRUE((a % g).is_zero());
+    EXPECT_TRUE((b % g).is_zero());
+  }
+}
+
+TEST(Lcm, ProductIdentity) {
+  Rng rng(22);
+  for (int i = 0; i < 50; ++i) {
+    const BigInt a = BigInt(1) + BigInt::random_bits(rng, 128);
+    const BigInt b = BigInt(1) + BigInt::random_bits(rng, 128);
+    EXPECT_EQ(lcm(a, b) * gcd(a, b), a * b);
+  }
+  EXPECT_TRUE(lcm(BigInt(0), BigInt(5)).is_zero());
+}
+
+TEST(ModInverse, RoundTrip) {
+  Rng rng(23);
+  const BigInt m = BigInt::from_dec("1000000007");  // prime
+  for (int i = 0; i < 100; ++i) {
+    const BigInt a = BigInt(1) + BigInt::random_below(rng, m - BigInt(1));
+    const BigInt inv = mod_inverse(a, m);
+    EXPECT_EQ((a * inv).mod_floor(m).to_dec(), "1");
+    EXPECT_FALSE(inv.is_negative());
+    EXPECT_LT(inv, m);
+  }
+}
+
+TEST(ModInverse, NegativeOperand) {
+  const BigInt m(11);
+  EXPECT_EQ((BigInt(-3) * mod_inverse(BigInt(-3), m)).mod_floor(m).to_dec(), "1");
+}
+
+TEST(ModPow, SmallKnownValues) {
+  EXPECT_EQ(mod_pow(BigInt(2), BigInt(10), BigInt(1000)).to_dec(), "24");
+  EXPECT_EQ(mod_pow(BigInt(3), BigInt(0), BigInt(7)).to_dec(), "1");
+  EXPECT_EQ(mod_pow(BigInt(0), BigInt(5), BigInt(7)).to_dec(), "0");
+  EXPECT_EQ(mod_pow(BigInt(7), BigInt(1), BigInt(13)).to_dec(), "7");
+  // Even modulus path.
+  EXPECT_EQ(mod_pow(BigInt(3), BigInt(4), BigInt(100)).to_dec(), "81");
+}
+
+TEST(ModPow, FermatLittleTheorem) {
+  Rng rng(24);
+  const BigInt p = BigInt::from_dec("170141183460469231731687303715884105727");  // 2^127-1
+  for (int i = 0; i < 20; ++i) {
+    const BigInt a = BigInt(2) + BigInt::random_below(rng, p - BigInt(3));
+    EXPECT_EQ(mod_pow(a, p - BigInt(1), p).to_dec(), "1");
+  }
+}
+
+TEST(ModPow, MatchesNaiveLoop) {
+  Rng rng(25);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t base = rng.below(1000);
+    const std::uint64_t exp = rng.below(30);
+    const std::uint64_t mod = 3 + 2 * rng.below(5000);  // odd -> Montgomery path
+    std::uint64_t expected = 1 % mod;
+    for (std::uint64_t e = 0; e < exp; ++e) expected = expected * base % mod;
+    EXPECT_EQ(mod_pow(BigInt(base), BigInt(exp), BigInt(mod)).to_u64(), expected)
+        << base << "^" << exp << " mod " << mod;
+  }
+}
+
+TEST(Montgomery, MulMatchesDirect) {
+  Rng rng(26);
+  const BigInt m = BigInt::from_hex("f123456789abcdef0123456789abcdef1");  // odd
+  const Montgomery mont(m);
+  for (int i = 0; i < 100; ++i) {
+    const BigInt a = BigInt::random_below(rng, m);
+    const BigInt b = BigInt::random_below(rng, m);
+    EXPECT_EQ(mont.mul(a, b), (a * b) % m);
+  }
+}
+
+TEST(Montgomery, PowExponentLaws) {
+  Rng rng(27);
+  const BigInt m = (BigInt(1) << 255) - BigInt(19);  // odd prime-like modulus
+  const Montgomery mont(m);
+  for (int i = 0; i < 20; ++i) {
+    const BigInt a = BigInt::random_below(rng, m);
+    const BigInt x = BigInt::random_bits(rng, 64);
+    const BigInt y = BigInt::random_bits(rng, 64);
+    // a^x * a^y == a^(x+y)
+    EXPECT_EQ(mont.mul(mont.pow(a, x), mont.pow(a, y)), mont.pow(a, x + y));
+    // (a^x)^y == a^(x*y)
+    EXPECT_EQ(mont.pow(mont.pow(a, x), y), mont.pow(a, x * y));
+  }
+}
+
+TEST(Montgomery, WorksForSingleLimbModulus) {
+  const Montgomery mont(BigInt(std::uint64_t{1000003}));
+  EXPECT_EQ(mont.pow(BigInt(2), BigInt(20)).to_u64(), 1048576u % 1000003u);
+  EXPECT_EQ(mont.mul(BigInt(999999), BigInt(999999)).to_u64(),
+            (999999ull * 999999ull) % 1000003ull);
+}
+
+TEST(Prime, SmallKnownPrimes) {
+  Rng rng(28);
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 101ull, 257ull, 65537ull, 1000000007ull})
+    EXPECT_TRUE(is_probable_prime(BigInt(p), rng)) << p;
+  for (std::uint64_t c : {0ull, 1ull, 4ull, 100ull, 65539ull * 3ull, 1000000007ull * 3ull})
+    EXPECT_FALSE(is_probable_prime(BigInt(c), rng)) << c;
+}
+
+TEST(Prime, CarmichaelNumbersRejected) {
+  Rng rng(29);
+  // Classic Fermat pseudoprimes that fool base-only tests.
+  for (std::uint64_t c : {561ull, 1105ull, 1729ull, 2465ull, 2821ull, 6601ull, 8911ull})
+    EXPECT_FALSE(is_probable_prime(BigInt(c), rng)) << c;
+}
+
+TEST(Prime, MersennePrimesAccepted) {
+  Rng rng(30);
+  EXPECT_TRUE(is_probable_prime((BigInt(1) << 61) - BigInt(1), rng));
+  EXPECT_TRUE(is_probable_prime((BigInt(1) << 127) - BigInt(1), rng));
+  EXPECT_FALSE(is_probable_prime((BigInt(1) << 67) - BigInt(1), rng));  // composite
+}
+
+TEST(Prime, RandomPrimeHasExactWidthAndIsPrime) {
+  Rng rng(31);
+  for (std::size_t bits : {16u, 32u, 64u, 128u}) {
+    const BigInt p = random_prime(rng, bits);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(p.is_odd());
+    EXPECT_TRUE(is_probable_prime(p, rng));
+  }
+}
+
+TEST(Prime, DistinctPrimesFromDistinctDraws) {
+  Rng rng(32);
+  const BigInt p = random_prime(rng, 96);
+  const BigInt q = random_prime(rng, 96);
+  EXPECT_NE(p, q);
+  EXPECT_EQ(gcd(p, q).to_dec(), "1");
+}
+
+}  // namespace
+}  // namespace kgrid::wide
