@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_malicious.dir/ablation_malicious.cpp.o"
+  "CMakeFiles/ablation_malicious.dir/ablation_malicious.cpp.o.d"
+  "ablation_malicious"
+  "ablation_malicious.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_malicious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

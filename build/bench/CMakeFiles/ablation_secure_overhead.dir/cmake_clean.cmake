@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_secure_overhead.dir/ablation_secure_overhead.cpp.o"
+  "CMakeFiles/ablation_secure_overhead.dir/ablation_secure_overhead.cpp.o.d"
+  "ablation_secure_overhead"
+  "ablation_secure_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_secure_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_convergence.dir/fig2_convergence.cpp.o"
+  "CMakeFiles/fig2_convergence.dir/fig2_convergence.cpp.o.d"
+  "fig2_convergence"
+  "fig2_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

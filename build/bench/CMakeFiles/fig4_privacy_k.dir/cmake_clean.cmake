@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_privacy_k.dir/fig4_privacy_k.cpp.o"
+  "CMakeFiles/fig4_privacy_k.dir/fig4_privacy_k.cpp.o.d"
+  "fig4_privacy_k"
+  "fig4_privacy_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_privacy_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmo_grid.dir/hmo_grid.cpp.o"
+  "CMakeFiles/hmo_grid.dir/hmo_grid.cpp.o.d"
+  "hmo_grid"
+  "hmo_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmo_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/malicious_attack.cpp" "examples/CMakeFiles/malicious_attack.dir/malicious_attack.cpp.o" "gcc" "examples/CMakeFiles/malicious_attack.dir/malicious_attack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/kgrid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/kgrid_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/wide/CMakeFiles/kgrid_wide.dir/DependInfo.cmake"
+  "/root/repo/build/src/arm/CMakeFiles/kgrid_arm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/kgrid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/kgrid_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

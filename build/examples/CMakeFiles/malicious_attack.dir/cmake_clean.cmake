@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malicious_attack.dir/malicious_attack.cpp.o"
+  "CMakeFiles/malicious_attack.dir/malicious_attack.cpp.o.d"
+  "malicious_attack"
+  "malicious_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malicious_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgrid_arm.dir/apriori.cpp.o"
+  "CMakeFiles/kgrid_arm.dir/apriori.cpp.o.d"
+  "CMakeFiles/kgrid_arm.dir/candidates.cpp.o"
+  "CMakeFiles/kgrid_arm.dir/candidates.cpp.o.d"
+  "libkgrid_arm.a"
+  "libkgrid_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgrid_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

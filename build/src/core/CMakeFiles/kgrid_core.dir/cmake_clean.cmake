@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgrid_core.dir/broker.cpp.o"
+  "CMakeFiles/kgrid_core.dir/broker.cpp.o.d"
+  "CMakeFiles/kgrid_core.dir/controller.cpp.o"
+  "CMakeFiles/kgrid_core.dir/controller.cpp.o.d"
+  "libkgrid_core.a"
+  "libkgrid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgrid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

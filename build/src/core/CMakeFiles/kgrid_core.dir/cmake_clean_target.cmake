@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkgrid_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgrid_crypto.dir/hom.cpp.o"
+  "CMakeFiles/kgrid_crypto.dir/hom.cpp.o.d"
+  "CMakeFiles/kgrid_crypto.dir/paillier.cpp.o"
+  "CMakeFiles/kgrid_crypto.dir/paillier.cpp.o.d"
+  "libkgrid_crypto.a"
+  "libkgrid_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgrid_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

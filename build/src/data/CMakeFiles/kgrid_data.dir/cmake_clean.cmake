@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgrid_data.dir/partition.cpp.o"
+  "CMakeFiles/kgrid_data.dir/partition.cpp.o.d"
+  "CMakeFiles/kgrid_data.dir/quest.cpp.o"
+  "CMakeFiles/kgrid_data.dir/quest.cpp.o.d"
+  "libkgrid_data.a"
+  "libkgrid_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgrid_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

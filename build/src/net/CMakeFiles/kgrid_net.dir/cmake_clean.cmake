@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgrid_net.dir/topology.cpp.o"
+  "CMakeFiles/kgrid_net.dir/topology.cpp.o.d"
+  "libkgrid_net.a"
+  "libkgrid_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgrid_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wide/bigint.cpp" "src/wide/CMakeFiles/kgrid_wide.dir/bigint.cpp.o" "gcc" "src/wide/CMakeFiles/kgrid_wide.dir/bigint.cpp.o.d"
+  "/root/repo/src/wide/modular.cpp" "src/wide/CMakeFiles/kgrid_wide.dir/modular.cpp.o" "gcc" "src/wide/CMakeFiles/kgrid_wide.dir/modular.cpp.o.d"
+  "/root/repo/src/wide/prime.cpp" "src/wide/CMakeFiles/kgrid_wide.dir/prime.cpp.o" "gcc" "src/wide/CMakeFiles/kgrid_wide.dir/prime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

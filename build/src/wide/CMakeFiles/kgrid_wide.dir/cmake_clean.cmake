@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgrid_wide.dir/bigint.cpp.o"
+  "CMakeFiles/kgrid_wide.dir/bigint.cpp.o.d"
+  "CMakeFiles/kgrid_wide.dir/modular.cpp.o"
+  "CMakeFiles/kgrid_wide.dir/modular.cpp.o.d"
+  "CMakeFiles/kgrid_wide.dir/prime.cpp.o"
+  "CMakeFiles/kgrid_wide.dir/prime.cpp.o.d"
+  "libkgrid_wide.a"
+  "libkgrid_wide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgrid_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

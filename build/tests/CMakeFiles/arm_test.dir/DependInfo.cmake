@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arm/apriori_test.cpp" "tests/CMakeFiles/arm_test.dir/arm/apriori_test.cpp.o" "gcc" "tests/CMakeFiles/arm_test.dir/arm/apriori_test.cpp.o.d"
+  "/root/repo/tests/arm/candidates_test.cpp" "tests/CMakeFiles/arm_test.dir/arm/candidates_test.cpp.o" "gcc" "tests/CMakeFiles/arm_test.dir/arm/candidates_test.cpp.o.d"
+  "/root/repo/tests/arm/counting_test.cpp" "tests/CMakeFiles/arm_test.dir/arm/counting_test.cpp.o" "gcc" "tests/CMakeFiles/arm_test.dir/arm/counting_test.cpp.o.d"
+  "/root/repo/tests/arm/metrics_test.cpp" "tests/CMakeFiles/arm_test.dir/arm/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/arm_test.dir/arm/metrics_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arm/CMakeFiles/kgrid_arm.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/kgrid_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

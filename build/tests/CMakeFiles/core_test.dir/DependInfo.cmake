@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/attacks_test.cpp" "tests/CMakeFiles/core_test.dir/core/attacks_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/attacks_test.cpp.o.d"
+  "/root/repo/tests/core/entities_test.cpp" "tests/CMakeFiles/core_test.dir/core/entities_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/entities_test.cpp.o.d"
+  "/root/repo/tests/core/env_test.cpp" "tests/CMakeFiles/core_test.dir/core/env_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/env_test.cpp.o.d"
+  "/root/repo/tests/core/ktpp_test.cpp" "tests/CMakeFiles/core_test.dir/core/ktpp_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ktpp_test.cpp.o.d"
+  "/root/repo/tests/core/property_test.cpp" "tests/CMakeFiles/core_test.dir/core/property_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/property_test.cpp.o.d"
+  "/root/repo/tests/core/secure_grid_test.cpp" "tests/CMakeFiles/core_test.dir/core/secure_grid_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/secure_grid_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/kgrid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/kgrid_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/wide/CMakeFiles/kgrid_wide.dir/DependInfo.cmake"
+  "/root/repo/build/src/arm/CMakeFiles/kgrid_arm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/kgrid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/kgrid_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

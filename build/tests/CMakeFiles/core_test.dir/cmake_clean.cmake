@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/attacks_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/attacks_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/entities_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/entities_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/env_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/env_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/ktpp_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/ktpp_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/property_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/property_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/secure_grid_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/secure_grid_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

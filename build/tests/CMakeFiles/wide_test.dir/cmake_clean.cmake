@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_test.dir/wide/bigint_test.cpp.o"
+  "CMakeFiles/wide_test.dir/wide/bigint_test.cpp.o.d"
+  "CMakeFiles/wide_test.dir/wide/modular_test.cpp.o"
+  "CMakeFiles/wide_test.dir/wide/modular_test.cpp.o.d"
+  "wide_test"
+  "wide_test.pdb"
+  "wide_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
