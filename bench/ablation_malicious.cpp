@@ -2,7 +2,7 @@
 // steps after the takeover the grid quarantines the culprit, and the final
 // recall of the honest resources.
 //
-//   ./ablation_malicious [--resources=16]
+//   ./ablation_malicious [--resources=16] [--json[=PATH]]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -13,6 +13,9 @@ int main(int argc, char** argv) {
   const auto resources =
       static_cast<std::size_t>(cli.get_int("resources", 16));
   const std::size_t attack_step = 15;
+  bench::JsonSink sink(cli, "ablation_malicious");
+  sink.arg("resources", obs::Json(resources));
+  sink.arg("attack_step", obs::Json(attack_step));
 
   std::printf("# Ablation: malicious broker behaviours "
               "(%zu resources, takeover at step %zu)\n",
@@ -50,6 +53,7 @@ int main(int argc, char** argv) {
                       attack_step};
 
     core::SecureGrid grid(cfg);
+    sink.attach(grid.engine());
     const auto reference = grid.env().reference({0.2, 0.8});
     // Detection = the grid broadcast *someone* as malicious. Algorithm 3
     // attributes by timestamp-slot owner, so an attacker that replays or
@@ -86,8 +90,18 @@ int main(int argc, char** argv) {
                 100.0 * (detected ? grid.quarantine_coverage(blamed) : 0.0),
                 honest_recall);
     std::fflush(stdout);
+    obs::Json row = obs::Json::object();
+    row.set("behaviour", name);
+    row.set("detected", detected);
+    row.set("detected_after_steps", detected_after);
+    row.set("blamed", blamed);
+    row.set("quarantine_coverage",
+            detected ? grid.quarantine_coverage(blamed) : 0.0);
+    row.set("honest_recall", honest_recall);
+    row.set("protocol", grid.protocol_stats());
+    sink.row(std::move(row));
   }
   std::printf("\n(mute is undetectable by design: refusing to send is "
               "indistinguishable from a slow link.)\n");
-  return 0;
+  return sink.write() ? 0 : 1;
 }

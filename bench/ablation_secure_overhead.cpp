@@ -7,6 +7,7 @@
 // cost of the k-gate itself.
 //
 //   ./ablation_secure_overhead [--resources=32] [--local=500]
+//                               [--json[=PATH]]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -17,6 +18,9 @@ int main(int argc, char** argv) {
   const auto resources =
       static_cast<std::size_t>(cli.get_int("resources", 32));
   const auto local = static_cast<std::size_t>(cli.get_int("local", 500));
+  bench::JsonSink sink(cli, "ablation_secure_overhead");
+  sink.arg("resources", obs::Json(resources));
+  sink.arg("local", obs::Json(local));
 
   core::GridEnvConfig env_cfg;
   env_cfg.n_resources = resources;
@@ -40,6 +44,7 @@ int main(int argc, char** argv) {
     base.min_conf = thresholds.min_conf;
     base.arrivals_per_step = 0;
     core::BaselineGrid grid(env_cfg, base);
+    sink.attach(grid.engine());
     const auto reference = grid.env().reference(thresholds);
     auto recall = [&] { return grid.average_recall(reference); };
     const std::size_t steps = bench::steps_to_target(grid, recall, 0.9, 400);
@@ -48,6 +53,11 @@ int main(int argc, char** argv) {
                     grid.engine().messages_delivered()),
                 "n/a");
     std::fflush(stdout);
+    obs::Json row = obs::Json::object();
+    row.set("variant", "majority-rule");
+    row.set("steps_to_recall", steps);
+    row.set("messages_delivered", grid.engine().messages_delivered());
+    sink.row(std::move(row));
   }
 
   for (std::int64_t k : {1, 10}) {
@@ -59,6 +69,7 @@ int main(int argc, char** argv) {
     cfg.secure.arrivals_per_step = 0;
     cfg.attach_monitor = true;
     core::SecureGrid grid(cfg);
+    sink.attach(grid.engine());
     const auto reference = grid.env().reference(thresholds);
     auto recall = [&] { return grid.average_recall(reference); };
     const std::size_t steps = bench::steps_to_target(grid, recall, 0.9, 400);
@@ -70,6 +81,14 @@ int main(int argc, char** argv) {
                     grid.engine().messages_delivered()),
                 static_cast<unsigned long long>(grid.monitor().grants()));
     std::fflush(stdout);
+    obs::Json row = obs::Json::object();
+    row.set("variant", "secure-majority-rule");
+    row.set("k", k);
+    row.set("steps_to_recall", steps);
+    row.set("messages_delivered", grid.engine().messages_delivered());
+    row.set("monitor_grants", grid.monitor().grants());
+    row.set("protocol", grid.protocol_stats());
+    sink.row(std::move(row));
   }
-  return 0;
+  return sink.write() ? 0 : 1;
 }

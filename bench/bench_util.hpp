@@ -2,11 +2,67 @@
 #pragma once
 
 #include <cstdio>
+#include <string>
+#include <utility>
 
 #include "core/grid.hpp"
+#include "obs/bench_report.hpp"
 #include "util/cli.hpp"
 
 namespace kgrid::bench {
+
+/// Glue between a bench binary's Cli and its BENCH_*.json artifact
+/// (docs/METRICS.md). Constructed first thing in main() so the wall clock
+/// covers the whole run; `--json` (default path BENCH_<name>.json) or
+/// `--json=<path>` turns it on. When off, every method is a no-op and no
+/// engine instrumentation is attached, so the figures run at the exact
+/// uninstrumented speed.
+class JsonSink {
+ public:
+  JsonSink(const Cli& cli, const std::string& bench) : report_(bench) {
+    if (!cli.has("json")) return;
+    const std::string p = cli.get("json", "");
+    path_ = (p.empty() || p == "1") ? "BENCH_" + bench + ".json" : p;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Record a parsed flag value under "args".
+  void arg(std::string_view key, obs::Json v) {
+    if (enabled()) report_.set_arg(key, std::move(v));
+  }
+
+  /// Record one series row (one per printed table cell or line).
+  void row(obs::Json r) {
+    if (enabled()) report_.add_row(std::move(r));
+  }
+
+  /// Attach a bench-specific top-level section.
+  void section(std::string_view key, obs::Json v) {
+    if (enabled()) report_.set_section(key, std::move(v));
+  }
+
+  /// Instrument an engine. The one EngineMetrics accumulates across every
+  /// engine the bench constructs (the envelope reports totals).
+  void attach(sim::Engine& engine) {
+    if (enabled()) engine.attach_metrics(&metrics_);
+  }
+
+  /// Stamp the sim/crypto/wall-time sections and write the artifact.
+  /// Returns false (after printing to stderr) when the file is unwritable.
+  bool write() {
+    if (!enabled()) return true;
+    report_.set_sim(metrics_.to_json());
+    if (!report_.write(path_)) return false;
+    std::printf("\nwrote %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string path_;
+  obs::BenchReport report_;
+  sim::EngineMetrics metrics_;
+};
 
 /// Ground truth over the data that has arrived by `step` (initial
 /// partitions plus the per-step arrivals every resource has consumed).

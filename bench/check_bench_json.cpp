@@ -1,0 +1,57 @@
+// Validate BENCH_*.json artifacts against the kgrid.bench.v1 schema
+// (obs::validate_bench_json, documented in docs/METRICS.md). Exit status 0
+// when every file validates, 1 otherwise — used by CI and the bench ctest
+// entries against real bench output.
+//
+//   ./check_bench_json FILE...
+#include <cstdio>
+#include <string>
+
+#include "obs/bench_report.hpp"
+
+namespace {
+
+bool read_file(const char* path, std::string& out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, got);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: check_bench_json FILE...\n");
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string text;
+    if (!read_file(argv[i], text)) {
+      std::fprintf(stderr, "%s: cannot read\n", argv[i]);
+      rc = 1;
+      continue;
+    }
+    const auto parsed = kgrid::obs::Json::parse(text);
+    if (!parsed) {
+      std::fprintf(stderr, "%s: not valid JSON\n", argv[i]);
+      rc = 1;
+      continue;
+    }
+    const std::string err = kgrid::obs::validate_bench_json(*parsed);
+    if (!err.empty()) {
+      std::fprintf(stderr, "%s: %s\n", argv[i], err.c_str());
+      rc = 1;
+      continue;
+    }
+    const kgrid::obs::Json* bench = parsed->find("bench");
+    std::printf("%s: ok (bench=%s, %zu series rows)\n", argv[i],
+                bench->as_string().c_str(),
+                parsed->find("series")->elements().size());
+  }
+  return rc;
+}

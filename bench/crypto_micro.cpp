@@ -3,10 +3,20 @@
 // operations, and the plain ideal-functionality backend for contrast —
 // quantifying why the large-scale figure benches default to the plain
 // backend (see DESIGN.md "Paillier at simulation scale").
+//
+// Besides google-benchmark's own flags, `--json[=PATH]` (kgrid convention,
+// stripped before benchmark::Initialize) writes a kgrid.bench.v1 envelope
+// with one series row per benchmark run — see docs/METRICS.md.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "crypto/counter.hpp"
 #include "crypto/paillier.hpp"
+#include "obs/bench_report.hpp"
 #include "wide/modular.hpp"
 #include "wide/prime.hpp"
 
@@ -149,6 +159,62 @@ BENCHMARK(BM_CounterAggregate<hom::Backend::kPlain>);
 BENCHMARK(BM_CounterAggregate<hom::Backend::kPaillier>)
     ->Unit(benchmark::kMicrosecond);
 
+/// Console reporter that additionally captures every run as a series row
+/// ({name, iterations, real_time, cpu_time, time_unit}).
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.error_occurred) continue;
+      obs::Json row = obs::Json::object();
+      row.set("name", run.benchmark_name());
+      row.set("iterations", static_cast<std::uint64_t>(run.iterations));
+      row.set("real_time", run.GetAdjustedRealTime());
+      row.set("cpu_time", run.GetAdjustedCPUTime());
+      row.set("time_unit", benchmark::GetTimeUnitString(run.time_unit));
+      rows.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  std::vector<obs::Json> rows;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Split off --json before google-benchmark sees (and rejects) it.
+  std::string json_path;
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (i > 0 && arg.rfind("--json", 0) == 0) {
+      const auto eq = arg.find('=');
+      json_path = eq == std::string_view::npos ? std::string()
+                                               : std::string(arg.substr(eq + 1));
+      if (json_path.empty()) json_path = "BENCH_crypto_micro.json";
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  const bool json_enabled = bench_argv.size() < static_cast<std::size_t>(argc);
+  int bench_argc = static_cast<int>(bench_argv.size());
+
+  kgrid::obs::BenchReport report("crypto_micro");
+  for (int i = 1; i < bench_argc; ++i)
+    report.set_arg("argv" + std::to_string(i), bench_argv[i]);
+
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data()))
+    return 1;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (json_enabled) {
+    for (auto& row : reporter.rows) report.add_row(std::move(row));
+    if (!report.write(json_path)) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -10,7 +10,7 @@
 // Default here: 32 x 500 (one core); --paper raises it.
 //
 //   ./fig2_convergence [--resources=32] [--local=500] [--k=10] [--scans=5]
-//                      [--paper]
+//                      [--paper] [--json[=PATH]]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -25,6 +25,12 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("local", paper ? 10000 : 800));
   const auto k = cli.get_int("k", 10);
   const auto scans = static_cast<std::size_t>(cli.get_int("scans", 4));
+  bench::JsonSink sink(cli, "fig2_convergence");
+  sink.arg("resources", obs::Json(resources));
+  sink.arg("local", obs::Json(local));
+  sink.arg("k", obs::Json(k));
+  sink.arg("scans", obs::Json(scans));
+  sink.arg("paper", obs::Json(paper));
 
   std::printf("# Figure 2: recall/precision vs database scans "
               "(%zu resources, %zu tx local, k=%lld)\n",
@@ -67,6 +73,8 @@ int main(int argc, char** argv) {
 
     core::SecureGrid secure(cfg);
     core::BaselineGrid baseline(cfg.env, base);
+    sink.attach(secure.engine());
+    sink.attach(baseline.engine());
 
     const std::size_t steps_per_scan = local / cfg.secure.count_budget;
     for (std::size_t half_scan = 1; half_scan <= 2 * scans; ++half_scan) {
@@ -76,14 +84,24 @@ int main(int argc, char** argv) {
       const auto reference = bench::reference_at(
           secure.env(), half_scan * chunk, cfg.secure.arrivals_per_step,
           {cfg.secure.min_freq, cfg.secure.min_conf});
+      const double sec_recall = secure.average_recall(reference);
+      const double sec_precision = secure.average_precision(reference);
+      const double base_recall = baseline.average_recall(reference);
+      const double base_precision = baseline.average_precision(reference);
       std::printf("%-6s %6.1f %14.3f %14.3f %16.3f %16.3f\n", preset,
-                  0.5 * static_cast<double>(half_scan),
-                  secure.average_recall(reference),
-                  secure.average_precision(reference),
-                  baseline.average_recall(reference),
-                  baseline.average_precision(reference));
+                  0.5 * static_cast<double>(half_scan), sec_recall,
+                  sec_precision, base_recall, base_precision);
       std::fflush(stdout);
+      obs::Json row = obs::Json::object();
+      row.set("db", preset);
+      row.set("scans", 0.5 * static_cast<double>(half_scan));
+      row.set("secure_recall", sec_recall);
+      row.set("secure_precision", sec_precision);
+      row.set("baseline_recall", base_recall);
+      row.set("baseline_precision", base_precision);
+      sink.row(std::move(row));
     }
+    sink.section(std::string("protocol_") + preset, secure.protocol_stats());
   }
-  return 0;
+  return sink.write() ? 0 : 1;
 }

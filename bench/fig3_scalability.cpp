@@ -10,7 +10,7 @@
 // zero, the more steps are needed.
 //
 //   ./fig3_scalability [--max_resources=512] [--local=1000] [--k=10]
-//                      [--paper]
+//                      [--paper] [--json[=PATH]]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -68,6 +68,12 @@ int main(int argc, char** argv) {
   const auto local = static_cast<std::size_t>(cli.get_int("local", 100));
   const auto k = cli.get_int("k", 10);
   const double lambda = 0.5;
+  kgrid::bench::JsonSink sink(cli, "fig3_scalability");
+  sink.arg("max_resources", kgrid::obs::Json(max_resources));
+  sink.arg("local", kgrid::obs::Json(local));
+  sink.arg("k", kgrid::obs::Json(k));
+  sink.arg("lambda", kgrid::obs::Json(lambda));
+  sink.arg("paper", kgrid::obs::Json(paper));
 
   std::printf("# Figure 3: steps to 98%% recall vs resources "
               "(single itemset, lambda=%.2f, k=%lld)\n",
@@ -93,6 +99,7 @@ int main(int argc, char** argv) {
 
       core::SecureGrid grid(cfg, single_itemset_env(n, local, lambda, sig,
                                                     cfg.env.seed));
+      sink.attach(grid.engine());
       const arm::Candidate vote = arm::frequency_candidate({0});
       auto recall = [&grid, &vote] {
         std::size_t right = 0;
@@ -113,8 +120,17 @@ int main(int argc, char** argv) {
                       static_cast<unsigned long long>(msgs_per_resource));
       std::printf("  %-12s", cell);
       std::fflush(stdout);
+      kgrid::obs::Json row = kgrid::obs::Json::object();
+      row.set("resources", n);
+      row.set("significance", sig);
+      row.set("steps_to_recall", steps);
+      row.set("converged", steps <= 400);
+      row.set("messages_delivered", grid.engine().messages_delivered());
+      row.set("messages_per_resource", msgs_per_resource);
+      row.set("protocol", grid.protocol_stats());
+      sink.row(std::move(row));
     }
     std::printf("\n");
   }
-  return 0;
+  return sink.write() ? 0 : 1;
 }

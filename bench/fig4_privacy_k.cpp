@@ -6,7 +6,7 @@
 // 64 x 400 (one core); --paper raises it.
 //
 //   ./fig4_privacy_k [--resources=64] [--local=400] [--max_steps=400]
-//                    [--paper]
+//                    [--paper] [--json[=PATH]]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -21,6 +21,11 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("local", paper ? 10000 : 400));
   const auto max_steps =
       static_cast<std::size_t>(cli.get_int("max_steps", 400));
+  bench::JsonSink sink(cli, "fig4_privacy_k");
+  sink.arg("resources", obs::Json(resources));
+  sink.arg("local", obs::Json(local));
+  sink.arg("max_steps", obs::Json(max_steps));
+  sink.arg("paper", obs::Json(paper));
 
   std::printf("# Figure 4: steps to 90%% recall vs privacy parameter k "
               "(T10I4, %zu resources, %zu tx local)\n",
@@ -47,6 +52,7 @@ int main(int argc, char** argv) {
     cfg.attach_monitor = true;
 
     core::SecureGrid grid(cfg);
+    sink.attach(grid.engine());
     const auto reference = grid.env().reference({0.15, 0.8});
     auto recall = [&grid, &reference] {
       return grid.average_recall(reference);
@@ -60,6 +66,13 @@ int main(int argc, char** argv) {
       std::printf("%8lld %16zu %14llu\n", static_cast<long long>(k), steps,
                   static_cast<unsigned long long>(grid.monitor().grants()));
     std::fflush(stdout);
+    obs::Json row = obs::Json::object();
+    row.set("k", k);
+    row.set("steps_to_recall", steps);
+    row.set("converged", steps <= max_steps);
+    row.set("monitor_grants", grid.monitor().grants());
+    row.set("protocol", grid.protocol_stats());
+    sink.row(std::move(row));
   }
-  return 0;
+  return sink.write() ? 0 : 1;
 }

@@ -27,6 +27,14 @@ class Accountant {
   net::NodeId id() const { return id_; }
   const hom::CounterLayout& layout() const { return layout_; }
 
+  /// Protocol-level accounting (docs/METRICS.md): how many encrypted
+  /// replies and share tokens this accountant produced.
+  struct Stats {
+    std::uint64_t replies = 0;
+    std::uint64_t share_tokens = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
   /// Plaintext share table (slot -> share). Handed to this resource's
   /// controller at setup so it can verify aggregates; never leaves the
   /// resource.
@@ -36,6 +44,7 @@ class Accountant {
   /// to that neighbour's broker at setup ("The accountant is the one
   /// responsible for creating, encrypting, and distributing the shares").
   hom::Cipher share_token(std::size_t slot) {
+    ++stats_.share_tokens;
     return hom::make_share_token(key_, layout_, shares_.at(slot), rng_);
   }
 
@@ -57,6 +66,7 @@ class Accountant {
   /// t increases with every reply so a broker replaying an old reply is
   /// caught by the controller's trace.
   hom::Cipher reply(const arm::Candidate& c) {
+    ++stats_.replies;
     const auto counts = counter_.counts(c);
     return hom::make_counter(key_, layout_, counts.sum, counts.count,
                              /*num=*/1, shares_[0], /*ts_slot=*/0,
@@ -74,6 +84,7 @@ class Accountant {
   std::vector<std::uint64_t> shares_;
   arm::IncrementalCounter counter_;
   std::uint64_t clock_ = 1;  // 1-based: slot timestamp 0 means "no input yet"
+  Stats stats_;
 };
 
 }  // namespace kgrid::core

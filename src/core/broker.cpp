@@ -95,6 +95,7 @@ void Broker::evaluate_edges(const arm::Candidate& rule, Effects& effects) {
     if (token_it == tokens_.end()) continue;  // setup incomplete
     const TokenInfo& token = token_it->second;
 
+    ++stats_.edge_evaluations;
     auto decision = controller_->sfe_send(rule, w, slot, agg_all,
                                           state.edges.at(w).received,
                                           token.their_layout, token.our_slot);
@@ -109,6 +110,7 @@ void Broker::evaluate_edges(const arm::Candidate& rule, Effects& effects) {
       // encryption key the strongest corruption is scaling the cipher.
       outgoing = eval_.scalar_mul(2 + rng_.below(1000), outgoing);
     }
+    ++stats_.messages_out;
     effects.messages.push_back(
         {w, SecureRuleMessage{rule, eval_.rerandomize(outgoing, rng_)}});
   }
@@ -118,6 +120,7 @@ Broker::Effects Broker::register_candidate(const arm::Candidate& candidate) {
   Effects effects;
   if (known_.contains(candidate)) return effects;
   known_.insert(candidate);
+  ++stats_.candidates_registered;
   if (!accountant_->has_rule(candidate)) accountant_->add_rule(candidate);
   (void)vote_state(candidate);
   // First-contact traffic (the controller's edge gates bootstrap to send).

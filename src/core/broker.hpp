@@ -49,6 +49,14 @@ class Broker {
   void set_behavior(BrokerBehavior behavior) { behavior_ = behavior; }
   BrokerBehavior behavior() const { return behavior_; }
 
+  /// Protocol-level accounting (docs/METRICS.md).
+  struct Stats {
+    std::uint64_t messages_out = 0;           // SecureRuleMessages emitted
+    std::uint64_t candidates_registered = 0;  // distinct candidates adopted
+    std::uint64_t edge_evaluations = 0;       // per-edge sfe_send consults
+  };
+  const Stats& stats() const { return stats_; }
+
   /// Install the encrypted share token that `recipient`'s accountant
   /// assigned to this broker, plus the recipient-side layout metadata
   /// needed to build messages for it (all public except the token value).
@@ -139,6 +147,7 @@ class Broker {
   Controller* controller_;
   Rng rng_;
   BrokerBehavior behavior_ = BrokerBehavior::kHonest;
+  Stats stats_;
 
   /// Store an incoming counter; returns true if it was accepted (sender is
   /// a live tree neighbour). Registers unknown candidates.

@@ -13,6 +13,7 @@ Controller::RuleState& Controller::rule_state(const arm::Candidate& rule) {
 hom::CounterView Controller::validate(const arm::Candidate& rule,
                                       const hom::Cipher& agg_all,
                                       std::vector<Detection>& detections) {
+  const std::size_t pre_existing = detections.size();
   const auto view = hom::CounterView::from_fields(
       layout_, dec_.decrypt(agg_all, layout_.n_fields()));
   RuleState& state = rule_state(rule);
@@ -45,6 +46,7 @@ hom::CounterView Controller::validate(const arm::Candidate& rule,
     for (std::size_t s = 0; s < layout_.ts_slots(); ++s)
       state.trace[s] = view.timestamps[s];
   }
+  stats_.detections += detections.size() - pre_existing;
   return view;
 }
 
@@ -54,6 +56,7 @@ Controller::SendDecision Controller::sfe_send(
     const hom::CounterLayout& w_layout, std::size_t slot_u_at_w) {
   SendDecision decision;
   if (halted_) return decision;
+  ++stats_.sfe_sends;
   KGRID_CHECK(slot_w < slot_neighbors_.size() && slot_neighbors_[slot_w] == w,
               "sfe_send slot/neighbour mismatch");
   const auto view_all = validate(rule, agg_all, decision.detections);
@@ -69,6 +72,7 @@ Controller::SendDecision Controller::sfe_send(
     // by corrupting recv_w before the SFE; either way a broker on this
     // edge is malicious and the edge is dead.)
     decision.detections.push_back({w, "neighbour counter share forged"});
+    ++stats_.detections;
     halted_ = true;
     return decision;
   }
@@ -76,6 +80,7 @@ Controller::SendDecision Controller::sfe_send(
   // the trace that the validated aggregate just advanced.
   if (view_w.timestamps[slot_w] < rule_state(rule).trace[slot_w]) {
     decision.detections.push_back({id_, "stale neighbour counter in SFE"});
+    ++stats_.detections;
     halted_ = true;
     return decision;
   }
@@ -114,6 +119,7 @@ Controller::SendDecision Controller::sfe_send(
                  gate.sent_count + view_w.count);
       send = (delta_uw >= 0 && delta_uw > delta_u) ||
              (delta_uw < 0 && delta_uw < delta_u);
+      ++stats_.gate_reveals;
       if (monitor_ != nullptr)
         monitor_->on_reveal("r" + std::to_string(id_) + "/send/" +
                                 arm::to_string(rule.rule) + "/" +
@@ -133,6 +139,7 @@ Controller::SendDecision Controller::sfe_send(
   if (behavior_ == ControllerBehavior::kLieController) send = !send;
 
   if (send) {
+    ++stats_.sends_granted;
     const std::uint64_t t_new =
         1 + *std::max_element(view_all.timestamps.begin(),
                               view_all.timestamps.end());
@@ -158,6 +165,7 @@ Controller::OutputDecision Controller::sfe_output(const arm::Candidate& rule,
     decision.correct = state.output.last_answer;
     return decision;
   }
+  ++stats_.sfe_outputs;
   const auto view = validate(rule, agg_all, decision.detections);
   if (!decision.detections.empty()) {
     decision.correct = state.output.last_answer;
@@ -172,6 +180,7 @@ Controller::OutputDecision Controller::sfe_output(const arm::Candidate& rule,
     gate.last_answer = weight(lambda, view.sum, view.count) >= 0;
     gate.k1_last = view.count;
     gate.k2_last = view.num;
+    ++stats_.gate_reveals;
     if (monitor_ != nullptr)
       monitor_->on_reveal("r" + std::to_string(id_) + "/out/" +
                               arm::to_string(rule.rule),

@@ -64,6 +64,19 @@ class Controller {
   void set_monitor(KTtpMonitor* monitor) { monitor_ = monitor; }
   void set_behavior(ControllerBehavior behavior) { behavior_ = behavior; }
 
+  /// Protocol-level accounting (docs/METRICS.md). `gate_reveals` counts the
+  /// data-dependent bits released past the k-gate — exactly the events a
+  /// KTtpMonitor audits — so `gate_reveals == monitor.grants()` for an
+  /// honest run with the monitor attached.
+  struct Stats {
+    std::uint64_t sfe_sends = 0;      // sfe_send evaluations
+    std::uint64_t sfe_outputs = 0;    // sfe_output evaluations
+    std::uint64_t sends_granted = 0;  // sfe_send decisions that said "send"
+    std::uint64_t gate_reveals = 0;   // k-gate reveals (send + output)
+    std::uint64_t detections = 0;     // malicious-behaviour detections raised
+  };
+  const Stats& stats() const { return stats_; }
+
   /// Bind a newly joined neighbour to a previously spare timestamp slot
   /// (Algorithm 1's "on join of a neighbor v"; public overlay metadata).
   void register_neighbor(std::size_t slot, net::NodeId v) {
@@ -151,6 +164,7 @@ class Controller {
   ControllerBehavior behavior_ = ControllerBehavior::kHonest;
   KTtpMonitor* monitor_ = nullptr;
   bool halted_ = false;
+  Stats stats_;
 
   std::unordered_map<arm::Candidate, RuleState, arm::CandidateHash> rules_;
 };

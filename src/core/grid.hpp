@@ -10,6 +10,7 @@
 
 #include "arm/metrics.hpp"
 #include "core/env.hpp"
+#include "obs/json.hpp"
 #include "core/ktpp.hpp"
 #include "core/resource.hpp"
 #include "majority/majority_rule.hpp"
@@ -54,7 +55,7 @@ class SecureGrid {
       if (const auto it = config.attacks.find(u); it != config.attacks.end())
         r->set_attack(it->second);
       if (config.attach_monitor) r->controller().set_monitor(&monitor_);
-      const sim::EntityId id = engine_.add_entity(r.get());
+      const sim::EntityId id = engine_.add_entity(r.get(), "secure_resource");
       KGRID_CHECK(id == u, "entity id must equal node id");
       resources_.push_back(std::move(r));
     }
@@ -121,7 +122,7 @@ class SecureGrid {
         &env_.delays, rng.split());
     r->load_initial(db);
     if (config_.attach_monitor) r->controller().set_monitor(&monitor_);
-    const sim::EntityId id = engine_.add_entity(r.get());
+    const sim::EntityId id = engine_.add_entity(r.get(), "secure_resource");
     KGRID_CHECK(id == new_id, "entity id must equal node id");
     resources_.push_back(std::move(r));
 
@@ -139,6 +140,50 @@ class SecureGrid {
     fresh.start(engine_, new_id, 1.0);
     fresh.seed_candidates(engine_);
     return new_id;
+  }
+
+  /// Protocol-level counters aggregated across every resource (schema in
+  /// docs/METRICS.md, "protocol" section): accountant replies and share
+  /// tokens, broker traffic, controller SFE evaluations, k-gate reveals,
+  /// detections, and the KTtpMonitor's grant count when attached.
+  obs::Json protocol_stats() {
+    Accountant::Stats acc;
+    Broker::Stats brk;
+    Controller::Stats ctl;
+    for (const auto& r : resources_) {
+      const auto& a = r->accountant().stats();
+      acc.replies += a.replies;
+      acc.share_tokens += a.share_tokens;
+      const auto& b = r->broker().stats();
+      brk.messages_out += b.messages_out;
+      brk.candidates_registered += b.candidates_registered;
+      brk.edge_evaluations += b.edge_evaluations;
+      const auto& c = r->controller().stats();
+      ctl.sfe_sends += c.sfe_sends;
+      ctl.sfe_outputs += c.sfe_outputs;
+      ctl.sends_granted += c.sends_granted;
+      ctl.gate_reveals += c.gate_reveals;
+      ctl.detections += c.detections;
+    }
+    obs::Json j = obs::Json::object();
+    obs::Json ja = obs::Json::object();
+    ja.set("replies", acc.replies);
+    ja.set("share_tokens", acc.share_tokens);
+    j.set("accountant", std::move(ja));
+    obs::Json jb = obs::Json::object();
+    jb.set("messages_out", brk.messages_out);
+    jb.set("candidates_registered", brk.candidates_registered);
+    jb.set("edge_evaluations", brk.edge_evaluations);
+    j.set("broker", std::move(jb));
+    obs::Json jc = obs::Json::object();
+    jc.set("sfe_sends", ctl.sfe_sends);
+    jc.set("sfe_outputs", ctl.sfe_outputs);
+    jc.set("sends_granted", ctl.sends_granted);
+    jc.set("gate_reveals", ctl.gate_reveals);
+    jc.set("detections", ctl.detections);
+    j.set("controller", std::move(jc));
+    j.set("monitor_grants", monitor_.grants());
+    return j;
   }
 
   /// Fraction of resources that have quarantined `culprit`.
@@ -177,7 +222,7 @@ class BaselineGrid {
           u, cfg, env_.overlay.neighbors(u), &env_.delays);
       r->load_initial(env_.initial[u]);
       r->queue_arrivals(env_.arrivals[u]);
-      const sim::EntityId id = engine_.add_entity(r.get());
+      const sim::EntityId id = engine_.add_entity(r.get(), "baseline_resource");
       KGRID_CHECK(id == u, "entity id must equal node id");
       resources_.push_back(std::move(r));
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "crypto/packing.hpp"
+#include "obs/crypto_counters.hpp"
 #include "util/check.hpp"
 
 namespace kgrid::hom {
@@ -29,6 +30,7 @@ std::size_t Context::max_fields() const {
 }
 
 Cipher EncryptKey::encrypt(std::span<const std::uint64_t> fields, Rng& rng) const {
+  obs::crypto_counters().hom_encrypts.inc();
   Cipher c;
   c.backend_ = ctx_->backend();
   if (ctx_->backend() == Backend::kPlain) {
@@ -45,6 +47,7 @@ Cipher EncryptKey::encrypt(std::span<const std::uint64_t> fields, Rng& rng) cons
 Cipher EvalHandle::add(const Cipher& a, const Cipher& b) const {
   KGRID_CHECK(a.backend_ == ctx_->backend() && b.backend_ == ctx_->backend(),
               "cipher backend mismatch");
+  obs::crypto_counters().hom_adds.inc();
   Cipher c;
   c.backend_ = ctx_->backend();
   if (ctx_->backend() == Backend::kPlain) {
@@ -66,6 +69,7 @@ Cipher EvalHandle::add(const Cipher& a, const Cipher& b) const {
 Cipher EvalHandle::sub_single(const Cipher& a, const Cipher& b) const {
   KGRID_CHECK(a.backend_ == ctx_->backend() && b.backend_ == ctx_->backend(),
               "cipher backend mismatch");
+  obs::crypto_counters().hom_adds.inc();
   Cipher c;
   c.backend_ = ctx_->backend();
   if (ctx_->backend() == Backend::kPlain) {
@@ -83,6 +87,7 @@ Cipher EvalHandle::sub_single(const Cipher& a, const Cipher& b) const {
 
 Cipher EvalHandle::scalar_mul(std::uint64_t m, const Cipher& a) const {
   KGRID_CHECK(a.backend_ == ctx_->backend(), "cipher backend mismatch");
+  obs::crypto_counters().hom_scalar_muls.inc();
   Cipher c;
   c.backend_ = ctx_->backend();
   if (ctx_->backend() == Backend::kPlain) {
@@ -97,6 +102,7 @@ Cipher EvalHandle::scalar_mul(std::uint64_t m, const Cipher& a) const {
 
 Cipher EvalHandle::rerandomize(const Cipher& a, Rng& rng) const {
   KGRID_CHECK(a.backend_ == ctx_->backend(), "cipher backend mismatch");
+  obs::crypto_counters().hom_rerandomizes.inc();
   Cipher c = a;
   if (ctx_->backend() == Backend::kPlain) {
     c.salt_ = rng();
@@ -107,6 +113,7 @@ Cipher EvalHandle::rerandomize(const Cipher& a, Rng& rng) const {
 }
 
 Cipher EvalHandle::zero(std::size_t n_fields, Rng& rng) const {
+  obs::crypto_counters().hom_encrypts.inc();
   Cipher c;
   c.backend_ = ctx_->backend();
   if (ctx_->backend() == Backend::kPlain) {
@@ -123,6 +130,7 @@ Cipher EvalHandle::zero(std::size_t n_fields, Rng& rng) const {
 std::vector<std::uint64_t> DecryptKey::decrypt(const Cipher& c,
                                                std::size_t n_fields) const {
   KGRID_CHECK(c.backend_ == ctx_->backend(), "cipher backend mismatch");
+  obs::crypto_counters().hom_decrypts.inc();
   if (ctx_->backend() == Backend::kPlain) {
     std::vector<std::uint64_t> out = c.plain_;
     out.resize(n_fields, 0);
@@ -133,6 +141,7 @@ std::vector<std::uint64_t> DecryptKey::decrypt(const Cipher& c,
 
 std::int64_t DecryptKey::decrypt_signed(const Cipher& c) const {
   KGRID_CHECK(c.backend_ == ctx_->backend(), "cipher backend mismatch");
+  obs::crypto_counters().hom_decrypts.inc();
   if (ctx_->backend() == Backend::kPlain) {
     const std::uint64_t v = c.plain_.empty() ? 0 : c.plain_[0];
     return static_cast<std::int64_t>(v);

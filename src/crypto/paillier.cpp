@@ -1,5 +1,6 @@
 #include "crypto/paillier.hpp"
 
+#include "obs/crypto_counters.hpp"
 #include "util/check.hpp"
 #include "wide/prime.hpp"
 
@@ -18,6 +19,7 @@ BigInt PaillierPublicKey::random_unit(Rng& rng) const {
 
 BigInt PaillierPublicKey::encrypt(const BigInt& m, Rng& rng) const {
   KGRID_CHECK(!m.is_negative() && m < n, "Paillier plaintext out of range");
+  obs::crypto_counters().paillier_encrypts.inc();
   // (1 + m n) mod n^2 multiplied by r^n mod n^2.
   const BigInt gm = (BigInt(1) + m * n) % n2;
   const BigInt rn = mont_n2->pow(random_unit(rng), n);
@@ -45,12 +47,14 @@ BigInt PaillierPublicKey::scalar_mul(const BigInt& m, const BigInt& ca) const {
 }
 
 BigInt PaillierPublicKey::rerandomize(const BigInt& ca, Rng& rng) const {
+  obs::crypto_counters().paillier_rerandomizes.inc();
   const BigInt rn = mont_n2->pow(random_unit(rng), n);
   return mont_n2->mul(ca, rn);
 }
 
 BigInt PaillierPrivateKey::decrypt_no_crt(const BigInt& c) const {
   KGRID_CHECK(!c.is_negative() && c < pub.n2, "Paillier ciphertext out of range");
+  obs::crypto_counters().paillier_decrypts.inc();
   const BigInt u = pub.mont_n2->pow(c, lambda);
   const BigInt l = (u - BigInt(1)) / pub.n;
   return (l * mu) % pub.n;
@@ -58,6 +62,7 @@ BigInt PaillierPrivateKey::decrypt_no_crt(const BigInt& c) const {
 
 BigInt PaillierPrivateKey::decrypt(const BigInt& c) const {
   KGRID_CHECK(!c.is_negative() && c < pub.n2, "Paillier ciphertext out of range");
+  obs::crypto_counters().paillier_decrypts.inc();
   // m_p = L_p(c^(p-1) mod p^2) · h_p mod p, and likewise mod q.
   const BigInt p2 = mont_p2->modulus();
   const BigInt q2 = mont_q2->modulus();
@@ -78,6 +83,7 @@ BigInt PaillierPrivateKey::decrypt_signed(const BigInt& c) const {
 
 PaillierPrivateKey paillier_keygen(std::size_t n_bits, Rng& rng) {
   KGRID_CHECK(n_bits >= 64, "Paillier modulus too small");
+  obs::crypto_counters().paillier_keygens.inc();
   const std::size_t half = n_bits / 2;
   for (;;) {
     const BigInt p = wide::random_prime(rng, half);

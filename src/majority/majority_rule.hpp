@@ -63,6 +63,8 @@ class MajorityRuleResource : public sim::Entity {
   std::size_t step_count() const { return steps_; }
   std::size_t candidate_count() const { return instances_.size(); }
   std::size_t local_db_size() const { return counter_.db_size(); }
+  /// Scalable-Majority messages this resource has emitted (docs/METRICS.md).
+  std::uint64_t messages_out() const { return messages_out_; }
 
   /// Load the initial local database partition (before the run starts).
   void load_initial(const data::Database& db) {
@@ -146,6 +148,7 @@ class MajorityRuleResource : public sim::Entity {
                const std::vector<MajorityNode::Outgoing>& outgoing) {
     for (const auto& out : outgoing) {
       const double delay = delays_ ? delays_->delay(id_, out.to) : 0.1;
+      ++messages_out_;
       engine.send(self_entity_, out.to, delay, RuleMessage{cand, out.message});
     }
   }
@@ -190,6 +193,7 @@ class MajorityRuleResource : public sim::Entity {
   sim::EntityId self_entity_ = 0;
   sim::Time step_period_ = 1.0;
   std::size_t steps_ = 0;
+  std::uint64_t messages_out_ = 0;
 
   arm::IncrementalCounter counter_;
   std::vector<data::Transaction> future_;

@@ -1,0 +1,173 @@
+// Machine-readable bench artifacts: every bench binary assembles an
+// obs::BenchReport and writes a BENCH_<name>.json with the fixed envelope
+//
+//   {
+//     "schema": "kgrid.bench.v1",
+//     "bench": "<binary name>",
+//     "args": { ...parsed flag values... },
+//     "wall_time_s": <process wall time at write>,
+//     "sim": { ...sim::EngineMetrics::to_json()... },
+//     "crypto": { ...obs::crypto_counters().to_json()... },
+//     "series": [ ...one object per printed table row... ],
+//     ...optional bench-specific sections (e.g. "protocol")...
+//   }
+//
+// docs/METRICS.md documents every field and maps the series of each bench to
+// its paper figure. validate_bench_json() is the single source of truth for
+// the required keys — used by the unit tests, the `check_bench_json` tool,
+// and CI against real crypto_micro output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/crypto_counters.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace kgrid::obs {
+
+inline constexpr std::string_view kBenchSchema = "kgrid.bench.v1";
+
+/// A sim section with every required key zeroed — the envelope of benches
+/// that never run the simulator (crypto_micro).
+inline Json empty_sim_json() {
+  Json j = Json::object();
+  j.set("time", 0.0);
+  j.set("events_processed", std::uint64_t{0});
+  j.set("messages_sent", std::uint64_t{0});
+  j.set("messages_delivered", std::uint64_t{0});
+  j.set("timers_fired", std::uint64_t{0});
+  j.set("max_queue_depth", std::uint64_t{0});
+  j.set("entities", Json::object());
+  j.set("message_types", Json::object());
+  return j;
+}
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void set_arg(std::string_view key, Json v) { args_.set(key, std::move(v)); }
+  void add_row(Json row) { series_.push_back(std::move(row)); }
+  void set_sim(Json sim) { sim_ = std::move(sim); }
+
+  /// Attach a bench-specific top-level section (e.g. "protocol" with the
+  /// grid's per-entity-class counters, or a registry dump as "counters").
+  void set_section(std::string_view key, Json v) {
+    sections_.emplace_back(std::string(key), std::move(v));
+  }
+
+  /// Assemble the envelope; wall_time_s and the crypto section are stamped
+  /// now, so call once, at the end of the run.
+  Json to_json() const {
+    Json j = Json::object();
+    j.set("schema", kBenchSchema);
+    j.set("bench", bench_);
+    j.set("args", args_);
+    j.set("wall_time_s", wall_.seconds());
+    j.set("sim", sim_.is_object() ? sim_ : empty_sim_json());
+    j.set("crypto", crypto_counters().to_json());
+    j.set("series", series_);
+    for (const auto& [key, v] : sections_) j.set(key, v);
+    return j;
+  }
+
+  /// Write the pretty-printed artifact; false (with a perror-style message
+  /// on stderr) when the path is unwritable.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchReport: cannot open %s for writing\n",
+                   path.c_str());
+      return false;
+    }
+    const std::string text = to_json().dump(2);
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    return ok;
+  }
+
+ private:
+  std::string bench_;
+  Stopwatch wall_;
+  Json args_ = Json::object();
+  Json series_ = Json::array();
+  Json sim_;
+  std::vector<std::pair<std::string, Json>> sections_;
+};
+
+/// Validate a parsed BENCH_*.json against the kgrid.bench.v1 schema.
+/// Returns "" when valid, otherwise a description of the first problem.
+inline std::string validate_bench_json(const Json& j) {
+  if (!j.is_object()) return "root is not an object";
+  const auto require = [&j](std::string_view key) -> const Json* {
+    return j.find(key);
+  };
+  const Json* schema = require("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kBenchSchema)
+    return "missing or wrong \"schema\" (want kgrid.bench.v1)";
+  const Json* bench = require("bench");
+  if (bench == nullptr || !bench->is_string() || bench->as_string().empty())
+    return "missing \"bench\" name";
+  const Json* args = require("args");
+  if (args == nullptr || !args->is_object()) return "missing \"args\" object";
+  const Json* wall = require("wall_time_s");
+  if (wall == nullptr || !wall->is_number()) return "missing \"wall_time_s\"";
+
+  const Json* sim = require("sim");
+  if (sim == nullptr || !sim->is_object()) return "missing \"sim\" object";
+  for (const char* key : {"time", "events_processed", "messages_sent",
+                          "messages_delivered", "timers_fired",
+                          "max_queue_depth"}) {
+    const Json* v = sim->find(key);
+    if (v == nullptr || !v->is_number())
+      return std::string("sim.") + key + " missing or not a number";
+  }
+  for (const char* key : {"entities", "message_types"}) {
+    const Json* v = sim->find(key);
+    if (v == nullptr || !v->is_object())
+      return std::string("sim.") + key + " missing or not an object";
+  }
+  for (const auto& [kind, stats] : sim->find("entities")->items()) {
+    for (const char* key : {"entities", "sent", "delivered", "timers"}) {
+      const Json* v = stats.find(key);
+      if (v == nullptr || !v->is_number())
+        return "sim.entities." + kind + "." + key + " missing";
+    }
+  }
+
+  const Json* crypto = require("crypto");
+  if (crypto == nullptr || !crypto->is_object())
+    return "missing \"crypto\" object";
+  const Json* hom = crypto->find("hom");
+  if (hom == nullptr || !hom->is_object()) return "missing crypto.hom";
+  for (const char* key :
+       {"encrypts", "decrypts", "adds", "scalar_muls", "rerandomizes"}) {
+    const Json* v = hom->find(key);
+    if (v == nullptr || !v->is_number())
+      return std::string("crypto.hom.") + key + " missing or not a number";
+  }
+  const Json* paillier = crypto->find("paillier");
+  if (paillier == nullptr || !paillier->is_object())
+    return "missing crypto.paillier";
+  for (const char* key : {"encryptions", "decryptions", "rerandomizations",
+                          "keygens", "modexps", "mont_muls"}) {
+    const Json* v = paillier->find(key);
+    if (v == nullptr || !v->is_number())
+      return std::string("crypto.paillier.") + key +
+             " missing or not a number";
+  }
+
+  const Json* series = require("series");
+  if (series == nullptr || !series->is_array())
+    return "missing \"series\" array";
+  for (const Json& row : series->elements())
+    if (!row.is_object()) return "series row is not an object";
+  return "";
+}
+
+}  // namespace kgrid::obs

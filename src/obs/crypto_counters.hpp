@@ -1,0 +1,87 @@
+// Process-global crypto operation accounting — the paper's dominant cost
+// model (every reveal is a Paillier decryption; every forwarded counter is
+// an addition plus a rerandomization).
+//
+// Two layers are counted separately:
+//
+//   * hom.* — protocol-level operations through the backend-agnostic
+//     hom::Context interface. These are identical for the Paillier and the
+//     plain ideal-functionality backend, so a large plain-backend sweep
+//     still reports exactly how many cryptographic operations a real
+//     deployment would have paid for (DESIGN.md "Paillier at simulation
+//     scale").
+//   * paillier.* / modexps / mont_muls — real bignum work actually
+//     performed (zero under the plain backend).
+//
+// The counters are plain 64-bit increments on the single simulation thread:
+// always-on, deterministic, and negligible next to the work they count
+// (a modexp is thousands of limb multiplies). reset() lets a bench scope
+// counts to one configuration; BENCH_*.json embeds the export via
+// obs::BenchReport (docs/METRICS.md documents every field).
+#pragma once
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace kgrid::obs {
+
+struct CryptoCounters {
+  // hom layer (backend-agnostic protocol op counts)
+  Counter hom_encrypts;        // EncryptKey::encrypt + EvalHandle::zero
+  Counter hom_decrypts;        // DecryptKey::decrypt / decrypt_signed
+  Counter hom_adds;            // EvalHandle::add / sub_single
+  Counter hom_scalar_muls;     // EvalHandle::scalar_mul
+  Counter hom_rerandomizes;    // EvalHandle::rerandomize
+
+  // paillier layer (real cipher work only)
+  Counter paillier_encrypts;
+  Counter paillier_decrypts;
+  Counter paillier_rerandomizes;
+  Counter paillier_keygens;
+
+  // wide layer (the arithmetic both of the above bottom out in)
+  Counter modexps;    // Montgomery::pow + even-modulus mod_pow
+  Counter mont_muls;  // Montgomery::mul (homomorphic-add cost)
+
+  void reset() {
+    hom_encrypts.reset();
+    hom_decrypts.reset();
+    hom_adds.reset();
+    hom_scalar_muls.reset();
+    hom_rerandomizes.reset();
+    paillier_encrypts.reset();
+    paillier_decrypts.reset();
+    paillier_rerandomizes.reset();
+    paillier_keygens.reset();
+    modexps.reset();
+    mont_muls.reset();
+  }
+
+  Json to_json() const {
+    Json hom = Json::object();
+    hom.set("encrypts", hom_encrypts.value());
+    hom.set("decrypts", hom_decrypts.value());
+    hom.set("adds", hom_adds.value());
+    hom.set("scalar_muls", hom_scalar_muls.value());
+    hom.set("rerandomizes", hom_rerandomizes.value());
+    Json paillier = Json::object();
+    paillier.set("encryptions", paillier_encrypts.value());
+    paillier.set("decryptions", paillier_decrypts.value());
+    paillier.set("rerandomizations", paillier_rerandomizes.value());
+    paillier.set("keygens", paillier_keygens.value());
+    paillier.set("modexps", modexps.value());
+    paillier.set("mont_muls", mont_muls.value());
+    Json j = Json::object();
+    j.set("hom", std::move(hom));
+    j.set("paillier", std::move(paillier));
+    return j;
+  }
+};
+
+/// The process-global instance (single simulation thread; see header note).
+inline CryptoCounters& crypto_counters() {
+  static CryptoCounters counters;
+  return counters;
+}
+
+}  // namespace kgrid::obs

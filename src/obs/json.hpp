@@ -1,0 +1,444 @@
+// Minimal JSON document model for the observability layer.
+//
+// The repo's bench artifacts (BENCH_*.json, see docs/METRICS.md) must be
+// deterministic — two identical seeded runs byte-identical apart from the
+// wall-clock stamp — so this writer
+// makes no locale, hash-order, or float-formatting concessions: objects
+// preserve insertion order, doubles are printed with std::to_chars (shortest
+// round-trip form), and there is no pointer or timestamp leakage. The parser
+// exists for round-trip tests and the `check_bench_json` schema validator;
+// it accepts standard JSON (RFC 8259) minus surrogate-pair escapes, which
+// none of our emitters produce.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace kgrid::obs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  /// Insertion-ordered object (deterministic dumps; no hash order).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : value_(std::monostate{}) {}
+  Json(std::nullptr_t) : value_(std::monostate{}) {}
+  Json(bool b) : value_(b) {}
+  Json(int v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(long v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(long long v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned v) : value_(static_cast<std::uint64_t>(v)) {}
+  Json(unsigned long v) : value_(static_cast<std::uint64_t>(v)) {}
+  Json(unsigned long long v) : value_(static_cast<std::uint64_t>(v)) {}
+  Json(double v) : value_(v) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(std::string_view s) : value_(std::string(s)) {}
+
+  static Json array() {
+    Json j;
+    j.value_ = Array{};
+    return j;
+  }
+
+  static Json object() {
+    Json j;
+    j.value_ = Object{};
+    return j;
+  }
+
+  Type type() const { return static_cast<Type>(value_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_number() const {
+    return type() == Type::kInt || type() == Type::kUint ||
+           type() == Type::kDouble;
+  }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  bool as_bool() const { return std::get<bool>(value_); }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+
+  std::int64_t as_int() const {
+    switch (type()) {
+      case Type::kInt: return std::get<std::int64_t>(value_);
+      case Type::kUint: return static_cast<std::int64_t>(std::get<std::uint64_t>(value_));
+      case Type::kDouble: return static_cast<std::int64_t>(std::get<double>(value_));
+      default: return 0;
+    }
+  }
+
+  std::uint64_t as_uint() const { return static_cast<std::uint64_t>(as_int()); }
+
+  double as_double() const {
+    switch (type()) {
+      case Type::kInt: return static_cast<double>(std::get<std::int64_t>(value_));
+      case Type::kUint: return static_cast<double>(std::get<std::uint64_t>(value_));
+      case Type::kDouble: return std::get<double>(value_);
+      default: return 0.0;
+    }
+  }
+
+  // -- Object interface --
+
+  /// Insert-or-overwrite; keeps first-insertion position on overwrite.
+  Json& set(std::string_view key, Json v) {
+    auto& obj = std::get<Object>(value_);
+    for (auto& [k, existing] : obj) {
+      if (k == key) {
+        existing = std::move(v);
+        return *this;
+      }
+    }
+    obj.emplace_back(std::string(key), std::move(v));
+    return *this;
+  }
+
+  /// nullptr when absent (or not an object).
+  const Json* find(std::string_view key) const {
+    if (!is_object()) return nullptr;
+    for (const auto& [k, v] : std::get<Object>(value_))
+      if (k == key) return &v;
+    return nullptr;
+  }
+
+  const Object& items() const { return std::get<Object>(value_); }
+
+  // -- Array interface --
+
+  void push_back(Json v) { std::get<Array>(value_).push_back(std::move(v)); }
+  const Array& elements() const { return std::get<Array>(value_); }
+
+  std::size_t size() const {
+    if (is_array()) return std::get<Array>(value_).size();
+    if (is_object()) return std::get<Object>(value_).size();
+    return 0;
+  }
+
+  /// Structural equality; numbers compare by value across the int/uint/double
+  /// alternatives so a document equals its re-parsed dump even when the
+  /// parser picks a different representation (e.g. 0.0 dumps as "0").
+  friend bool operator==(const Json& a, const Json& b) {
+    if (a.is_number() && b.is_number()) {
+      if (a.type() == Type::kDouble || b.type() == Type::kDouble)
+        return a.as_double() == b.as_double();
+      if (a.type() == b.type()) return a.value_ == b.value_;
+      const std::int64_t i = a.type() == Type::kInt
+                                 ? std::get<std::int64_t>(a.value_)
+                                 : std::get<std::int64_t>(b.value_);
+      const std::uint64_t u = a.type() == Type::kUint
+                                  ? std::get<std::uint64_t>(a.value_)
+                                  : std::get<std::uint64_t>(b.value_);
+      return i >= 0 && static_cast<std::uint64_t>(i) == u;
+    }
+    return a.value_ == b.value_;
+  }
+
+  // -- Serialization --
+
+  /// Compact when indent == 0; pretty-printed otherwise. Deterministic for
+  /// equal documents.
+  std::string dump(int indent = 0) const {
+    std::string out;
+    dump_to(out, indent, 0);
+    if (indent > 0) out.push_back('\n');
+    return out;
+  }
+
+  /// std::nullopt on malformed input or trailing garbage.
+  static std::optional<Json> parse(std::string_view text) {
+    Parser p{text, 0};
+    std::optional<Json> v = p.parse_value(0);
+    if (!v) return std::nullopt;
+    p.skip_ws();
+    if (p.pos != text.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, std::uint64_t, double,
+               std::string, Array, Object>
+      value_;
+
+  static void append_escaped(std::string& out, const std::string& s) {
+    out.push_back('"');
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out.push_back(c);
+          }
+      }
+    }
+    out.push_back('"');
+  }
+
+  static void append_number(std::string& out, double v) {
+    if (v != v || v == 1.0 / 0.0 || v == -1.0 / 0.0) {
+      out += "null";  // JSON has no NaN/Inf
+      return;
+    }
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    out.append(buf, res.ptr);
+  }
+
+  void newline_indent(std::string& out, int indent, int depth) const {
+    if (indent == 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+  }
+
+  void dump_to(std::string& out, int indent, int depth) const {
+    switch (type()) {
+      case Type::kNull: out += "null"; return;
+      case Type::kBool: out += as_bool() ? "true" : "false"; return;
+      case Type::kInt: {
+        char buf[24];
+        const auto res =
+            std::to_chars(buf, buf + sizeof buf, std::get<std::int64_t>(value_));
+        out.append(buf, res.ptr);
+        return;
+      }
+      case Type::kUint: {
+        char buf[24];
+        const auto res = std::to_chars(buf, buf + sizeof buf,
+                                       std::get<std::uint64_t>(value_));
+        out.append(buf, res.ptr);
+        return;
+      }
+      case Type::kDouble: append_number(out, std::get<double>(value_)); return;
+      case Type::kString: append_escaped(out, as_string()); return;
+      case Type::kArray: {
+        const auto& arr = std::get<Array>(value_);
+        if (arr.empty()) {
+          out += "[]";
+          return;
+        }
+        out.push_back('[');
+        for (std::size_t i = 0; i < arr.size(); ++i) {
+          if (i > 0) out.push_back(',');
+          newline_indent(out, indent, depth + 1);
+          arr[i].dump_to(out, indent, depth + 1);
+        }
+        newline_indent(out, indent, depth);
+        out.push_back(']');
+        return;
+      }
+      case Type::kObject: {
+        const auto& obj = std::get<Object>(value_);
+        if (obj.empty()) {
+          out += "{}";
+          return;
+        }
+        out.push_back('{');
+        for (std::size_t i = 0; i < obj.size(); ++i) {
+          if (i > 0) out.push_back(',');
+          newline_indent(out, indent, depth + 1);
+          append_escaped(out, obj[i].first);
+          out += indent > 0 ? ": " : ":";
+          obj[i].second.dump_to(out, indent, depth + 1);
+        }
+        newline_indent(out, indent, depth);
+        out.push_back('}');
+        return;
+      }
+    }
+  }
+
+  struct Parser {
+    std::string_view text;
+    std::size_t pos;
+    static constexpr int kMaxDepth = 128;
+
+    void skip_ws() {
+      while (pos < text.size() &&
+             (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+              text[pos] == '\r'))
+        ++pos;
+    }
+
+    bool consume(char c) {
+      skip_ws();
+      if (pos < text.size() && text[pos] == c) {
+        ++pos;
+        return true;
+      }
+      return false;
+    }
+
+    bool literal(std::string_view word) {
+      if (text.substr(pos, word.size()) != word) return false;
+      pos += word.size();
+      return true;
+    }
+
+    std::optional<std::string> parse_string() {
+      if (pos >= text.size() || text[pos] != '"') return std::nullopt;
+      ++pos;
+      std::string out;
+      while (pos < text.size()) {
+        const char c = text[pos++];
+        if (c == '"') return out;
+        if (c != '\\') {
+          out.push_back(c);
+          continue;
+        }
+        if (pos >= text.size()) return std::nullopt;
+        const char esc = text[pos++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) return std::nullopt;
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else return std::nullopt;
+            }
+            // Basic-plane code points only (our writer never emits others).
+            if (cp >= 0xd800 && cp <= 0xdfff) return std::nullopt;
+            if (cp < 0x80) {
+              out.push_back(static_cast<char>(cp));
+            } else if (cp < 0x800) {
+              out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+            } else {
+              out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+            }
+            break;
+          }
+          default: return std::nullopt;
+        }
+      }
+      return std::nullopt;  // unterminated
+    }
+
+    std::optional<Json> parse_number() {
+      const std::size_t start = pos;
+      if (pos < text.size() && text[pos] == '-') ++pos;
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+      bool integral = true;
+      if (pos < text.size() && text[pos] == '.') {
+        integral = false;
+        ++pos;
+        while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+      }
+      if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+        integral = false;
+        ++pos;
+        if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+        while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+      }
+      const std::string_view num = text.substr(start, pos - start);
+      if (num.empty() || num == "-") return std::nullopt;
+      if (integral) {
+        if (num[0] == '-') {
+          std::int64_t v = 0;
+          const auto res = std::from_chars(num.data(), num.data() + num.size(), v);
+          if (res.ec == std::errc{} && res.ptr == num.data() + num.size())
+            return Json(v);
+        } else {
+          std::uint64_t v = 0;
+          const auto res = std::from_chars(num.data(), num.data() + num.size(), v);
+          if (res.ec == std::errc{} && res.ptr == num.data() + num.size()) {
+            if (v <= static_cast<std::uint64_t>(INT64_MAX))
+              return Json(static_cast<std::int64_t>(v));
+            return Json(v);
+          }
+        }
+        // fall through to double on overflow
+      }
+      double d = 0;
+      const auto res = std::from_chars(num.data(), num.data() + num.size(), d);
+      if (res.ec != std::errc{} || res.ptr != num.data() + num.size())
+        return std::nullopt;
+      return Json(d);
+    }
+
+    std::optional<Json> parse_value(int depth) {
+      if (depth > kMaxDepth) return std::nullopt;
+      skip_ws();
+      if (pos >= text.size()) return std::nullopt;
+      const char c = text[pos];
+      if (c == 'n') return literal("null") ? std::optional<Json>(Json()) : std::nullopt;
+      if (c == 't') return literal("true") ? std::optional<Json>(Json(true)) : std::nullopt;
+      if (c == 'f') return literal("false") ? std::optional<Json>(Json(false)) : std::nullopt;
+      if (c == '"') {
+        auto s = parse_string();
+        if (!s) return std::nullopt;
+        return Json(std::move(*s));
+      }
+      if (c == '[') {
+        ++pos;
+        Json arr = Json::array();
+        skip_ws();
+        if (consume(']')) return arr;
+        for (;;) {
+          auto v = parse_value(depth + 1);
+          if (!v) return std::nullopt;
+          arr.push_back(std::move(*v));
+          if (consume(',')) continue;
+          if (consume(']')) return arr;
+          return std::nullopt;
+        }
+      }
+      if (c == '{') {
+        ++pos;
+        Json obj = Json::object();
+        skip_ws();
+        if (consume('}')) return obj;
+        for (;;) {
+          skip_ws();
+          auto key = parse_string();
+          if (!key) return std::nullopt;
+          if (!consume(':')) return std::nullopt;
+          auto v = parse_value(depth + 1);
+          if (!v) return std::nullopt;
+          obj.set(*key, std::move(*v));
+          if (consume(',')) continue;
+          if (consume('}')) return obj;
+          return std::nullopt;
+        }
+      }
+      return parse_number();
+    }
+  };
+};
+
+}  // namespace kgrid::obs

@@ -1,0 +1,201 @@
+// Metrics primitives for the observability layer: counters, gauges,
+// wall-clock timers, streaming histograms, and a name-keyed registry with a
+// deterministic JSON export.
+//
+// Design constraints (docs/METRICS.md):
+//   * Deterministic — iteration order is name order, histogram state is a
+//     pure function of the added samples, and nothing reads the clock except
+//     the explicitly wall-clock Timer/Stopwatch types. Two identical seeded
+//     runs export byte-identical JSON (wall-clock fields excepted).
+//   * Allocation-light — hot paths touch a previously obtained handle
+//     (Counter&, Histogram&), never a map; the registry's std::map nodes are
+//     pointer-stable so handles survive later registrations.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "util/stats.hpp"
+
+namespace kgrid::obs {
+
+/// Monotone event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { n_ += delta; }
+  std::uint64_t value() const { return n_; }
+  void reset() { n_ = 0; }
+
+ private:
+  std::uint64_t n_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  void add(double delta) { v_ += delta; }
+  double value() const { return v_; }
+  void reset() { v_ = 0.0; }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Streaming histogram: exact moments over every sample (Welford, from
+/// util/stats.hpp) plus nearest-rank quantiles over a retained prefix of at
+/// most `max_samples` samples. Retaining a prefix instead of a reservoir
+/// keeps the state deterministic without consuming randomness; the series
+/// the benches record are far below the cap.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t max_samples = 4096)
+      : max_samples_(max_samples) {}
+
+  void add(double x) {
+    stats_.add(x);
+    if (retained_.count() < max_samples_) retained_.add(x);
+    else ++dropped_;
+  }
+
+  std::uint64_t count() const { return stats_.count(); }
+  double mean() const { return stats_.mean(); }
+  double stddev() const { return stats_.stddev(); }
+  double min() const { return stats_.min(); }
+  double max() const { return stats_.max(); }
+  std::uint64_t dropped_from_quantiles() const { return dropped_; }
+
+  /// Nearest-rank quantile over the retained prefix; q in [0,1].
+  double quantile(double q) const { return retained_.quantile(q); }
+
+  void reset() {
+    stats_ = RunningStats{};
+    retained_ = Percentiles{};
+    dropped_ = 0;
+  }
+
+  Json to_json() const {
+    Json j = Json::object();
+    j.set("count", stats_.count());
+    if (stats_.count() == 0) return j;
+    j.set("mean", stats_.mean());
+    j.set("stddev", stats_.stddev());
+    j.set("min", stats_.min());
+    j.set("max", stats_.max());
+    j.set("p50", retained_.quantile(0.50));
+    j.set("p90", retained_.quantile(0.90));
+    j.set("p99", retained_.quantile(0.99));
+    if (dropped_ > 0) j.set("quantile_samples_dropped", dropped_);
+    return j;
+  }
+
+ private:
+  std::size_t max_samples_;
+  RunningStats stats_;
+  Percentiles retained_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Accumulated wall-clock time (seconds) across any number of spans.
+class Timer {
+ public:
+  void add_seconds(double s) {
+    total_s_ += s;
+    ++spans_;
+  }
+  double total_seconds() const { return total_s_; }
+  std::uint64_t spans() const { return spans_; }
+  void reset() { total_s_ = 0.0; spans_ = 0; }
+
+ private:
+  double total_s_ = 0.0;
+  std::uint64_t spans_ = 0;
+};
+
+/// Wall-clock stopwatch (steady clock).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII span feeding a Timer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer) : timer_(timer) {}
+  ~ScopedTimer() { timer_.add_seconds(watch_.seconds()); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer& timer_;
+  Stopwatch watch_;
+};
+
+/// Name-keyed metric registry. Lookup once, hold the reference; export with
+/// to_json() (names in lexicographic order — std::map — so dumps are
+/// deterministic).
+class Registry {
+ public:
+  Counter& counter(std::string_view name) { return slot(counters_, name); }
+  Gauge& gauge(std::string_view name) { return slot(gauges_, name); }
+  Histogram& histogram(std::string_view name) { return slot(histograms_, name); }
+  Timer& timer(std::string_view name) { return slot(timers_, name); }
+
+  Json to_json() const {
+    Json j = Json::object();
+    Json counters = Json::object();
+    for (const auto& [name, c] : counters_) counters.set(name, c.value());
+    j.set("counters", std::move(counters));
+    Json gauges = Json::object();
+    for (const auto& [name, g] : gauges_) gauges.set(name, g.value());
+    j.set("gauges", std::move(gauges));
+    Json histograms = Json::object();
+    for (const auto& [name, h] : histograms_) histograms.set(name, h.to_json());
+    j.set("histograms", std::move(histograms));
+    Json timers = Json::object();
+    for (const auto& [name, t] : timers_) {
+      Json span = Json::object();
+      span.set("seconds", t.total_seconds());
+      span.set("spans", t.spans());
+      timers.set(name, std::move(span));
+    }
+    j.set("timers", std::move(timers));
+    return j;
+  }
+
+  void reset() {
+    for (auto& [name, c] : counters_) c.reset();
+    for (auto& [name, g] : gauges_) g.reset();
+    for (auto& [name, h] : histograms_) h.reset();
+    for (auto& [name, t] : timers_) t.reset();
+  }
+
+ private:
+  template <class T>
+  static T& slot(std::map<std::string, T, std::less<>>& metrics,
+                 std::string_view name) {
+    const auto it = metrics.find(name);
+    if (it != metrics.end()) return it->second;
+    return metrics.emplace(std::string(name), T{}).first->second;
+  }
+
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, Timer, std::less<>> timers_;
+};
+
+}  // namespace kgrid::obs

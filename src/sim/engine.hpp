@@ -8,6 +8,11 @@
 // receive timers. Events with equal timestamps are processed in insertion
 // order, so a run is a pure function of the initial state and the seeds —
 // no wall-clock or thread nondeterminism can leak into measurements.
+//
+// Instrumentation is opt-in: attach_metrics() hooks an EngineMetrics
+// (sim/metrics.hpp) into the event loop for per-entity-class and
+// per-message-type accounting; detached (the default), every hook is a
+// single null-pointer test.
 #pragma once
 
 #include <any>
@@ -16,6 +21,7 @@
 #include <queue>
 #include <vector>
 
+#include "sim/metrics.hpp"
 #include "util/check.hpp"
 
 namespace kgrid::sim {
@@ -43,11 +49,26 @@ class Entity {
 class Engine {
  public:
   /// Registers an entity; the engine does not own it (grid harnesses own
-  /// their resources and typically outlive the engine).
-  EntityId add_entity(Entity* entity) {
+  /// their resources and typically outlive the engine). `kind` labels the
+  /// entity's class for instrumentation ("secure_resource", ...); it must
+  /// outlive the engine (pass a string literal).
+  EntityId add_entity(Entity* entity, const char* kind = "entity") {
     entities_.push_back(entity);
+    kinds_.push_back(kind);
+    if (metrics_ != nullptr) metrics_->on_entity(kind);
     return static_cast<EntityId>(entities_.size() - 1);
   }
+
+  /// Attach (or detach, with nullptr) instrumentation. Already-registered
+  /// entities are reported to the new sink; event counts accumulate from
+  /// the moment of attachment.
+  void attach_metrics(EngineMetrics* metrics) {
+    metrics_ = metrics;
+    if (metrics_ != nullptr)
+      for (const char* kind : kinds_) metrics_->on_entity(kind);
+  }
+
+  EngineMetrics* metrics() const { return metrics_; }
 
   Time now() const { return now_; }
   std::uint64_t messages_delivered() const { return messages_delivered_; }
@@ -60,7 +81,11 @@ class Engine {
     KGRID_CHECK(delay >= 0.0, "negative delay");
     ++messages_sent_;
     queue_.push(Event{now_ + delay, next_seq_++, from, to, EventKind::kMessage, 0,
-                      std::make_shared<std::any>(std::move(payload))});
+                      std::make_shared<std::any>(std::move(payload)), now_});
+    if (metrics_ != nullptr) {
+      metrics_->on_send(kind_of(from));
+      metrics_->on_queue_depth(queue_.size());
+    }
   }
 
   /// Queue a timer for `entity`, firing `delay` from now.
@@ -68,7 +93,8 @@ class Engine {
     KGRID_CHECK(entity < entities_.size(), "schedule for unknown entity");
     KGRID_CHECK(delay >= 0.0, "negative delay");
     queue_.push(Event{now_ + delay, next_seq_++, entity, entity,
-                      EventKind::kTimer, timer_id, nullptr});
+                      EventKind::kTimer, timer_id, nullptr, now_});
+    if (metrics_ != nullptr) metrics_->on_queue_depth(queue_.size());
   }
 
   /// Process a single event. Returns false if the queue is empty.
@@ -76,12 +102,17 @@ class Engine {
     if (queue_.empty()) return false;
     Event ev = queue_.top();
     queue_.pop();
+    if (metrics_ != nullptr) metrics_->advance_time(ev.time - now_);
     now_ = ev.time;
     Entity* target = entities_[ev.to];
     if (ev.kind == EventKind::kMessage) {
       ++messages_delivered_;
+      if (metrics_ != nullptr)
+        metrics_->on_deliver(kinds_[ev.to], ev.payload->type(),
+                             ev.time - ev.sent_at);
       target->on_message(*this, ev.from, *ev.payload);
     } else {
+      if (metrics_ != nullptr) metrics_->on_timer_fired(kinds_[ev.to]);
       target->on_timer(*this, ev.timer_id);
     }
     return true;
@@ -91,6 +122,8 @@ class Engine {
   /// run are included if they fall inside the deadline).
   void run_until(Time deadline) {
     while (!queue_.empty() && queue_.top().time <= deadline) step();
+    if (metrics_ != nullptr && deadline > now_)
+      metrics_->advance_time(deadline - now_);
     now_ = std::max(now_, deadline);
   }
 
@@ -117,6 +150,7 @@ class Engine {
     EventKind kind;
     std::uint64_t timer_id;
     std::shared_ptr<std::any> payload;
+    Time sent_at;  // enqueue time, for delivery-delay instrumentation
   };
 
   struct EventOrder {
@@ -126,12 +160,20 @@ class Engine {
     }
   };
 
+  /// Kind label for a sender id; test harnesses send with ids that were
+  /// never registered ("from the outside"), which we label as external.
+  const char* kind_of(EntityId id) const {
+    return id < kinds_.size() ? kinds_[id] : "external";
+  }
+
   std::vector<Entity*> entities_;
+  std::vector<const char*> kinds_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t messages_sent_ = 0;
+  EngineMetrics* metrics_ = nullptr;
 };
 
 }  // namespace kgrid::sim

@@ -1,0 +1,163 @@
+// Opt-in instrumentation for sim::Engine (docs/METRICS.md).
+//
+// The engine runs uninstrumented by default (a null-pointer check per
+// event); attaching an EngineMetrics turns on:
+//   * per-entity-class accounting — every add_entity() call carries a kind
+//     label ("secure_resource", "baseline_resource", ...), and sends,
+//     deliveries, and timer firings are tallied per kind;
+//   * per-message-type delivery counts and delivery-delay histograms,
+//     keyed by the demangled payload type (SecureRuleMessage,
+//     MaliciousReport, ...);
+//   * event-queue depth high-water mark and total simulated time processed.
+//
+// One EngineMetrics may be attached to several engines in sequence (the
+// figure benches sweep configurations, each with a fresh engine); counts and
+// simulated time accumulate. All state is a pure function of the simulated
+// event sequence, so two identical seeded runs export identical JSON.
+#pragma once
+
+#include <cxxabi.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+#include <typeindex>
+#include <typeinfo>
+#include <unordered_map>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace kgrid::sim {
+
+class EngineMetrics {
+ public:
+  struct KindStats {
+    std::uint64_t entities = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t timers = 0;
+  };
+
+  // -- Hooks called by Engine (only when attached) --
+
+  void on_entity(std::string_view kind) { ++kinds(kind).entities; }
+  void on_send(std::string_view kind) { ++kinds(kind).sent; }
+  void on_timer_fired(std::string_view kind) {
+    ++kinds(kind).timers;
+    ++events_;
+  }
+
+  void on_deliver(std::string_view kind, const std::type_info& payload_type,
+                  double delay) {
+    ++kinds(kind).delivered;
+    ++events_;
+    TypeStats& type = type_stats(payload_type);
+    ++type.delivered;
+    type.delay.add(delay);
+  }
+
+  void on_queue_depth(std::size_t depth) {
+    if (depth > max_queue_depth_) max_queue_depth_ = depth;
+  }
+
+  void advance_time(double dt) { sim_time_ += dt; }
+
+  // -- Read side --
+
+  double sim_time() const { return sim_time_; }
+  std::uint64_t events_processed() const { return events_; }
+  std::uint64_t max_queue_depth() const { return max_queue_depth_; }
+  const std::map<std::string, KindStats, std::less<>>& by_kind() const {
+    return kinds_;
+  }
+
+  std::uint64_t total_sent() const {
+    std::uint64_t n = 0;
+    for (const auto& [kind, stats] : kinds_) n += stats.sent;
+    return n;
+  }
+
+  std::uint64_t total_delivered() const {
+    std::uint64_t n = 0;
+    for (const auto& [kind, stats] : kinds_) n += stats.delivered;
+    return n;
+  }
+
+  std::uint64_t total_timers() const {
+    std::uint64_t n = 0;
+    for (const auto& [kind, stats] : kinds_) n += stats.timers;
+    return n;
+  }
+
+  /// The "sim" section of the bench envelope (schema in docs/METRICS.md).
+  obs::Json to_json() const {
+    obs::Json j = obs::Json::object();
+    j.set("time", sim_time_);
+    j.set("events_processed", events_);
+    j.set("messages_sent", total_sent());
+    j.set("messages_delivered", total_delivered());
+    j.set("timers_fired", total_timers());
+    j.set("max_queue_depth", max_queue_depth_);
+    obs::Json entities = obs::Json::object();
+    for (const auto& [kind, stats] : kinds_) {
+      obs::Json k = obs::Json::object();
+      k.set("entities", stats.entities);
+      k.set("sent", stats.sent);
+      k.set("delivered", stats.delivered);
+      k.set("timers", stats.timers);
+      entities.set(kind, std::move(k));
+    }
+    j.set("entities", std::move(entities));
+    obs::Json types = obs::Json::object();
+    for (const auto& [name, stats] : types_) {
+      obs::Json t = obs::Json::object();
+      t.set("delivered", stats.delivered);
+      t.set("delay", stats.delay.to_json());
+      types.set(name, std::move(t));
+    }
+    j.set("message_types", std::move(types));
+    return j;
+  }
+
+ private:
+  struct TypeStats {
+    std::uint64_t delivered = 0;
+    obs::Histogram delay;
+  };
+
+  KindStats& kinds(std::string_view kind) {
+    const auto it = kinds_.find(kind);
+    if (it != kinds_.end()) return it->second;
+    return kinds_.emplace(std::string(kind), KindStats{}).first->second;
+  }
+
+  TypeStats& type_stats(const std::type_info& type) {
+    const std::type_index idx(type);
+    const auto cached = type_cache_.find(idx);
+    if (cached != type_cache_.end()) return *cached->second;
+    TypeStats& stats = types_[demangle(type.name())];
+    type_cache_.emplace(idx, &stats);
+    return stats;
+  }
+
+  static std::string demangle(const char* mangled) {
+    int status = 0;
+    char* demangled = abi::__cxa_demangle(mangled, nullptr, nullptr, &status);
+    if (status != 0 || demangled == nullptr) return mangled;
+    std::string out(demangled);
+    std::free(demangled);
+    return out;
+  }
+
+  std::map<std::string, KindStats, std::less<>> kinds_;
+  std::map<std::string, TypeStats, std::less<>> types_;
+  std::unordered_map<std::type_index, TypeStats*> type_cache_;
+  std::uint64_t events_ = 0;
+  std::uint64_t max_queue_depth_ = 0;
+  double sim_time_ = 0.0;
+};
+
+}  // namespace kgrid::sim

@@ -20,9 +20,10 @@ class Cli {
       arg.remove_prefix(2);
       const auto eq = arg.find('=');
       if (eq == std::string_view::npos) {
-        flags_[std::string(arg)] = "1";
+        flags_.insert_or_assign(std::string(arg), std::string("1"));
       } else {
-        flags_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+        flags_.insert_or_assign(std::string(arg.substr(0, eq)),
+                                std::string(arg.substr(eq + 1)));
       }
     }
   }

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/crypto_counters.hpp"
 #include "util/check.hpp"
 
 namespace kgrid::wide {
@@ -52,6 +53,7 @@ BigInt mod_pow(const BigInt& base, const BigInt& exp, const BigInt& m) {
   if (m.is_odd()) return Montgomery(m).pow(base.mod_floor(m), exp);
   // Even modulus: plain left-to-right square-and-multiply. Not on the crypto
   // hot path (Paillier moduli are odd); kept for completeness.
+  obs::crypto_counters().modexps.inc();
   BigInt result(1);
   BigInt b = base.mod_floor(m);
   const std::size_t bits = exp.bit_length();
@@ -158,6 +160,7 @@ std::vector<Montgomery::Limb> Montgomery::mont_mul(
 }
 
 BigInt Montgomery::mul(const BigInt& a, const BigInt& b) const {
+  obs::crypto_counters().mont_muls.inc();
   const auto am = mont_mul(to_limbs(a), r2_);
   const auto bm = mont_mul(to_limbs(b), r2_);
   const auto prod = mont_mul(am, bm);
@@ -168,6 +171,7 @@ BigInt Montgomery::mul(const BigInt& a, const BigInt& b) const {
 
 BigInt Montgomery::pow(const BigInt& base, const BigInt& exp) const {
   KGRID_CHECK(!exp.is_negative(), "Montgomery::pow needs non-negative exponent");
+  obs::crypto_counters().modexps.inc();
   const auto base_m = mont_mul(to_limbs(base.mod_floor(m_)), r2_);
   std::vector<Limb> acc = one_;  // Montgomery form of 1
   const std::size_t bits = exp.bit_length();

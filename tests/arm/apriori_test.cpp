@@ -112,8 +112,11 @@ TEST(MineRules, TinyKnownRules) {
   EXPECT_TRUE(rules.contains(Rule{{1}, {2}}));
   EXPECT_TRUE(rules.contains(Rule{{3}, {1}}));
   // Every confidence rule here has confidence exactly 3/4.
-  for (const auto& r : rules)
-    if (!r.lhs.empty()) EXPECT_EQ(tiny_db().support(r.all_items()), 3u);
+  for (const auto& r : rules) {
+    if (!r.lhs.empty()) {
+      EXPECT_EQ(tiny_db().support(r.all_items()), 3u);
+    }
+  }
 }
 
 TEST(MineRules, ConfidenceThresholdFilters) {
@@ -140,8 +143,9 @@ TEST(MineRules, RulesConsistentWithDefinition) {
     EXPECT_TRUE(data::disjoint(r.lhs, r.rhs));
     EXPECT_FALSE(r.rhs.empty());
     EXPECT_GE(db.frequency(all), th.min_freq);
-    if (!r.lhs.empty())
+    if (!r.lhs.empty()) {
       EXPECT_LE(th.min_conf * db.frequency(r.lhs), db.frequency(all) + 1e-12);
+    }
   }
 }
 

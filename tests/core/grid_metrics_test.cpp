@@ -1,0 +1,127 @@
+// Instrumentation over the whole-grid harness: determinism of the exported
+// JSON across identical seeded runs, and consistency between the protocol
+// stats, the engine tallies, and the k-TTP monitor.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/grid.hpp"
+#include "sim/metrics.hpp"
+
+namespace kgrid::core {
+namespace {
+
+SecureGridConfig metrics_config(std::uint64_t seed) {
+  SecureGridConfig cfg;
+  cfg.env.n_resources = 8;
+  cfg.env.seed = seed;
+  cfg.env.quest.n_transactions = 1600;
+  cfg.env.quest.n_items = 24;
+  cfg.env.quest.n_patterns = 10;
+  cfg.env.quest.avg_transaction_len = 6;
+  cfg.env.quest.avg_pattern_len = 3;
+  cfg.secure.min_freq = 0.2;
+  cfg.secure.min_conf = 0.8;
+  cfg.secure.k = 2;
+  cfg.secure.count_budget = 100;
+  cfg.secure.arrivals_per_step = 0;
+  cfg.attach_monitor = true;
+  return cfg;
+}
+
+struct InstrumentedRun {
+  std::string sim_json;
+  std::string protocol_json;
+  std::uint64_t delivered = 0;
+  std::uint64_t grants = 0;
+};
+
+InstrumentedRun run_instrumented(std::uint64_t seed, std::size_t steps) {
+  SecureGrid grid(metrics_config(seed));
+  sim::EngineMetrics metrics;
+  grid.engine().attach_metrics(&metrics);
+  grid.run_steps(steps);
+  return {metrics.to_json().dump(2), grid.protocol_stats().dump(2),
+          grid.engine().messages_delivered(), grid.monitor().grants()};
+}
+
+TEST(GridMetrics, IdenticalSeededRunsExportIdenticalJson) {
+  const InstrumentedRun a = run_instrumented(31, 40);
+  const InstrumentedRun b = run_instrumented(31, 40);
+  EXPECT_EQ(a.sim_json, b.sim_json);
+  EXPECT_EQ(a.protocol_json, b.protocol_json);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.grants, b.grants);
+
+  const InstrumentedRun c = run_instrumented(32, 40);
+  EXPECT_NE(c.sim_json, a.sim_json);  // a different seed takes another path
+}
+
+TEST(GridMetrics, InstrumentedCountsMatchEngineTallies) {
+  SecureGrid grid(metrics_config(33));
+  // The constructor queues the opening protocol traffic before anyone can
+  // attach instrumentation, so tally deltas from the attach point onward.
+  const std::uint64_t sent_before = grid.engine().messages_sent();
+  const std::uint64_t delivered_before = grid.engine().messages_delivered();
+  const double time_before = grid.engine().now();
+  sim::EngineMetrics metrics;
+  grid.engine().attach_metrics(&metrics);
+  grid.run_steps(40);
+
+  const std::uint64_t delivered_after =
+      grid.engine().messages_delivered() - delivered_before;
+  EXPECT_EQ(metrics.total_sent(), grid.engine().messages_sent() - sent_before);
+  EXPECT_EQ(metrics.total_delivered(), delivered_after);
+  EXPECT_DOUBLE_EQ(metrics.sim_time(), grid.engine().now() - time_before);
+
+  // Every entity in the harness is a secure resource.
+  const auto& kinds = metrics.by_kind();
+  ASSERT_TRUE(kinds.contains("secure_resource"));
+  EXPECT_EQ(kinds.at("secure_resource").entities, grid.size());
+  EXPECT_EQ(kinds.at("secure_resource").delivered, delivered_after);
+  EXPECT_GT(kinds.at("secure_resource").timers, 0u);
+}
+
+TEST(GridMetrics, GateRevealsMatchMonitorGrants) {
+  // Controller-side reveal accounting and the attached Def-3.1 monitor see
+  // the same events: one grant per k-gate reveal, no detections, and every
+  // SFE send decision passes through a broker edge evaluation.
+  SecureGrid grid(metrics_config(34));
+  grid.run_steps(60);
+  const obs::Json stats = grid.protocol_stats();
+  const auto reveals = stats.find("controller")->find("gate_reveals")->as_uint();
+  EXPECT_GT(reveals, 0u);
+  EXPECT_EQ(reveals, grid.monitor().grants());
+  EXPECT_EQ(stats.find("monitor_grants")->as_uint(), grid.monitor().grants());
+  EXPECT_EQ(stats.find("controller")->find("detections")->as_uint(), 0u);
+  EXPECT_EQ(stats.find("controller")->find("sfe_sends")->as_uint(),
+            stats.find("broker")->find("edge_evaluations")->as_uint());
+  // Every emitted message was granted by a controller send decision.
+  EXPECT_EQ(stats.find("broker")->find("messages_out")->as_uint(),
+            stats.find("controller")->find("sends_granted")->as_uint());
+  EXPECT_GT(stats.find("accountant")->find("replies")->as_uint(), 0u);
+}
+
+TEST(GridMetrics, BaselineGridLabelsItsEntities) {
+  GridEnvConfig env_cfg;
+  env_cfg.n_resources = 4;
+  env_cfg.seed = 35;
+  env_cfg.quest.n_transactions = 400;
+  env_cfg.quest.n_items = 16;
+  env_cfg.quest.n_patterns = 6;
+  majority::MajorityRuleConfig base;
+  base.arrivals_per_step = 0;
+  BaselineGrid grid(env_cfg, base);
+  sim::EngineMetrics metrics;
+  grid.engine().attach_metrics(&metrics);
+  grid.run_steps(10);
+  ASSERT_TRUE(metrics.by_kind().contains("baseline_resource"));
+  EXPECT_EQ(metrics.by_kind().at("baseline_resource").entities, grid.size());
+  std::uint64_t emitted = 0;
+  for (net::NodeId u = 0; u < grid.size(); ++u)
+    emitted += grid.resource(u).messages_out();
+  EXPECT_EQ(emitted, grid.engine().messages_sent());
+}
+
+}  // namespace
+}  // namespace kgrid::core

@@ -80,11 +80,11 @@ std::vector<PropertyCase> property_cases() {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, SecureGridProperty,
                          ::testing::ValuesIn(property_cases()),
-                         [](const auto& info) {
-                           return std::string(info.param.name) + "_s" +
-                                  std::to_string(info.param.seed) + "_n" +
-                                  std::to_string(info.param.n_resources) +
-                                  "_k" + std::to_string(info.param.k);
+                         [](const auto& tpi) {
+                           return std::string(tpi.param.name) + "_s" +
+                                  std::to_string(tpi.param.seed) + "_n" +
+                                  std::to_string(tpi.param.n_resources) +
+                                  "_k" + std::to_string(tpi.param.k);
                          });
 
 }  // namespace

@@ -99,9 +99,9 @@ TEST_P(CounterTest, ShareTokenAddsOnlyShareField) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, CounterTest,
                          ::testing::Values(Backend::kPlain, Backend::kPaillier),
-                         [](const auto& info) {
-                           return info.param == Backend::kPlain ? "Plain"
-                                                                : "Paillier";
+                         [](const auto& tpi) {
+                           return tpi.param == Backend::kPlain ? "Plain"
+                                                               : "Paillier";
                          });
 
 TEST(Shares, SumToOneModuloShareModulus) {

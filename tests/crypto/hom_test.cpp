@@ -97,9 +97,9 @@ TEST_P(HomBackendTest, ZeroIsAdditiveIdentity) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, HomBackendTest,
                          ::testing::Values(Backend::kPlain, Backend::kPaillier),
-                         [](const auto& info) {
-                           return info.param == Backend::kPlain ? "Plain"
-                                                                : "Paillier";
+                         [](const auto& tpi) {
+                           return tpi.param == Backend::kPlain ? "Plain"
+                                                               : "Paillier";
                          });
 
 TEST(HomContext, PaillierCapacityBound) {

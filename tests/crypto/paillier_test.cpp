@@ -96,8 +96,8 @@ TEST_P(PaillierTest, SignedEncryptNegative) {
 INSTANTIATE_TEST_SUITE_P(KeySizes, PaillierTest,
                          ::testing::Values(std::size_t{128}, std::size_t{256},
                                            std::size_t{512}),
-                         [](const auto& info) {
-                           return "n" + std::to_string(info.param);
+                         [](const auto& tpi) {
+                           return "n" + std::to_string(tpi.param);
                          });
 
 TEST_P(PaillierTest, CrtDecryptionMatchesReference) {

@@ -62,7 +62,9 @@ TEST(PartitionedStream, TakeDrainsInOrder) {
     while (!stream.exhausted(p)) {
       const auto batch = stream.take(p, 7);
       for (const auto& t : batch) {
-        if (!first) EXPECT_GT(t.id, last);  // global order preserved per part
+        if (!first) {
+          EXPECT_GT(t.id, last);  // global order preserved per part
+        }
         last = t.id;
         first = false;
       }

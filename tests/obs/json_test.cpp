@@ -1,0 +1,126 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace kgrid::obs {
+namespace {
+
+TEST(Json, ScalarDump) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(std::uint64_t{18446744073709551615ull}).dump(),
+            "18446744073709551615");
+  EXPECT_EQ(Json(0.5).dump(), "0.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c").dump(), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(Json("\n\t").dump(), "\"\\n\\t\"");
+  EXPECT_EQ(Json(std::string("\x01", 1)).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json j = Json::object();
+  j.set("zebra", 1);
+  j.set("alpha", 2);
+  EXPECT_EQ(j.dump(), "{\"zebra\":1,\"alpha\":2}");
+}
+
+TEST(Json, SetOverwritesInPlace) {
+  Json j = Json::object();
+  j.set("a", 1);
+  j.set("b", 2);
+  j.set("a", 3);
+  EXPECT_EQ(j.dump(), "{\"a\":3,\"b\":2}");
+  ASSERT_NE(j.find("a"), nullptr);
+  EXPECT_EQ(j.find("a")->as_int(), 3);
+  EXPECT_EQ(j.find("missing"), nullptr);
+}
+
+TEST(Json, ArrayDump) {
+  Json j = Json::array();
+  j.push_back(1);
+  j.push_back("two");
+  j.push_back(Json());
+  EXPECT_EQ(j.dump(), "[1,\"two\",null]");
+  EXPECT_EQ(j.size(), 3u);
+}
+
+TEST(Json, PrettyDumpIndents) {
+  Json j = Json::object();
+  j.set("a", 1);
+  EXPECT_EQ(j.dump(2), "{\n  \"a\": 1\n}\n");
+  EXPECT_EQ(Json::object().dump(2), "{}\n");
+  EXPECT_EQ(Json::array().dump(2), "[]\n");
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_EQ(Json::parse("null")->dump(), "null");
+  EXPECT_EQ(Json::parse("true")->dump(), "true");
+  EXPECT_EQ(Json::parse(" -12 ")->as_int(), -12);
+  EXPECT_EQ(Json::parse("18446744073709551615")->as_uint(),
+            18446744073709551615ull);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5e3")->as_double(), 2500.0);
+  EXPECT_EQ(Json::parse("\"a\\u0041b\"")->as_string(), "aAb");
+}
+
+TEST(Json, ParseRejectsMalformed) {
+  EXPECT_FALSE(Json::parse(""));
+  EXPECT_FALSE(Json::parse("{"));
+  EXPECT_FALSE(Json::parse("[1,]"));
+  EXPECT_FALSE(Json::parse("{\"a\":}"));
+  EXPECT_FALSE(Json::parse("nul"));
+  EXPECT_FALSE(Json::parse("1 2"));
+  EXPECT_FALSE(Json::parse("\"unterminated"));
+}
+
+TEST(Json, ParseRejectsExcessiveDepth) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_FALSE(Json::parse(deep));
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  Json j = Json::object();
+  j.set("ints", Json(-3));
+  j.set("big", Json(std::uint64_t{1} << 63));
+  j.set("pi", 3.141592653589793);
+  j.set("text", "line\nbreak");
+  Json arr = Json::array();
+  arr.push_back(1);
+  Json inner = Json::object();
+  inner.set("nested", true);
+  arr.push_back(std::move(inner));
+  j.set("arr", std::move(arr));
+
+  for (int indent : {0, 2, 4}) {
+    const auto parsed = Json::parse(j.dump(indent));
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(*parsed, j);
+    EXPECT_EQ(parsed->dump(), j.dump());
+  }
+}
+
+TEST(Json, ShortestRoundTripDoubles) {
+  // std::to_chars emits the shortest representation that round-trips.
+  const double v = 0.1 + 0.2;
+  const auto parsed = Json::parse(Json(v).dump());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->as_double(), v);
+}
+
+}  // namespace
+}  // namespace kgrid::obs

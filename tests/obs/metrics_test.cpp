@@ -1,0 +1,151 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/crypto_counters.hpp"
+
+namespace kgrid::obs {
+namespace {
+
+TEST(Counter, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(2.5);
+  g.add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, MomentsAndQuantiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.0);
+}
+
+TEST(Histogram, DropsQuantileSamplesBeyondCapButKeepsMoments) {
+  Histogram h(4);
+  for (int i = 0; i < 10; ++i) h.add(i);
+  EXPECT_EQ(h.count(), 10u);           // moments cover every sample
+  EXPECT_EQ(h.dropped_from_quantiles(), 6u);
+  const Json j = h.to_json();
+  ASSERT_NE(j.find("quantile_samples_dropped"), nullptr);
+  EXPECT_EQ(j.find("quantile_samples_dropped")->as_uint(), 6u);
+}
+
+TEST(Histogram, EmptyJsonHasOnlyCount) {
+  const Json j = Histogram().to_json();
+  EXPECT_EQ(j.size(), 1u);
+  EXPECT_EQ(j.find("count")->as_uint(), 0u);
+}
+
+TEST(Timer, AccumulatesSpans) {
+  Timer t;
+  t.add_seconds(0.25);
+  t.add_seconds(0.75);
+  EXPECT_DOUBLE_EQ(t.total_seconds(), 1.0);
+  EXPECT_EQ(t.spans(), 2u);
+  {
+    ScopedTimer span(t);  // wall-clock span; only the count is deterministic
+  }
+  EXPECT_EQ(t.spans(), 3u);
+}
+
+TEST(Registry, HandlesAreStableAcrossLaterRegistrations) {
+  Registry reg;
+  Counter& a = reg.counter("a");
+  a.inc();
+  // Registering many more names must not invalidate the earlier handle
+  // (std::map nodes are pointer-stable).
+  for (int i = 0; i < 100; ++i) reg.counter("n" + std::to_string(i));
+  a.inc();
+  EXPECT_EQ(reg.counter("a").value(), 2u);
+  EXPECT_EQ(&reg.counter("a"), &a);
+}
+
+TEST(Registry, ResetPreservesNamesAndHandles) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat");
+  h.add(1.0);
+  reg.counter("events").inc(5);
+  reg.reset();
+  EXPECT_EQ(&reg.histogram("lat"), &h);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(reg.counter("events").value(), 0u);
+  // Names survive reset: the export still lists both metrics (zeroed).
+  const Json j = reg.to_json();
+  EXPECT_NE(j.find("counters")->find("events"), nullptr);
+  EXPECT_NE(j.find("histograms")->find("lat"), nullptr);
+}
+
+TEST(Registry, JsonIsNameOrderedAndGrouped) {
+  Registry reg;
+  reg.counter("zeta").inc(1);
+  reg.counter("alpha").inc(2);
+  reg.gauge("depth").set(3.0);
+  reg.timer("build").add_seconds(0.5);
+  const Json j = reg.to_json();
+  // Groups in fixed order, names lexicographic within a group.
+  EXPECT_EQ(j.items()[0].first, "counters");
+  EXPECT_EQ(j.items()[1].first, "gauges");
+  EXPECT_EQ(j.items()[2].first, "histograms");
+  EXPECT_EQ(j.items()[3].first, "timers");
+  const Json& counters = *j.find("counters");
+  EXPECT_EQ(counters.items()[0].first, "alpha");
+  EXPECT_EQ(counters.items()[1].first, "zeta");
+}
+
+TEST(Registry, JsonRoundTripsThroughParser) {
+  Registry reg;
+  reg.counter("events").inc(7);
+  reg.gauge("load").set(0.25);
+  for (int i = 0; i < 32; ++i) reg.histogram("delay").add(0.1 * i);
+  reg.timer("phase").add_seconds(1.5);
+  const Json j = reg.to_json();
+  const auto parsed = Json::parse(j.dump(2));
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(*parsed, j);
+  EXPECT_EQ(parsed->dump(), j.dump());
+}
+
+TEST(Registry, IdenticalOperationSequencesExportIdenticalJson) {
+  const auto run = [] {
+    Registry reg;
+    for (int i = 0; i < 1000; ++i) {
+      reg.counter("ops").inc();
+      reg.histogram("x").add(i * 0.001);
+      reg.gauge("last").set(i);
+    }
+    return reg.to_json().dump(2);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(CryptoCounters, ResetZeroesEveryCounter) {
+  CryptoCounters c;
+  c.hom_encrypts.inc();
+  c.paillier_decrypts.inc(3);
+  c.modexps.inc(5);
+  c.reset();
+  const Json j = c.to_json();
+  EXPECT_EQ(j.find("hom")->find("encrypts")->as_uint(), 0u);
+  EXPECT_EQ(j.find("paillier")->find("decryptions")->as_uint(), 0u);
+  EXPECT_EQ(j.find("paillier")->find("modexps")->as_uint(), 0u);
+}
+
+}  // namespace
+}  // namespace kgrid::obs

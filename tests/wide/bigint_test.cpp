@@ -128,7 +128,9 @@ TEST(BigInt, DivModReconstructsDividend) {
     EXPECT_EQ(q * b + r, a) << "a=" << a.to_hex() << " b=" << b.to_hex();
     EXPECT_LT(r.abs(), b.abs());
     // Truncated semantics: remainder sign follows dividend.
-    if (!r.is_zero()) EXPECT_EQ(r.is_negative(), a.is_negative());
+    if (!r.is_zero()) {
+      EXPECT_EQ(r.is_negative(), a.is_negative());
+    }
   }
 }
 
