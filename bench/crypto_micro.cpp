@@ -4,6 +4,17 @@
 // quantifying why the large-scale figure benches default to the plain
 // backend (see DESIGN.md "Paillier at simulation scale").
 //
+// Per-optimization series (EXPERIMENTS.md records before/after numbers):
+//   * BM_MontgomeryPow vs BM_MontgomeryPowBinary — windowed vs binary ladder.
+//   * BM_PaillierAdd vs BM_PaillierAddForm — per-op R-conversions vs
+//     Montgomery-form-cached operands.
+//   * BM_PaillierEncrypt/Rerandomize vs their *Unpooled twins — pooled r^n
+//     factors vs the inline modexp. The pooled benches run a fixed iteration
+//     count and prefill exactly that many factors outside the timed region,
+//     mirroring a deployment's idle-cycle precompute (randomizer_pool.hpp).
+//   * BM_BigIntMulKaratsuba vs BM_BigIntMulSchoolbook — around and above the
+//     kKaratsubaThresholdLimbs crossover.
+//
 // Besides google-benchmark's own flags, `--json[=PATH]` (kgrid convention,
 // stripped before benchmark::Initialize) writes a kgrid.bench.v1 envelope
 // with one series row per benchmark run — see docs/METRICS.md.
@@ -16,6 +27,7 @@
 
 #include "crypto/counter.hpp"
 #include "crypto/paillier.hpp"
+#include "crypto/randomizer_pool.hpp"
 #include "obs/bench_report.hpp"
 #include "wide/modular.hpp"
 #include "wide/prime.hpp"
@@ -46,11 +58,28 @@ BENCHMARK(BM_PaillierKeygen)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 void BM_PaillierEncrypt(benchmark::State& state) {
   const auto& key = key_for(static_cast<std::size_t>(state.range(0)));
   Rng rng(2);
+  // One pooled r^n factor per iteration, generated before timing starts.
+  key.pub.pool->prefill(state.max_iterations);
   for (auto _ : state)
     benchmark::DoNotOptimize(key.pub.encrypt(BigInt(123456789), rng));
 }
 BENCHMARK(BM_PaillierEncrypt)
     ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Iterations(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PaillierEncryptUnpooled(benchmark::State& state) {
+  const auto& key = key_for(static_cast<std::size_t>(state.range(0)));
+  hom::PaillierPublicKey pk = key.pub;
+  pk.pool = nullptr;  // force the inline r^n modexp on every encryption
+  Rng rng(2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(pk.encrypt(BigInt(123456789), rng));
+}
+BENCHMARK(BM_PaillierEncryptUnpooled)
     ->Arg(512)
     ->Arg(1024)
     ->Arg(2048)
@@ -90,6 +119,15 @@ void BM_PaillierAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_PaillierAdd)->Arg(512)->Arg(1024)->Arg(2048);
 
+void BM_PaillierAddForm(benchmark::State& state) {
+  const auto& key = key_for(static_cast<std::size_t>(state.range(0)));
+  Rng rng(4);
+  const auto a = key.pub.encrypt_form(BigInt(1), rng);
+  const auto b = key.pub.encrypt_form(BigInt(2), rng);
+  for (auto _ : state) benchmark::DoNotOptimize(key.pub.add_form(a, b));
+}
+BENCHMARK(BM_PaillierAddForm)->Arg(512)->Arg(1024)->Arg(2048);
+
 void BM_PaillierScalarMul(benchmark::State& state) {
   const auto& key = key_for(static_cast<std::size_t>(state.range(0)));
   Rng rng(5);
@@ -103,9 +141,24 @@ void BM_PaillierRerandomize(benchmark::State& state) {
   const auto& key = key_for(static_cast<std::size_t>(state.range(0)));
   Rng rng(6);
   const BigInt a = key.pub.encrypt(BigInt(7), rng);
+  key.pub.pool->prefill(state.max_iterations);
   for (auto _ : state) benchmark::DoNotOptimize(key.pub.rerandomize(a, rng));
 }
 BENCHMARK(BM_PaillierRerandomize)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Iterations(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PaillierRerandomizeUnpooled(benchmark::State& state) {
+  const auto& key = key_for(static_cast<std::size_t>(state.range(0)));
+  hom::PaillierPublicKey pk = key.pub;
+  pk.pool = nullptr;
+  Rng rng(6);
+  const BigInt a = pk.encrypt(BigInt(7), rng);
+  for (auto _ : state) benchmark::DoNotOptimize(pk.rerandomize(a, rng));
+}
+BENCHMARK(BM_PaillierRerandomizeUnpooled)
     ->Arg(512)
     ->Arg(1024)
     ->Unit(benchmark::kMicrosecond);
@@ -126,6 +179,42 @@ BENCHMARK(BM_MontgomeryPow)
     ->Arg(2048)
     ->Arg(4096)
     ->Unit(benchmark::kMicrosecond);
+
+void BM_MontgomeryPowBinary(benchmark::State& state) {
+  Rng rng(7);
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  BigInt m = BigInt::random_bits(rng, bits);
+  if (m.is_even()) m += BigInt(1);
+  const wide::Montgomery mont(m);
+  const BigInt base = BigInt::random_below(rng, m);
+  const BigInt exp = BigInt::random_bits(rng, bits);
+  for (auto _ : state) benchmark::DoNotOptimize(mont.pow_binary(base, exp));
+}
+BENCHMARK(BM_MontgomeryPowBinary)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BigIntMulKaratsuba(benchmark::State& state) {
+  Rng rng(10);
+  const auto limbs = static_cast<std::size_t>(state.range(0));
+  const BigInt a = BigInt::random_bits(rng, limbs * 64);
+  const BigInt b = BigInt::random_bits(rng, limbs * 64);
+  for (auto _ : state) benchmark::DoNotOptimize(a * b);
+}
+BENCHMARK(BM_BigIntMulKaratsuba)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BigIntMulSchoolbook(benchmark::State& state) {
+  Rng rng(10);
+  const auto limbs = static_cast<std::size_t>(state.range(0));
+  const BigInt a = BigInt::random_bits(rng, limbs * 64);
+  const BigInt b = BigInt::random_bits(rng, limbs * 64);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(BigInt::mul_schoolbook(a, b));
+}
+BENCHMARK(BM_BigIntMulSchoolbook)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 
 void BM_MillerRabin(benchmark::State& state) {
   Rng rng(8);
@@ -149,6 +238,9 @@ void BM_CounterAggregate(benchmark::State& state) {
   for (std::size_t s = 0; s < 5; ++s)
     counters.push_back(
         hom::make_counter(enc, layout, 100, 200, 1, shares[s], s, 3, rng));
+  // Six randomizers per iteration (one zero + five rerandomizations),
+  // precomputed outside the timed region. No-op for the plain backend.
+  ctx->prefill_randomizers(6 * state.max_iterations);
   for (auto _ : state) {
     hom::Cipher agg = eval.zero(layout.n_fields(), rng);
     for (const auto& c : counters) agg = eval.add(agg, eval.rerandomize(c, rng));
@@ -157,6 +249,7 @@ void BM_CounterAggregate(benchmark::State& state) {
 }
 BENCHMARK(BM_CounterAggregate<hom::Backend::kPlain>);
 BENCHMARK(BM_CounterAggregate<hom::Backend::kPaillier>)
+    ->Iterations(128)
     ->Unit(benchmark::kMicrosecond);
 
 /// Console reporter that additionally captures every run as a series row

@@ -30,7 +30,10 @@ int main(int argc, char** argv) {
   cfg.backend = cli.get("backend", "plain") == "paillier"
                     ? hom::Backend::kPaillier
                     : hom::Backend::kPlain;
-  cfg.paillier_bits = 512;
+  // A counter cipher packs 4 + degree + 1 64-bit fields (counter.hpp), and a
+  // modulus of B bits fits (B-1)/64 of them — 512 was one field short for
+  // this topology's highest-degree resource.
+  cfg.paillier_bits = 1024;
   cfg.attach_monitor = true;
 
   std::printf("Building a %zu-resource data grid (backend: %s)...\n",

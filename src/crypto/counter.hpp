@@ -24,6 +24,13 @@
 //     carry could reach the next field.
 //   * timestamp slots are disjoint across senders (each sender writes only
 //     its own slot), so slot addition never exceeds one Lamport clock value.
+//
+// Performance: aggregation chains many homomorphic adds/rerandomizations per
+// counter per round. Under the Paillier backend every Cipher carries a
+// Montgomery-form cache (hom.hpp), so a chained add costs two Montgomery
+// multiplications instead of four, and the rerandomizer's r^n factor comes
+// from the key's precompute pool (randomizer_pool.hpp) rather than an
+// inline modexp.
 #pragma once
 
 #include <cstdint>

@@ -3,12 +3,31 @@
 #include <algorithm>
 
 #include "crypto/packing.hpp"
+#include "crypto/randomizer_pool.hpp"
 #include "obs/crypto_counters.hpp"
 #include "util/check.hpp"
 
 namespace kgrid::hom {
 
 using wide::BigInt;
+
+/// The cipher's Montgomery-form view, converting (and caching) on first use.
+/// Chains of homomorphic ops therefore pay the to-form conversion once per
+/// cipher lineage, not once per op.
+const wide::Montgomery::Form& cipher_form(const Cipher& c,
+                                          const PaillierPublicKey& pk) {
+  if (!c.paillier_form_.attached()) c.paillier_form_ = pk.to_form(c.paillier_);
+  return c.paillier_form_;
+}
+
+/// Install an op result: keep the form for the next chained op and
+/// materialize the canonical BigInt eagerly — decryption, serialization, and
+/// operator== all read paillier_, so the two views must never diverge.
+void set_cipher_form(Cipher& c, wide::Montgomery::Form f,
+                     const PaillierPublicKey& pk) {
+  c.paillier_ = pk.from_form(f);
+  c.paillier_form_ = std::move(f);
+}
 
 ContextPtr Context::make_plain() {
   auto ctx = std::shared_ptr<Context>(new Context());
@@ -21,6 +40,11 @@ ContextPtr Context::make_paillier(std::size_t n_bits, Rng& rng) {
   ctx->backend_ = Backend::kPaillier;
   ctx->key_ = paillier_keygen(n_bits, rng);
   return ctx;
+}
+
+void Context::prefill_randomizers(std::size_t count) const {
+  if (backend_ == Backend::kPaillier && key_.pub.pool)
+    key_.pub.pool->prefill(count);
 }
 
 std::size_t Context::max_fields() const {
@@ -40,7 +64,8 @@ Cipher EncryptKey::encrypt(std::span<const std::uint64_t> fields, Rng& rng) cons
   }
   KGRID_CHECK(fields.size() <= ctx_->max_fields(),
               "packed plaintext exceeds Paillier capacity");
-  c.paillier_ = ctx_->key_.pub.encrypt(pack_fields(fields), rng);
+  set_cipher_form(c, ctx_->key_.pub.encrypt_form(pack_fields(fields), rng),
+                  ctx_->key_.pub);
   return c;
 }
 
@@ -62,7 +87,8 @@ Cipher EvalHandle::add(const Cipher& a, const Cipher& b) const {
     c.salt_ = a.salt_ ^ (b.salt_ << 1) ^ 0x9e3779b97f4a7c15ull;
     return c;
   }
-  c.paillier_ = ctx_->key_.pub.add(a.paillier_, b.paillier_);
+  const PaillierPublicKey& pk = ctx_->key_.pub;
+  set_cipher_form(c, pk.add_form(cipher_form(a, pk), cipher_form(b, pk)), pk);
   return c;
 }
 
@@ -81,7 +107,8 @@ Cipher EvalHandle::sub_single(const Cipher& a, const Cipher& b) const {
     c.salt_ = a.salt_ ^ (b.salt_ >> 1) ^ 0xbf58476d1ce4e5b9ull;
     return c;
   }
-  c.paillier_ = ctx_->key_.pub.sub(a.paillier_, b.paillier_);
+  const PaillierPublicKey& pk = ctx_->key_.pub;
+  set_cipher_form(c, pk.sub_form(cipher_form(a, pk), cipher_form(b, pk)), pk);
   return c;
 }
 
@@ -96,7 +123,8 @@ Cipher EvalHandle::scalar_mul(std::uint64_t m, const Cipher& a) const {
     c.salt_ = a.salt_ * 0x94d049bb133111ebull + m;
     return c;
   }
-  c.paillier_ = ctx_->key_.pub.scalar_mul(BigInt(m), a.paillier_);
+  const PaillierPublicKey& pk = ctx_->key_.pub;
+  set_cipher_form(c, pk.scalar_mul_form(BigInt(m), cipher_form(a, pk)), pk);
   return c;
 }
 
@@ -108,7 +136,8 @@ Cipher EvalHandle::rerandomize(const Cipher& a, Rng& rng) const {
     c.salt_ = rng();
     return c;
   }
-  c.paillier_ = ctx_->key_.pub.rerandomize(a.paillier_, rng);
+  const PaillierPublicKey& pk = ctx_->key_.pub;
+  set_cipher_form(c, pk.rerandomize_form(cipher_form(a, pk), rng), pk);
   return c;
 }
 
@@ -123,7 +152,8 @@ Cipher EvalHandle::zero(std::size_t n_fields, Rng& rng) const {
   }
   // Enc(0) is constructible from public material alone (1 * r^n); this does
   // not let an evaluator forge arbitrary values.
-  c.paillier_ = ctx_->key_.pub.rerandomize(BigInt(1), rng);
+  const PaillierPublicKey& pk = ctx_->key_.pub;
+  set_cipher_form(c, pk.rerandomize_form(pk.mont_n2->one_form(), rng), pk);
   return c;
 }
 

@@ -46,19 +46,36 @@ class Cipher {
 
   /// Ciphertext equality. Distinct encryptions/rerandomizations of the same
   /// plaintext compare unequal (probabilistic encryption), which tests rely
-  /// on to assert that brokers cannot detect unchanged counters.
-  friend bool operator==(const Cipher& a, const Cipher& b) = default;
+  /// on to assert that brokers cannot detect unchanged counters. The
+  /// Montgomery-form cache is deliberately excluded: it is a redundant
+  /// representation of paillier_, present or absent depending on the op
+  /// history.
+  friend bool operator==(const Cipher& a, const Cipher& b) {
+    return a.backend_ == b.backend_ && a.plain_ == b.plain_ &&
+           a.salt_ == b.salt_ && a.paillier_ == b.paillier_;
+  }
+  friend bool operator!=(const Cipher& a, const Cipher& b) { return !(a == b); }
 
  private:
   friend class Context;
   friend class EncryptKey;
   friend class EvalHandle;
   friend class DecryptKey;
+  // Form-cache plumbing shared by the op implementations (hom.cpp).
+  friend const wide::Montgomery::Form& cipher_form(const Cipher& c,
+                                                   const PaillierPublicKey& pk);
+  friend void set_cipher_form(Cipher& c, wide::Montgomery::Form f,
+                              const PaillierPublicKey& pk);
 
   Backend backend_ = Backend::kPlain;
   std::vector<std::uint64_t> plain_;  // plain backend: field values
   std::uint64_t salt_ = 0;            // plain backend: rerandomization witness
   wide::BigInt paillier_;             // paillier backend: cipher mod n^2
+  // Cache of paillier_ in Montgomery form over n^2, so chained homomorphic
+  // ops skip the per-op R-conversions. Populated lazily on first use and
+  // eagerly by every op that produces a Paillier cipher; always consistent
+  // with paillier_ when attached.
+  mutable wide::Montgomery::Form paillier_form_;
 };
 
 class Context;
@@ -138,6 +155,11 @@ class Context : public std::enable_shared_from_this<Context> {
   EncryptKey encrypt_key() const { return EncryptKey(shared_from_this()); }
   EvalHandle eval_handle() const { return EvalHandle(shared_from_this()); }
   DecryptKey decrypt_key() const { return DecryptKey(shared_from_this()); }
+
+  /// Pre-generate `count` r^n randomizer factors into the key's pool
+  /// (randomizer_pool.hpp) — the idle-cycle precompute a deployment runs
+  /// between protocol rounds. No-op for the plain backend.
+  void prefill_randomizers(std::size_t count) const;
 
  private:
   friend class EncryptKey;

@@ -1,5 +1,6 @@
 #include "crypto/paillier.hpp"
 
+#include "crypto/randomizer_pool.hpp"
 #include "obs/crypto_counters.hpp"
 #include "util/check.hpp"
 #include "wide/prime.hpp"
@@ -7,6 +8,7 @@
 namespace kgrid::hom {
 
 using wide::BigInt;
+using Form = wide::Montgomery::Form;
 
 BigInt PaillierPublicKey::random_unit(Rng& rng) const {
   // Uniform in [1, n); a non-unit reveals a factor of n, which happens with
@@ -17,23 +19,50 @@ BigInt PaillierPublicKey::random_unit(Rng& rng) const {
   }
 }
 
-BigInt PaillierPublicKey::encrypt(const BigInt& m, Rng& rng) const {
+Form PaillierPublicKey::randomizer_form(Rng& rng) const {
+  if (pool) return pool->take();
+  return mont_n2->pow_form(mont_n2->to_form(random_unit(rng)), n);
+}
+
+Form PaillierPublicKey::to_form(const BigInt& c) const {
+  return mont_n2->to_form(c);
+}
+
+BigInt PaillierPublicKey::from_form(const Form& c) const {
+  return mont_n2->from_form(c);
+}
+
+Form PaillierPublicKey::encrypt_form(const BigInt& m, Rng& rng) const {
   KGRID_CHECK(!m.is_negative() && m < n, "Paillier plaintext out of range");
   obs::crypto_counters().paillier_encrypts.inc();
-  // (1 + m n) mod n^2 multiplied by r^n mod n^2.
+  // (1 + m n) mod n^2 multiplied by r^n mod n^2; with a stocked pool this is
+  // two Montgomery multiplications and no modexp.
   const BigInt gm = (BigInt(1) + m * n) % n2;
-  const BigInt rn = mont_n2->pow(random_unit(rng), n);
-  return mont_n2->mul(gm, rn);
+  return mont_n2->mul_form(mont_n2->to_form(gm), randomizer_form(rng));
+}
+
+BigInt PaillierPublicKey::encrypt(const BigInt& m, Rng& rng) const {
+  return mont_n2->from_form(encrypt_form(m, rng));
 }
 
 BigInt PaillierPublicKey::add(const BigInt& ca, const BigInt& cb) const {
   return mont_n2->mul(ca, cb);
 }
 
+Form PaillierPublicKey::add_form(const Form& ca, const Form& cb) const {
+  return mont_n2->mul_form(ca, cb);
+}
+
 BigInt PaillierPublicKey::sub(const BigInt& ca, const BigInt& cb) const {
-  // Enc(a - b) = Enc(a) · Enc(b)^(n-1) — note n-1 ≡ -1 (mod n) in the
-  // exponent group of plaintexts.
-  return mont_n2->mul(ca, mont_n2->pow(cb, n - BigInt(1)));
+  // Enc(a - b) = Enc(a) · Enc(b)^-1 (the inverse of g^b r^n is g^(-b) r^-n,
+  // a valid cipher of -b mod n). One extended-gcd inverse over n^2 instead
+  // of the textbook Enc(b)^(n-1), which is a full-width modexp.
+  return mont_n2->mul(ca, wide::mod_inverse(cb, n2));
+}
+
+Form PaillierPublicKey::sub_form(const Form& ca, const Form& cb) const {
+  const BigInt inv = wide::mod_inverse(mont_n2->from_form(cb), n2);
+  return mont_n2->mul_form(ca, mont_n2->to_form(inv));
 }
 
 BigInt PaillierPublicKey::scalar_mul(const BigInt& m, const BigInt& ca) const {
@@ -46,10 +75,19 @@ BigInt PaillierPublicKey::scalar_mul(const BigInt& m, const BigInt& ca) const {
   return mont_n2->pow(ca, e);
 }
 
+Form PaillierPublicKey::scalar_mul_form(const BigInt& m, const Form& ca) const {
+  const BigInt e = m.mod_floor(n);
+  if (e.is_zero()) return mont_n2->one_form();
+  return mont_n2->pow_form(ca, e);
+}
+
 BigInt PaillierPublicKey::rerandomize(const BigInt& ca, Rng& rng) const {
+  return mont_n2->from_form(rerandomize_form(mont_n2->to_form(ca), rng));
+}
+
+Form PaillierPublicKey::rerandomize_form(const Form& ca, Rng& rng) const {
   obs::crypto_counters().paillier_rerandomizes.inc();
-  const BigInt rn = mont_n2->pow(random_unit(rng), n);
-  return mont_n2->mul(ca, rn);
+  return mont_n2->mul_form(ca, randomizer_form(rng));
 }
 
 BigInt PaillierPrivateKey::decrypt_no_crt(const BigInt& c) const {
@@ -115,6 +153,11 @@ PaillierPrivateKey paillier_keygen(std::size_t n_bits, Rng& rng) {
     key.hp = wide::mod_inverse((gp - BigInt(1)) / p, p);
     key.hq = wide::mod_inverse((gq - BigInt(1)) / q, q);
     key.q_inv_p = wide::mod_inverse(q, p);
+
+    // Seed the randomizer pool from the keygen rng so the whole ciphertext
+    // stream — pooled or not — is a deterministic function of the seed.
+    key.pub.pool = std::make_shared<RandomizerPool>(key.pub.n, key.pub.mont_n2,
+                                                    rng());
     return key;
   }
 }

@@ -19,11 +19,18 @@
 
 namespace kgrid::hom {
 
+class RandomizerPool;
+
 struct PaillierPublicKey {
   wide::BigInt n;
   wide::BigInt n2;
   // Montgomery context for the hot modulus n^2 (shared, immutable).
   std::shared_ptr<const wide::Montgomery> mont_n2;
+  // Precompute store of r^n factors (randomizer_pool.hpp); attached by
+  // paillier_keygen with a seed drawn from the keygen rng so ciphertext
+  // streams stay reproducible. When set, encrypt/rerandomize take their
+  // blinding factor from the pool instead of running an inline modexp.
+  std::shared_ptr<RandomizerPool> pool;
 
   std::size_t plaintext_bits() const { return n.bit_length(); }
 
@@ -43,8 +50,39 @@ struct PaillierPublicKey {
   /// indistinguishable cipher) — the paper's rerandomization operator.
   wide::BigInt rerandomize(const wide::BigInt& ca, Rng& rng) const;
 
+  // Montgomery-form variants: ciphertexts that chain through several
+  // homomorphic operations (oblivious counters) stay in Montgomery
+  // representation over n^2, paying the R-conversion once at the edges
+  // instead of four Montgomery multiplications inside every op.
+
+  /// Pin a ciphertext to Montgomery form over n^2 / read one back out.
+  wide::Montgomery::Form to_form(const wide::BigInt& c) const;
+  wide::BigInt from_form(const wide::Montgomery::Form& c) const;
+
+  /// Enc(m; fresh r), result left in Montgomery form.
+  wide::Montgomery::Form encrypt_form(const wide::BigInt& m, Rng& rng) const;
+
+  /// Enc(a+b) from forms: exactly one Montgomery multiplication.
+  wide::Montgomery::Form add_form(const wide::Montgomery::Form& ca,
+                                  const wide::Montgomery::Form& cb) const;
+
+  /// Enc(a-b mod n) from forms.
+  wide::Montgomery::Form sub_form(const wide::Montgomery::Form& ca,
+                                  const wide::Montgomery::Form& cb) const;
+
+  /// Enc(a·m mod n) from a form.
+  wide::Montgomery::Form scalar_mul_form(const wide::BigInt& m,
+                                         const wide::Montgomery::Form& ca) const;
+
+  /// Fresh randomization of a form: one multiplication by a (pooled) r^n.
+  wide::Montgomery::Form rerandomize_form(const wide::Montgomery::Form& ca,
+                                          Rng& rng) const;
+
  private:
   wide::BigInt random_unit(Rng& rng) const;
+  /// A fresh r^n factor in Montgomery form — pool hit when one is stocked,
+  /// inline generation (drawing from `rng`) otherwise.
+  wide::Montgomery::Form randomizer_form(Rng& rng) const;
 };
 
 struct PaillierPrivateKey {

@@ -1,0 +1,46 @@
+#include "crypto/randomizer_pool.hpp"
+
+#include <utility>
+
+#include "obs/crypto_counters.hpp"
+#include "wide/modular.hpp"
+
+namespace kgrid::hom {
+
+using wide::BigInt;
+
+RandomizerPool::RandomizerPool(BigInt n,
+                               std::shared_ptr<const wide::Montgomery> mont_n2,
+                               std::uint64_t seed)
+    : n_(std::move(n)), mont_n2_(std::move(mont_n2)), rng_(seed) {}
+
+wide::Montgomery::Form RandomizerPool::generate() {
+  // Uniform unit in [1, n); a non-unit reveals a factor of n, which happens
+  // with negligible probability for honestly generated keys — retry
+  // regardless.
+  for (;;) {
+    const BigInt r = BigInt(1) + BigInt::random_below(rng_, n_ - BigInt(1));
+    if (wide::gcd(r, n_) != BigInt(1)) continue;
+    return mont_n2_->pow_form(mont_n2_->to_form(r), n_);
+  }
+}
+
+wide::Montgomery::Form RandomizerPool::take() {
+  if (!stock_.empty()) {
+    obs::crypto_counters().pool_hits.inc();
+    wide::Montgomery::Form f = std::move(stock_.front());
+    stock_.pop_front();
+    return f;
+  }
+  obs::crypto_counters().pool_misses.inc();
+  return generate();
+}
+
+void RandomizerPool::prefill(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    obs::crypto_counters().pool_prefills.inc();
+    stock_.push_back(generate());
+  }
+}
+
+}  // namespace kgrid::hom

@@ -1,0 +1,61 @@
+// Precomputed Paillier randomizer factors.
+//
+// Every Paillier encryption and rerandomization needs a blinding factor
+// r^n mod n^2 — a full-width modexp that dominates the operation's cost
+// (paper §6's observation that Paillier modexps gate the oblivious-counter
+// layer). The factor is independent of the plaintext and of the ciphertext
+// being refreshed, so real deployments precompute batches of them off the
+// critical path and the online operation degenerates to one Montgomery
+// multiplication.
+//
+// RandomizerPool is that precompute store: a deterministic, seedable queue
+// of r^n factors held in Montgomery form over n^2 (ready to multiply into a
+// ciphertext with no conversion). take() serves from stock when possible
+// (obs counter pool.hits) and falls back to inline generation otherwise
+// (pool.misses); prefill() generates stock eagerly (pool.prefilled), which
+// benches call outside their timed region exactly as a deployment would run
+// it in idle cycles. All randomness comes from the pool's own Rng, so a
+// fixed seed yields a reproducible factor sequence regardless of the
+// hit/miss pattern.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "util/rng.hpp"
+#include "wide/bigint.hpp"
+#include "wide/modular.hpp"
+
+namespace kgrid::hom {
+
+class RandomizerPool {
+ public:
+  /// `n` is the Paillier modulus, `mont_n2` the shared Montgomery context
+  /// for n^2 the factors stay pinned to.
+  RandomizerPool(wide::BigInt n,
+                 std::shared_ptr<const wide::Montgomery> mont_n2,
+                 std::uint64_t seed);
+
+  /// One r^n factor in Montgomery form over n^2. Stock when available
+  /// (hit), inline generation otherwise (miss).
+  wide::Montgomery::Form take();
+
+  /// Generate `count` factors into the stock — the amortized precompute.
+  void prefill(std::size_t count);
+
+  std::size_t stock() const { return stock_.size(); }
+
+ private:
+  wide::Montgomery::Form generate();
+
+  wide::BigInt n_;
+  std::shared_ptr<const wide::Montgomery> mont_n2_;
+  Rng rng_;
+  // FIFO so factors are consumed in generation order: a prefilled pool and
+  // an empty one (all misses) then yield the same factor sequence, which is
+  // what makes ciphertext streams reproducible regardless of prefill timing.
+  std::deque<wide::Montgomery::Form> stock_;
+};
+
+}  // namespace kgrid::hom

@@ -155,11 +155,19 @@ inline std::string validate_bench_json(const Json& j) {
   if (paillier == nullptr || !paillier->is_object())
     return "missing crypto.paillier";
   for (const char* key : {"encryptions", "decryptions", "rerandomizations",
-                          "keygens", "modexps", "mont_muls"}) {
+                          "keygens", "modexps", "windowed_modexps",
+                          "mont_muls"}) {
     const Json* v = paillier->find(key);
     if (v == nullptr || !v->is_number())
       return std::string("crypto.paillier.") + key +
              " missing or not a number";
+  }
+  const Json* pool = crypto->find("pool");
+  if (pool == nullptr || !pool->is_object()) return "missing crypto.pool";
+  for (const char* key : {"hits", "misses", "prefilled"}) {
+    const Json* v = pool->find(key);
+    if (v == nullptr || !v->is_number())
+      return std::string("crypto.pool.") + key + " missing or not a number";
   }
 
   const Json* series = require("series");

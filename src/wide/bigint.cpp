@@ -146,20 +146,24 @@ BigInt& BigInt::operator-=(const BigInt& rhs) {
   return *this;
 }
 
-std::vector<BigInt::Limb> BigInt::mul_magnitude(const std::vector<Limb>& a,
-                                                const std::vector<Limb>& b) {
-  if (a.empty() || b.empty()) return {};
-  std::vector<Limb> out(a.size() + b.size(), 0);
-  for (std::size_t i = 0; i < a.size(); ++i) {
+namespace {
+
+using Limb = BigInt::Limb;
+
+/// Schoolbook product into `out` (pre-sized to na + nb, zeroed).
+void mul_basecase(const Limb* a, std::size_t na, const Limb* b, std::size_t nb,
+                  std::vector<Limb>& out) {
+  out.assign(na + nb, 0);
+  for (std::size_t i = 0; i < na; ++i) {
     u64 carry = 0;
     const u64 ai = a[i];
     if (ai == 0) continue;
-    for (std::size_t j = 0; j < b.size(); ++j) {
+    for (std::size_t j = 0; j < nb; ++j) {
       const u128 cur = static_cast<u128>(ai) * b[j] + out[i + j] + carry;
       out[i + j] = static_cast<u64>(cur);
       carry = static_cast<u64>(cur >> 64);
     }
-    std::size_t k = i + b.size();
+    std::size_t k = i + nb;
     while (carry) {
       const u128 cur = static_cast<u128>(out[k]) + carry;
       out[k] = static_cast<u64>(cur);
@@ -167,7 +171,140 @@ std::vector<BigInt::Limb> BigInt::mul_magnitude(const std::vector<Limb>& a,
       ++k;
     }
   }
+}
+
+std::size_t trimmed_size(const Limb* p, std::size_t n) {
+  while (n > 0 && p[n - 1] == 0) --n;
+  return n;
+}
+
+/// x + y as magnitudes (either operand may be empty).
+std::vector<Limb> add_vecs(const Limb* x, std::size_t nx, const Limb* y,
+                           std::size_t ny) {
+  if (nx < ny) {
+    std::swap(x, y);
+    std::swap(nx, ny);
+  }
+  std::vector<Limb> out(x, x + nx);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < ny; ++i) {
+    const u128 s = static_cast<u128>(out[i]) + y[i] + carry;
+    out[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  for (std::size_t i = ny; carry && i < nx; ++i) {
+    const u128 s = static_cast<u128>(out[i]) + carry;
+    out[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  if (carry) out.push_back(carry);
   return out;
+}
+
+/// acc -= x in place (requires acc >= x as magnitudes; sizes unchanged).
+void sub_vec_inplace(std::vector<Limb>& acc, const std::vector<Limb>& x) {
+  const std::size_t nx = trimmed_size(x.data(), x.size());
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < nx; ++i) {
+    const u128 d = static_cast<u128>(acc[i]) - x[i] - borrow;
+    acc[i] = static_cast<u64>(d);
+    borrow = static_cast<u64>((d >> 64) & 1);
+  }
+  for (std::size_t i = nx; borrow && i < acc.size(); ++i) {
+    const u128 d = static_cast<u128>(acc[i]) - borrow;
+    acc[i] = static_cast<u64>(d);
+    borrow = static_cast<u64>((d >> 64) & 1);
+  }
+  KGRID_CHECK(borrow == 0, "karatsuba interim subtraction underflow");
+}
+
+/// out[off..] += x. The true product bound guarantees the carry stays
+/// inside out.
+void add_at(std::vector<Limb>& out, const std::vector<Limb>& x,
+            std::size_t off) {
+  const std::size_t nx = trimmed_size(x.data(), x.size());
+  if (nx == 0) return;
+  KGRID_CHECK(off + nx <= out.size(), "karatsuba partial product overflow");
+  u64 carry = 0;
+  for (std::size_t i = 0; i < nx; ++i) {
+    const u128 s = static_cast<u128>(out[off + i]) + x[i] + carry;
+    out[off + i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  for (std::size_t i = off + nx; carry; ++i) {
+    KGRID_CHECK(i < out.size(), "karatsuba carry overflow");
+    const u128 s = static_cast<u128>(out[i]) + carry;
+    out[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+}
+
+/// Recursive Karatsuba over raw limb ranges. Splits at half the wider
+/// operand, so lopsided shapes degrade gracefully into one-sided recursion
+/// (z2 empty when the short operand fits entirely below the split).
+std::vector<Limb> mul_rec(const Limb* a, std::size_t na, const Limb* b,
+                          std::size_t nb) {
+  na = trimmed_size(a, na);
+  nb = trimmed_size(b, nb);
+  if (na == 0 || nb == 0) return {};
+  if (std::min(na, nb) < BigInt::kKaratsubaThresholdLimbs) {
+    std::vector<Limb> out;
+    mul_basecase(a, na, b, nb, out);
+    return out;
+  }
+  const std::size_t half = (std::max(na, nb) + 1) / 2;
+  const std::size_t na0 = std::min(na, half);
+  const std::size_t nb0 = std::min(nb, half);
+  const std::size_t na1 = na - na0;
+  const std::size_t nb1 = nb - nb0;
+
+  std::vector<Limb> z0 = mul_rec(a, na0, b, nb0);
+  std::vector<Limb> z2 = (na1 && nb1)
+                             ? mul_rec(a + half, na1, b + half, nb1)
+                             : std::vector<Limb>{};
+  const std::vector<Limb> sa = add_vecs(a, na0, na1 ? a + half : nullptr, na1);
+  const std::vector<Limb> sb = add_vecs(b, nb0, nb1 ? b + half : nullptr, nb1);
+  std::vector<Limb> z1 = mul_rec(sa.data(), sa.size(), sb.data(), sb.size());
+  sub_vec_inplace(z1, z0);
+  if (!z2.empty()) sub_vec_inplace(z1, z2);
+
+  std::vector<Limb> out(na + nb, 0);
+  add_at(out, z0, 0);
+  add_at(out, z1, half);
+  if (!z2.empty()) add_at(out, z2, 2 * half);
+  return out;
+}
+
+}  // namespace
+
+std::vector<BigInt::Limb> BigInt::mul_magnitude(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  if (a.empty() || b.empty()) return {};
+  if (std::min(a.size(), b.size()) < kKaratsubaThresholdLimbs) {
+    std::vector<Limb> out;
+    mul_basecase(a.data(), a.size(), b.data(), b.size(), out);
+    return out;
+  }
+  return mul_rec(a.data(), a.size(), b.data(), b.size());
+}
+
+BigInt BigInt::mul_schoolbook(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  if (a.limbs_.empty() || b.limbs_.empty()) return out;
+  mul_basecase(a.limbs_.data(), a.limbs_.size(), b.limbs_.data(),
+               b.limbs_.size(), out.limbs_);
+  out.negative_ = a.negative_ != b.negative_;
+  out.trim();
+  return out;
+}
+
+std::uint64_t BigInt::mod_u64(std::uint64_t d) const {
+  KGRID_CHECK(d > 0, "mod_u64 needs positive divisor");
+  KGRID_CHECK(!negative_, "mod_u64 needs non-negative value");
+  u64 r = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;)
+    r = static_cast<u64>(((static_cast<u128>(r) << 64) | limbs_[i]) % d);
+  return r;
 }
 
 BigInt& BigInt::operator*=(const BigInt& rhs) {

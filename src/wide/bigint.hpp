@@ -2,8 +2,11 @@
 //
 // This is the arithmetic substrate for the Paillier cryptosystem (src/crypto).
 // It is a sign-magnitude bignum over 64-bit limbs with schoolbook
-// multiplication and Knuth Algorithm-D division — entirely self-contained so
-// that the repository has no external crypto/bignum dependency.
+// multiplication below kKaratsubaThresholdLimbs, threshold-recursive
+// Karatsuba above it (keygen products, divmod reductions and the CRT decrypt
+// path all cross that width), and Knuth Algorithm-D division — entirely
+// self-contained so that the repository has no external crypto/bignum
+// dependency.
 //
 // Representation invariants:
 //   * limbs are little-endian (limbs_[0] is least significant);
@@ -57,6 +60,11 @@ class BigInt {
   /// Value as i64, asserting it fits.
   std::int64_t to_i64() const;
 
+  /// Residue modulo a machine word (d > 0) without forming a quotient — the
+  /// cheap trial-division primitive of the prime sieve. Requires a
+  /// non-negative value.
+  std::uint64_t mod_u64(std::uint64_t d) const;
+
   BigInt operator-() const;
   BigInt abs() const;
 
@@ -94,6 +102,15 @@ class BigInt {
   static BigInt random_bits(Rng& rng, std::size_t bits);
   /// Uniformly random value in [0, bound), bound > 0, by rejection.
   static BigInt random_below(Rng& rng, const BigInt& bound);
+
+  /// Limb count at which multiplication switches from schoolbook to
+  /// threshold-recursive Karatsuba (applied to the narrower operand; below
+  /// it the O(n^2) inner loop wins on constant factor).
+  static constexpr std::size_t kKaratsubaThresholdLimbs = 32;
+
+  /// Reference schoolbook product, bypassing the Karatsuba dispatch —
+  /// kept public for the cross-check tests and the multiplication benches.
+  static BigInt mul_schoolbook(const BigInt& a, const BigInt& b);
 
  private:
   static int compare_magnitude(const BigInt& lhs, const BigInt& rhs);

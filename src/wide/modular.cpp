@@ -1,5 +1,6 @@
 #include "wide/modular.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/crypto_counters.hpp"
@@ -47,19 +48,61 @@ BigInt mod_inverse(const BigInt& a, const BigInt& m) {
   return t0.mod_floor(m);
 }
 
+int pow_window_bits(std::size_t exp_bits) {
+  // Width w costs 2^(w-1) table multiplies and saves the ladder one multiply
+  // per w-1 exponent bits on average; these cutovers sit near the
+  // break-even points.
+  if (exp_bits <= 24) return 1;
+  if (exp_bits <= 80) return 2;
+  if (exp_bits <= 240) return 3;
+  if (exp_bits <= 768) return 4;
+  return 5;
+}
+
 BigInt mod_pow(const BigInt& base, const BigInt& exp, const BigInt& m) {
   KGRID_CHECK(m > BigInt(1), "mod_pow needs modulus > 1");
   KGRID_CHECK(!exp.is_negative(), "mod_pow needs non-negative exponent");
   if (m.is_odd()) return Montgomery(m).pow(base.mod_floor(m), exp);
-  // Even modulus: plain left-to-right square-and-multiply. Not on the crypto
-  // hot path (Paillier moduli are odd); kept for completeness.
+  // Even modulus: windowed left-to-right square-and-multiply with division
+  // for the reductions. Not on the crypto hot path (Paillier moduli are
+  // odd); kept complete and cross-checked against the odd path.
   obs::crypto_counters().modexps.inc();
-  BigInt result(1);
-  BigInt b = base.mod_floor(m);
   const std::size_t bits = exp.bit_length();
-  for (std::size_t i = bits; i-- > 0;) {
-    result = (result * result) % m;
-    if (exp.bit(i)) result = (result * b) % m;
+  if (bits == 0) return BigInt(1) % m;
+  const BigInt b = base.mod_floor(m);
+  const int w = pow_window_bits(bits);
+  if (w > 1) obs::crypto_counters().windowed_modexps.inc();
+
+  // Odd powers b^1, b^3, ..., b^(2^w - 1).
+  std::vector<BigInt> table(std::size_t{1} << (w - 1));
+  table[0] = b;
+  const BigInt b2 = (b * b) % m;
+  for (std::size_t i = 1; i < table.size(); ++i)
+    table[i] = (table[i - 1] * b2) % m;
+
+  BigInt result;
+  bool started = false;
+  std::size_t i = bits;
+  while (i-- > 0) {
+    if (!exp.bit(i)) {
+      result = (result * result) % m;
+      continue;
+    }
+    // Greedy window [j, i] ending on a set bit (so the table index is odd).
+    std::size_t j = i >= static_cast<std::size_t>(w) - 1
+                        ? i - static_cast<std::size_t>(w) + 1
+                        : 0;
+    while (!exp.bit(j)) ++j;
+    std::size_t val = 0;
+    for (std::size_t k = i + 1; k-- > j;) val = (val << 1) | (exp.bit(k) ? 1 : 0);
+    if (!started) {
+      result = table[val >> 1];
+      started = true;
+    } else {
+      for (std::size_t k = 0; k < i - j + 1; ++k) result = (result * result) % m;
+      result = (result * table[val >> 1]) % m;
+    }
+    i = j;  // loop decrement consumes bit j
   }
   return result;
 }
@@ -104,11 +147,11 @@ BigInt Montgomery::from_limbs(const std::vector<Limb>& x) const {
   return out;
 }
 
-std::vector<Montgomery::Limb> Montgomery::mont_mul(
-    const std::vector<Limb>& a, const std::vector<Limb>& b) const {
+void Montgomery::mont_mul_into(const Limb* a, const Limb* b, Limb* out,
+                               Limb* t) const {
   // CIOS (coarsely integrated operand scanning), Koc et al.
   // t has k+2 limbs: accumulates a*b interleaved with Montgomery reduction.
-  std::vector<Limb> t(k_ + 2, 0);
+  std::fill(t, t + k_ + 2, 0);
   for (std::size_t i = 0; i < k_; ++i) {
     // t += a[i] * b
     u64 carry = 0;
@@ -136,14 +179,14 @@ std::vector<Montgomery::Limb> Montgomery::mont_mul(
     t[k_ + 1] = 0;
   }
 
-  // Final conditional subtraction: result in [0, 2m) here.
-  std::vector<Limb> result(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k_));
+  // Final conditional subtraction: result in [0, 2m) here. `out` is written
+  // only now, after a and b are fully consumed, so it may alias either.
   bool ge = t[k_] != 0;
   if (!ge) {
     ge = true;
     for (std::size_t i = k_; i-- > 0;) {
-      if (result[i] != m_limbs_[i]) {
-        ge = result[i] > m_limbs_[i];
+      if (t[i] != m_limbs_[i]) {
+        ge = t[i] > m_limbs_[i];
         break;
       }
     }
@@ -151,12 +194,21 @@ std::vector<Montgomery::Limb> Montgomery::mont_mul(
   if (ge) {
     u64 borrow = 0;
     for (std::size_t i = 0; i < k_; ++i) {
-      const u128 d = static_cast<u128>(result[i]) - m_limbs_[i] - borrow;
-      result[i] = static_cast<u64>(d);
+      const u128 d = static_cast<u128>(t[i]) - m_limbs_[i] - borrow;
+      out[i] = static_cast<u64>(d);
       borrow = static_cast<u64>((d >> 64) & 1);
     }
+  } else {
+    std::copy(t, t + k_, out);
   }
-  return result;
+}
+
+std::vector<Montgomery::Limb> Montgomery::mont_mul(
+    const std::vector<Limb>& a, const std::vector<Limb>& b) const {
+  std::vector<Limb> out(k_);
+  std::vector<Limb> t(k_ + 2);
+  mont_mul_into(a.data(), b.data(), out.data(), t.data());
+  return out;
 }
 
 BigInt Montgomery::mul(const BigInt& a, const BigInt& b) const {
@@ -169,20 +221,163 @@ BigInt Montgomery::mul(const BigInt& a, const BigInt& b) const {
   return from_limbs(mont_mul(prod, one_limbs));
 }
 
+std::vector<Montgomery::Limb> Montgomery::pow_limbs(
+    const std::vector<Limb>& base_m, const BigInt& exp) const {
+  const std::size_t bits = exp.bit_length();
+  if (bits == 0) return one_;
+  const int w = pow_window_bits(bits);
+  std::vector<Limb> t(k_ + 2);
+
+  if (w == 1) {
+    // Plain binary ladder; a window table would cost more than it saves.
+    std::vector<Limb> acc = one_;
+    std::vector<Limb> tmp(k_);
+    for (std::size_t i = bits; i-- > 0;) {
+      mont_mul_into(acc.data(), acc.data(), tmp.data(), t.data());
+      acc.swap(tmp);
+      if (exp.bit(i)) {
+        mont_mul_into(acc.data(), base_m.data(), tmp.data(), t.data());
+        acc.swap(tmp);
+      }
+    }
+    return acc;
+  }
+  obs::crypto_counters().windowed_modexps.inc();
+
+  // Odd-power table: table[i] = base^(2i+1) in Montgomery form.
+  std::vector<std::vector<Limb>> table(std::size_t{1} << (w - 1));
+  table[0] = base_m;
+  std::vector<Limb> sq(k_);
+  mont_mul_into(base_m.data(), base_m.data(), sq.data(), t.data());
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    table[i].resize(k_);
+    mont_mul_into(table[i - 1].data(), sq.data(), table[i].data(), t.data());
+  }
+
+  // Left-to-right sliding window: zeros square through; a set bit opens a
+  // greedy window [j, i] ending on a set bit so its value is odd.
+  std::vector<Limb> acc;
+  std::vector<Limb> tmp(k_);
+  std::size_t i = bits;
+  while (i-- > 0) {
+    if (!exp.bit(i)) {
+      // The exponent's top bit is set, so acc is always live here.
+      mont_mul_into(acc.data(), acc.data(), tmp.data(), t.data());
+      acc.swap(tmp);
+      continue;
+    }
+    std::size_t j = i >= static_cast<std::size_t>(w) - 1
+                        ? i - static_cast<std::size_t>(w) + 1
+                        : 0;
+    while (!exp.bit(j)) ++j;
+    std::size_t val = 0;
+    for (std::size_t b = i + 1; b-- > j;) val = (val << 1) | (exp.bit(b) ? 1 : 0);
+    if (acc.empty()) {
+      acc = table[val >> 1];
+    } else {
+      for (std::size_t s = 0; s < i - j + 1; ++s) {
+        mont_mul_into(acc.data(), acc.data(), tmp.data(), t.data());
+        acc.swap(tmp);
+      }
+      mont_mul_into(acc.data(), table[val >> 1].data(), tmp.data(), t.data());
+      acc.swap(tmp);
+    }
+    i = j;  // loop decrement consumes bit j
+  }
+  return acc;
+}
+
 BigInt Montgomery::pow(const BigInt& base, const BigInt& exp) const {
   KGRID_CHECK(!exp.is_negative(), "Montgomery::pow needs non-negative exponent");
   obs::crypto_counters().modexps.inc();
   const auto base_m = mont_mul(to_limbs(base.mod_floor(m_)), r2_);
-  std::vector<Limb> acc = one_;  // Montgomery form of 1
-  const std::size_t bits = exp.bit_length();
-  for (std::size_t i = bits; i-- > 0;) {
-    acc = mont_mul(acc, acc);
-    if (exp.bit(i)) acc = mont_mul(acc, base_m);
-  }
+  const auto acc = pow_limbs(base_m, exp);
   // Convert out of Montgomery form: multiply by 1.
   std::vector<Limb> one_limbs(k_, 0);
   one_limbs[0] = 1;
   return from_limbs(mont_mul(acc, one_limbs));
+}
+
+BigInt Montgomery::pow_binary(const BigInt& base, const BigInt& exp) const {
+  KGRID_CHECK(!exp.is_negative(),
+              "Montgomery::pow_binary needs non-negative exponent");
+  obs::crypto_counters().modexps.inc();
+  const auto base_m = mont_mul(to_limbs(base.mod_floor(m_)), r2_);
+  std::vector<Limb> acc = one_;  // Montgomery form of 1
+  std::vector<Limb> tmp(k_);
+  std::vector<Limb> t(k_ + 2);
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    mont_mul_into(acc.data(), acc.data(), tmp.data(), t.data());
+    acc.swap(tmp);
+    if (exp.bit(i)) {
+      mont_mul_into(acc.data(), base_m.data(), tmp.data(), t.data());
+      acc.swap(tmp);
+    }
+  }
+  std::vector<Limb> one_limbs(k_, 0);
+  one_limbs[0] = 1;
+  return from_limbs(mont_mul(acc, one_limbs));
+}
+
+void Montgomery::check_form(const Form& f) const {
+  KGRID_CHECK(f.ctx_ == this, "Montgomery::Form used with a foreign context");
+}
+
+Montgomery::Form Montgomery::to_form(const BigInt& x) const {
+  Form f;
+  f.ctx_ = this;
+  f.limbs_ = mont_mul(to_limbs(x), r2_);
+  return f;
+}
+
+BigInt Montgomery::from_form(const Form& x) const {
+  check_form(x);
+  std::vector<Limb> one_limbs(k_, 0);
+  one_limbs[0] = 1;
+  return from_limbs(mont_mul(x.limbs_, one_limbs));
+}
+
+Montgomery::Form Montgomery::one_form() const {
+  Form f;
+  f.ctx_ = this;
+  f.limbs_ = one_;
+  return f;
+}
+
+Montgomery::Form Montgomery::mul_form(const Form& a, const Form& b) const {
+  check_form(a);
+  check_form(b);
+  obs::crypto_counters().mont_muls.inc();
+  Form out;
+  out.ctx_ = this;
+  out.limbs_.resize(k_);
+  std::vector<Limb> t(k_ + 2);
+  mont_mul_into(a.limbs_.data(), b.limbs_.data(), out.limbs_.data(), t.data());
+  return out;
+}
+
+void Montgomery::mul_form_into(const Form& a, const Form& b, Form& out,
+                               std::vector<BigInt::Limb>& scratch) const {
+  check_form(a);
+  check_form(b);
+  obs::crypto_counters().mont_muls.inc();
+  out.ctx_ = this;
+  out.limbs_.resize(k_);
+  scratch.resize(k_ + 2);
+  mont_mul_into(a.limbs_.data(), b.limbs_.data(), out.limbs_.data(),
+                scratch.data());
+}
+
+Montgomery::Form Montgomery::pow_form(const Form& base, const BigInt& exp) const {
+  check_form(base);
+  KGRID_CHECK(!exp.is_negative(),
+              "Montgomery::pow_form needs non-negative exponent");
+  obs::crypto_counters().modexps.inc();
+  Form out;
+  out.ctx_ = this;
+  out.limbs_ = pow_limbs(base.limbs_, exp);
+  return out;
 }
 
 }  // namespace kgrid::wide

@@ -1,6 +1,8 @@
 #include "wide/prime.hpp"
 
-#include <array>
+#include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "util/check.hpp"
 #include "wide/modular.hpp"
@@ -9,22 +11,52 @@ namespace kgrid::wide {
 
 namespace {
 
-constexpr std::array<std::uint64_t, 54> kSmallPrimes = {
-    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
-    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
-    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
-    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+/// All primes below 2^16, computed once by Eratosthenes (6542 of them).
+/// sqrt(2^32) = 2^16, so trial division by this table is an exact primality
+/// test for any candidate below 2^32.
+const std::vector<std::uint32_t>& small_primes() {
+  static const std::vector<std::uint32_t> primes = [] {
+    constexpr std::uint32_t kLimit = 1u << 16;
+    std::vector<bool> composite(kLimit, false);
+    std::vector<std::uint32_t> out;
+    out.reserve(6542);
+    for (std::uint32_t i = 2; i < kLimit; ++i) {
+      if (composite[i]) continue;
+      out.push_back(i);
+      for (std::uint64_t j = static_cast<std::uint64_t>(i) * i; j < kLimit;
+           j += i)
+        composite[j] = true;
+    }
+    return out;
+  }();
+  return primes;
+}
 
 }  // namespace
 
 bool is_probable_prime(const BigInt& n, Rng& rng, int rounds) {
   if (n.is_negative()) return false;
   if (n < BigInt(2)) return false;
-  for (std::uint64_t p : kSmallPrimes) {
-    const BigInt bp(p);
-    if (n == bp) return true;
-    if ((n % bp).is_zero()) return false;
+  const auto& primes = small_primes();
+
+  if (n.limb_count() <= 1 && n.to_u64() < (1ull << 32)) {
+    // Exact: trial-divide by primes up to sqrt(n).
+    const std::uint64_t v = n.to_u64();
+    for (std::uint32_t p : primes) {
+      if (static_cast<std::uint64_t>(p) * p > v) break;
+      if (v % p == 0) return false;
+    }
+    return true;
   }
+
+  // Wide candidates: trial-divide by a sieve prefix sized to the candidate —
+  // the worthwhile trial bound grows with the cost of the Miller-Rabin round
+  // a rejection saves (~bits * limbs^2 limb multiplies).
+  const std::size_t limbs = n.limb_count();
+  const std::size_t n_trial =
+      std::min(primes.size(), std::max<std::size_t>(54, 100 * limbs * limbs));
+  for (std::size_t i = 0; i < n_trial; ++i)
+    if (n.mod_u64(primes[i]) == 0) return false;
 
   // n - 1 = d * 2^r with d odd.
   const BigInt n_minus_1 = n - BigInt(1);
@@ -57,12 +89,42 @@ bool is_probable_prime(const BigInt& n, Rng& rng, int rounds) {
 
 BigInt random_prime(Rng& rng, std::size_t bits, int rounds) {
   KGRID_CHECK(bits >= 8, "random_prime needs >= 8 bits");
+  const auto& primes = small_primes();
   for (;;) {
     BigInt candidate = BigInt::random_bits(rng, bits);
     // Force exact width and oddness.
     if (!candidate.bit(bits - 1)) candidate += BigInt(1) << (bits - 1);
     if (candidate.is_even()) candidate += BigInt(1);
-    if (is_probable_prime(candidate, rng, rounds)) return candidate;
+
+    // Incremental sieve: compute candidate mod p once per sieve prime, then
+    // walk the odd numbers upward updating each residue with one add —
+    // trial division against all 6542 primes costs two u32 ops per
+    // candidate instead of a full multi-precision division each, so
+    // Miller-Rabin only ever sees candidates with no factor below 2^16.
+    std::vector<std::uint32_t> res(primes.size());
+    for (std::size_t i = 0; i < primes.size(); ++i)
+      res[i] = static_cast<std::uint32_t>(candidate.mod_u64(primes[i]));
+
+    while (candidate.bit_length() == bits) {
+      bool composite = false;
+      for (std::size_t i = 0; i < primes.size(); ++i) {
+        if (res[i] != 0) continue;
+        // Divisible by primes[i]; prime only if it *is* primes[i]
+        // (possible when bits <= 16).
+        if (candidate.limb_count() == 1 && candidate.to_u64() == primes[i])
+          return candidate;
+        composite = true;
+        break;
+      }
+      if (!composite && is_probable_prime(candidate, rng, rounds))
+        return candidate;
+      candidate += BigInt(2);
+      for (std::size_t i = 0; i < primes.size(); ++i) {
+        res[i] += 2;
+        if (res[i] >= primes[i]) res[i] -= primes[i];
+      }
+    }
+    // Walked off the top of the width window; redraw.
   }
 }
 

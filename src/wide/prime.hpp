@@ -10,11 +10,17 @@
 namespace kgrid::wide {
 
 /// Miller–Rabin with `rounds` random bases (error probability <= 4^-rounds),
-/// preceded by trial division against small primes. Handles all n >= 0.
+/// preceded by trial division against a prefix of the primes below 2^16
+/// sized to the candidate width (exact — and cheap — for n < 2^32).
+/// Handles all n >= 0.
 bool is_probable_prime(const BigInt& n, Rng& rng, int rounds = 24);
 
-/// Uniformly-flavoured random prime with exactly `bits` bits (top bit set so
-/// products of two such primes have predictable width). bits >= 8.
+/// Random prime with exactly `bits` bits (top bit set so products of two
+/// such primes have predictable width). bits >= 8. Searches incrementally
+/// from a random odd start with per-prime residues updated in O(1), so no
+/// Miller-Rabin modexp is ever spent on a candidate with a factor below
+/// 2^16 (the usual slight bias of incremental search toward primes after
+/// large gaps is irrelevant here and standard in practice).
 BigInt random_prime(Rng& rng, std::size_t bits, int rounds = 24);
 
 }  // namespace kgrid::wide

@@ -1,0 +1,178 @@
+// Randomized cross-checks pinning every optimized arithmetic path to its
+// reference implementation (ISSUE 2, satellite S4):
+//
+//   * windowed Montgomery::pow        ≡ the binary ladder (pow_binary)
+//   * Montgomery::Form operations     ≡ the BigInt-level equivalents
+//   * Karatsuba mul_magnitude         ≡ schoolbook (mul_schoolbook)
+//   * even-modulus mod_pow            ≡ the odd-modulus Montgomery path (CRT)
+//
+// Each suite runs under several fixed seeds so a regression reproduces.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "wide/bigint.hpp"
+#include "wide/modular.hpp"
+
+namespace kgrid::wide {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {1, 42, 20260807};
+
+BigInt random_odd(Rng& rng, std::size_t bits) {
+  BigInt m = BigInt::random_bits(rng, bits);
+  if (m.is_even()) m += BigInt(1);
+  if (m < BigInt(3)) m = BigInt(3);
+  return m;
+}
+
+TEST(PowCrossCheck, WindowedMatchesBinary) {
+  for (const std::uint64_t seed : kSeeds) {
+    Rng rng(seed);
+    for (const std::size_t mod_bits : {64u, 256u, 600u, 1024u}) {
+      const BigInt m = random_odd(rng, mod_bits);
+      const Montgomery mont(m);
+      const BigInt base = BigInt::random_below(rng, m);
+      // Exponent widths straddling every pow_window_bits breakpoint
+      // (1..5-bit windows).
+      for (const std::size_t exp_bits : {1u, 16u, 24u, 25u, 80u, 81u, 240u,
+                                         241u, 768u, 769u, 1200u}) {
+        const BigInt e = BigInt::random_bits(rng, exp_bits);
+        EXPECT_EQ(mont.pow(base, e), mont.pow_binary(base, e))
+            << "seed=" << seed << " mod_bits=" << mod_bits
+            << " exp_bits=" << exp_bits;
+      }
+    }
+  }
+}
+
+TEST(PowCrossCheck, EdgeExponents) {
+  Rng rng(kSeeds[0]);
+  const BigInt m = random_odd(rng, 320);
+  const Montgomery mont(m);
+  const BigInt base = BigInt::random_below(rng, m);
+  EXPECT_EQ(mont.pow(base, BigInt(0)), BigInt(1));
+  EXPECT_EQ(mont.pow(base, BigInt(1)), base);
+  EXPECT_EQ(mont.pow(base, BigInt(2)), mont.mul(base, base));
+  EXPECT_EQ(mont.pow(BigInt(0), BigInt(5)), BigInt(0));
+  EXPECT_EQ(mont.pow(BigInt(1), BigInt::random_bits(rng, 500)), BigInt(1));
+}
+
+TEST(FormCrossCheck, RoundTripAndOpsMatchBigIntPath) {
+  for (const std::uint64_t seed : kSeeds) {
+    Rng rng(seed);
+    const BigInt m = random_odd(rng, 512);
+    const Montgomery mont(m);
+    const BigInt a = BigInt::random_below(rng, m);
+    const BigInt b = BigInt::random_below(rng, m);
+
+    EXPECT_EQ(mont.from_form(mont.to_form(a)), a);
+    EXPECT_EQ(mont.from_form(mont.one_form()), BigInt(1));
+
+    const auto fa = mont.to_form(a);
+    const auto fb = mont.to_form(b);
+    EXPECT_EQ(mont.from_form(mont.mul_form(fa, fb)), mont.mul(a, b));
+
+    const BigInt e = BigInt::random_bits(rng, 300);
+    EXPECT_EQ(mont.from_form(mont.pow_form(fa, e)), mont.pow(a, e));
+  }
+}
+
+TEST(FormCrossCheck, MulFormIntoAliasesAndChains) {
+  Rng rng(kSeeds[1]);
+  const BigInt m = random_odd(rng, 512);
+  const Montgomery mont(m);
+  const BigInt a = BigInt::random_below(rng, m);
+  const BigInt b = BigInt::random_below(rng, m);
+
+  // acc <- acc*b repeatedly, with out aliasing the accumulator — the exact
+  // shape of a chained homomorphic-add loop.
+  std::vector<BigInt::Limb> scratch;
+  auto acc = mont.to_form(a);
+  const auto fb = mont.to_form(b);
+  BigInt expect = a;
+  for (int i = 0; i < 8; ++i) {
+    mont.mul_form_into(acc, fb, acc, scratch);
+    expect = mont.mul(expect, b);
+  }
+  EXPECT_EQ(mont.from_form(acc), expect);
+}
+
+TEST(FormCrossCheckDeathTest, ForeignContextIsRejected) {
+  Rng rng(kSeeds[2]);
+  const BigInt m1 = random_odd(rng, 256);
+  const BigInt m2 = random_odd(rng, 256);
+  const Montgomery mont1(m1);
+  const Montgomery mont2(m2);
+  const auto f = mont1.to_form(BigInt::random_below(rng, m1));
+  EXPECT_DEATH((void)mont2.from_form(f), "foreign context");
+}
+
+TEST(MulCrossCheck, KaratsubaMatchesSchoolbook) {
+  // Limb counts straddling kKaratsubaThresholdLimbs (32), including
+  // lopsided pairs that exercise the empty-z2 recursion shape.
+  const std::size_t sizes[] = {1, 2, 8, 31, 32, 33, 63, 64, 65, 100, 128};
+  for (const std::uint64_t seed : kSeeds) {
+    Rng rng(seed);
+    for (const std::size_t la : sizes) {
+      for (const std::size_t lb : sizes) {
+        const BigInt a = BigInt::random_bits(rng, la * 64);
+        const BigInt b = BigInt::random_bits(rng, lb * 64);
+        EXPECT_EQ(a * b, BigInt::mul_schoolbook(a, b))
+            << "seed=" << seed << " la=" << la << " lb=" << lb;
+      }
+    }
+  }
+}
+
+TEST(MulCrossCheck, PatternedOperandsMaximizeCarries) {
+  // All-ones limbs force every carry chain; one-limb-times-wide hits the
+  // most lopsided split.
+  const BigInt ones64 = (BigInt(1) << (64 * 64)) - BigInt(1);
+  const BigInt ones33 = (BigInt(1) << (33 * 64)) - BigInt(1);
+  EXPECT_EQ(ones64 * ones64, BigInt::mul_schoolbook(ones64, ones64));
+  EXPECT_EQ(ones64 * ones33, BigInt::mul_schoolbook(ones64, ones33));
+  Rng rng(7);
+  const BigInt single = BigInt::random_bits(rng, 64);
+  EXPECT_EQ(ones64 * single, BigInt::mul_schoolbook(ones64, single));
+
+  // Signs flow through mul_magnitude's caller unchanged.
+  EXPECT_EQ((-ones64) * ones33, -BigInt::mul_schoolbook(ones64, ones33));
+  EXPECT_EQ((-ones64) * (-ones33), BigInt::mul_schoolbook(ones64, ones33));
+}
+
+TEST(EvenModPowCrossCheck, SmallCasesAgainstNaive) {
+  Rng rng(kSeeds[0]);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t m = 2 + 2 * rng.below(1u << 16);  // even, >= 2
+    const std::uint64_t b = rng.below(1u << 20);
+    const std::uint64_t e = rng.below(64);
+    std::uint64_t naive = 1 % m;
+    for (std::uint64_t j = 0; j < e; ++j) naive = (naive * (b % m)) % m;
+    EXPECT_EQ(mod_pow(BigInt(b), BigInt(e), BigInt(m)).to_u64(), naive)
+        << "b=" << b << " e=" << e << " m=" << m;
+  }
+}
+
+TEST(EvenModPowCrossCheck, WidePinnedToMontgomeryPath) {
+  // For m_even = m_odd << s, b^e mod m_even reduced mod m_odd must equal
+  // the Montgomery result mod m_odd — pins the windowed even-modulus ladder
+  // to the independently cross-checked odd path.
+  for (const std::uint64_t seed : kSeeds) {
+    Rng rng(seed);
+    const BigInt m_odd = random_odd(rng, 384);
+    for (const std::size_t s : {1u, 5u, 64u}) {
+      const BigInt m_even = m_odd << s;
+      const BigInt b = BigInt::random_below(rng, m_even);
+      const BigInt e = BigInt::random_bits(rng, 200);
+      const Montgomery mont(m_odd);
+      EXPECT_EQ(mod_pow(b, e, m_even) % m_odd, mont.pow(b % m_odd, e))
+          << "seed=" << seed << " shift=" << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kgrid::wide
