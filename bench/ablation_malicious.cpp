@@ -2,7 +2,7 @@
 // steps after the takeover the grid quarantines the culprit, and the final
 // recall of the honest resources.
 //
-//   ./ablation_malicious [--resources=16] [--json[=PATH]]
+//   ./ablation_malicious [--resources=16] [--threads=N] [--json[=PATH]]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -13,9 +13,13 @@ int main(int argc, char** argv) {
   const auto resources =
       static_cast<std::size_t>(cli.get_int("resources", 16));
   const std::size_t attack_step = 15;
+  const std::size_t threads = bench::threads_arg(cli);
+  sim::Executor pool(threads);
   bench::JsonSink sink(cli, "ablation_malicious");
   sink.arg("resources", obs::Json(resources));
   sink.arg("attack_step", obs::Json(attack_step));
+  sink.arg("threads", obs::Json(threads));
+  sink.set_executor(&pool);
 
   std::printf("# Ablation: malicious broker behaviours "
               "(%zu resources, takeover at step %zu)\n",
@@ -51,6 +55,7 @@ int main(int argc, char** argv) {
     cfg.attach_monitor = true;
     cfg.attacks[0] = {behaviour, core::ControllerBehavior::kHonest,
                       attack_step};
+    cfg.executor = &pool;
 
     core::SecureGrid grid(cfg);
     sink.attach(grid.engine());

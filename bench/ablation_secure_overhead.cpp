@@ -7,7 +7,7 @@
 // cost of the k-gate itself.
 //
 //   ./ablation_secure_overhead [--resources=32] [--local=500]
-//                               [--json[=PATH]]
+//                               [--threads=N] [--json[=PATH]]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -18,9 +18,13 @@ int main(int argc, char** argv) {
   const auto resources =
       static_cast<std::size_t>(cli.get_int("resources", 32));
   const auto local = static_cast<std::size_t>(cli.get_int("local", 500));
+  const std::size_t threads = bench::threads_arg(cli);
+  sim::Executor pool(threads);
   bench::JsonSink sink(cli, "ablation_secure_overhead");
   sink.arg("resources", obs::Json(resources));
   sink.arg("local", obs::Json(local));
+  sink.arg("threads", obs::Json(threads));
+  sink.set_executor(&pool);
 
   core::GridEnvConfig env_cfg;
   env_cfg.n_resources = resources;
@@ -43,7 +47,7 @@ int main(int argc, char** argv) {
     base.min_freq = thresholds.min_freq;
     base.min_conf = thresholds.min_conf;
     base.arrivals_per_step = 0;
-    core::BaselineGrid grid(env_cfg, base);
+    core::BaselineGrid grid(env_cfg, base, threads);
     sink.attach(grid.engine());
     const auto reference = grid.env().reference(thresholds);
     auto recall = [&] { return grid.average_recall(reference); };
@@ -68,6 +72,7 @@ int main(int argc, char** argv) {
     cfg.secure.k = k;
     cfg.secure.arrivals_per_step = 0;
     cfg.attach_monitor = true;
+    cfg.executor = &pool;
     core::SecureGrid grid(cfg);
     sink.attach(grid.engine());
     const auto reference = grid.env().reference(thresholds);

@@ -11,6 +11,16 @@
 
 namespace kgrid::bench {
 
+/// Parse `--threads=N` for a figure bench. Benches default to every
+/// hardware lane (0 from the flag means "auto"); `--threads=1` reproduces
+/// the reference inline schedule. Protocol outcomes are identical either
+/// way (sim/engine.hpp determinism contract); only wall time changes.
+inline std::size_t threads_arg(const Cli& cli) {
+  const std::int64_t t = cli.get_int("threads", 0);
+  return t <= 0 ? sim::Executor::hardware_threads()
+                : static_cast<std::size_t>(t);
+}
+
 /// Glue between a bench binary's Cli and its BENCH_*.json artifact
 /// (docs/METRICS.md). Constructed first thing in main() so the wall clock
 /// covers the whole run; `--json` (default path BENCH_<name>.json) or
@@ -48,11 +58,18 @@ class JsonSink {
     if (enabled()) engine.attach_metrics(&metrics_);
   }
 
+  /// Report this pool's counters as `sim.executor` in the artifact. Like
+  /// attach(), the registration is unconditional on the caller's side; the
+  /// sink ignores it when `--json` is off. Pass the bench's one shared pool.
+  void set_executor(sim::Executor* executor) { executor_ = executor; }
+
   /// Stamp the sim/crypto/wall-time sections and write the artifact.
   /// Returns false (after printing to stderr) when the file is unwritable.
   bool write() {
     if (!enabled()) return true;
-    report_.set_sim(metrics_.to_json());
+    obs::Json sim = metrics_.to_json();
+    if (executor_ != nullptr) sim.set("executor", executor_->metrics_json());
+    report_.set_sim(std::move(sim));
     if (!report_.write(path_)) return false;
     std::printf("\nwrote %s\n", path_.c_str());
     return true;
@@ -62,6 +79,7 @@ class JsonSink {
   std::string path_;
   obs::BenchReport report_;
   sim::EngineMetrics metrics_;
+  sim::Executor* executor_ = nullptr;
 };
 
 /// Ground truth over the data that has arrived by `step` (initial

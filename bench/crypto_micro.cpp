@@ -15,20 +15,32 @@
 //   * BM_BigIntMulKaratsuba vs BM_BigIntMulSchoolbook — around and above the
 //     kKaratsubaThresholdLimbs crossover.
 //
+//   * BM_BatchDecrypt/BM_BatchRerandomize — the hom batch APIs over an
+//     executor, swept across pool widths via the second benchmark arg
+//     ({modulus_bits, threads}); the per-item cost at threads=1 vs the
+//     single-op benches above isolates the batch-API overhead.
+//
 // Besides google-benchmark's own flags, `--json[=PATH]` (kgrid convention,
 // stripped before benchmark::Initialize) writes a kgrid.bench.v1 envelope
-// with one series row per benchmark run — see docs/METRICS.md.
+// with one series row per benchmark run — see docs/METRICS.md. `--threads`
+// is likewise stripped (and recorded in the artifact's args) so the flag can
+// be passed uniformly to every bench binary; the batch benches sweep pool
+// widths through their benchmark args regardless.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "crypto/counter.hpp"
+#include "crypto/hom.hpp"
 #include "crypto/paillier.hpp"
 #include "crypto/randomizer_pool.hpp"
 #include "obs/bench_report.hpp"
+#include "sim/executor.hpp"
 #include "wide/modular.hpp"
 #include "wide/prime.hpp"
 
@@ -252,6 +264,82 @@ BENCHMARK(BM_CounterAggregate<hom::Backend::kPaillier>)
     ->Iterations(128)
     ->Unit(benchmark::kMicrosecond);
 
+// -- hom batch APIs over an executor --
+
+const hom::ContextPtr& hom_context_for(std::size_t bits) {
+  static std::map<std::size_t, hom::ContextPtr> cache;
+  auto it = cache.find(bits);
+  if (it == cache.end()) {
+    Rng rng(bits + 1);
+    it = cache.emplace(bits, hom::Context::make_paillier(bits, rng)).first;
+  }
+  return it->second;
+}
+
+sim::Executor& executor_for(std::size_t threads) {
+  static std::map<std::size_t, std::unique_ptr<sim::Executor>> cache;
+  auto it = cache.find(threads);
+  if (it == cache.end())
+    it = cache.emplace(threads, std::make_unique<sim::Executor>(threads)).first;
+  return *it->second;
+}
+
+constexpr std::size_t kHomBatch = 16;  // ~one broker aggregation's worth
+
+void BM_BatchRerandomize(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const auto& ctx = hom_context_for(bits);
+  const auto enc = ctx->encrypt_key();
+  const auto eval = ctx->eval_handle();
+  Rng rng(12);
+  std::vector<hom::Cipher> ciphers;
+  std::vector<const hom::Cipher*> ptrs;
+  for (std::size_t i = 0; i < kHomBatch; ++i)
+    ciphers.push_back(enc.encrypt_value(i + 1, rng));
+  for (const auto& c : ciphers) ptrs.push_back(&c);
+  ctx->prefill_randomizers(kHomBatch * state.max_iterations);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        eval.rerandomize_batch(ptrs, rng, &executor_for(threads)));
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kHomBatch));
+}
+BENCHMARK(BM_BatchRerandomize)
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->Args({1024, 1})
+    ->Args({1024, 4})
+    ->Iterations(16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BatchDecrypt(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const auto& ctx = hom_context_for(bits);
+  const auto enc = ctx->encrypt_key();
+  const auto dec = ctx->decrypt_key();
+  Rng rng(13);
+  std::vector<hom::Cipher> ciphers;
+  std::vector<const hom::Cipher*> ptrs;
+  for (std::size_t i = 0; i < kHomBatch; ++i)
+    ciphers.push_back(enc.encrypt_value(1000 + i, rng));
+  for (const auto& c : ciphers) ptrs.push_back(&c);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        dec.decrypt_batch(ptrs, 1, &executor_for(threads)));
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kHomBatch));
+}
+BENCHMARK(BM_BatchDecrypt)
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->Args({1024, 1})
+    ->Args({1024, 4})
+    ->Unit(benchmark::kMicrosecond);
+
 /// Console reporter that additionally captures every run as a series row
 /// ({name, iterations, real_time, cpu_time, time_unit}).
 class CaptureReporter : public benchmark::ConsoleReporter {
@@ -276,8 +364,10 @@ class CaptureReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Split off --json before google-benchmark sees (and rejects) it.
+  // Split off the kgrid-convention flags (--json, --threads) before
+  // google-benchmark sees (and rejects) them.
   std::string json_path;
+  std::string threads_flag;
   std::vector<char*> bench_argv;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -288,12 +378,22 @@ int main(int argc, char** argv) {
       if (json_path.empty()) json_path = "BENCH_crypto_micro.json";
       continue;
     }
+    if (i > 0 && arg.rfind("--threads", 0) == 0) {
+      // Accepted for CLI uniformity with the figure benches and recorded in
+      // the artifact; the batch benches sweep pool widths via their args.
+      const auto eq = arg.find('=');
+      threads_flag = eq == std::string_view::npos
+                         ? std::string("auto")
+                         : std::string(arg.substr(eq + 1));
+      continue;
+    }
     bench_argv.push_back(argv[i]);
   }
-  const bool json_enabled = bench_argv.size() < static_cast<std::size_t>(argc);
+  const bool json_enabled = !json_path.empty();
   int bench_argc = static_cast<int>(bench_argv.size());
 
   kgrid::obs::BenchReport report("crypto_micro");
+  if (!threads_flag.empty()) report.set_arg("threads", threads_flag);
   for (int i = 1; i < bench_argc; ++i)
     report.set_arg("argv" + std::to_string(i), bench_argv[i]);
 

@@ -10,7 +10,7 @@
 // Default here: 32 x 500 (one core); --paper raises it.
 //
 //   ./fig2_convergence [--resources=32] [--local=500] [--k=10] [--scans=5]
-//                      [--paper] [--json[=PATH]]
+//                      [--threads=N] [--paper] [--json[=PATH]]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -25,12 +25,16 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("local", paper ? 10000 : 800));
   const auto k = cli.get_int("k", 10);
   const auto scans = static_cast<std::size_t>(cli.get_int("scans", 4));
+  const std::size_t threads = bench::threads_arg(cli);
+  sim::Executor pool(threads);
   bench::JsonSink sink(cli, "fig2_convergence");
   sink.arg("resources", obs::Json(resources));
   sink.arg("local", obs::Json(local));
   sink.arg("k", obs::Json(k));
   sink.arg("scans", obs::Json(scans));
+  sink.arg("threads", obs::Json(threads));
   sink.arg("paper", obs::Json(paper));
+  sink.set_executor(&pool);
 
   std::printf("# Figure 2: recall/precision vs database scans "
               "(%zu resources, %zu tx local, k=%lld)\n",
@@ -71,8 +75,9 @@ int main(int argc, char** argv) {
     base.candidate_period = cfg.secure.candidate_period;
     base.arrivals_per_step = cfg.secure.arrivals_per_step;
 
+    cfg.executor = &pool;
     core::SecureGrid secure(cfg);
-    core::BaselineGrid baseline(cfg.env, base);
+    core::BaselineGrid baseline(cfg.env, base, threads);
     sink.attach(secure.engine());
     sink.attach(baseline.engine());
 

@@ -9,8 +9,14 @@
 // of resources the step count stops growing; the closer the significance to
 // zero, the more steps are needed.
 //
+// The bench also sweeps the executor width on a fixed secure-Paillier grid
+// (the `threads_sweep` section of the JSON artifact): the same protocol
+// outcome at every width, with wall time as the only variable — the
+// parallel-executor speedup figure (EXPERIMENTS.md).
+//
 //   ./fig3_scalability [--max_resources=512] [--local=1000] [--k=10]
-//                      [--paper] [--json[=PATH]]
+//                      [--threads=N] [--sweep_steps=10] [--paper]
+//                      [--json[=PATH]]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -23,9 +29,14 @@ using namespace kgrid;
 /// whose single-item frequency realizes the requested significance exactly.
 core::GridEnv single_itemset_env(std::size_t n, std::size_t local,
                                  double lambda, double significance,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed,
+                                 bool path_topology = false) {
   Rng rng(seed);
-  net::Graph topology = n > 3 ? net::barabasi_albert(n, 2, rng) : net::path(n);
+  // The threads sweep forces a path so every degree stays <= 2: its counters
+  // must fit a 512-bit Paillier modulus (degree + 5 packed fields).
+  net::Graph topology = (n > 3 && !path_topology)
+                            ? net::barabasi_albert(n, 2, rng)
+                            : net::path(n);
   core::GridEnv env{net::spanning_tree(topology, 0),
                     net::LinkDelays(seed ^ 0xabcdef, 0.5, 2.0),
                     data::Database{},
@@ -68,12 +79,16 @@ int main(int argc, char** argv) {
   const auto local = static_cast<std::size_t>(cli.get_int("local", 100));
   const auto k = cli.get_int("k", 10);
   const double lambda = 0.5;
+  const std::size_t threads = kgrid::bench::threads_arg(cli);
+  sim::Executor pool(threads);
   kgrid::bench::JsonSink sink(cli, "fig3_scalability");
   sink.arg("max_resources", kgrid::obs::Json(max_resources));
   sink.arg("local", kgrid::obs::Json(local));
   sink.arg("k", kgrid::obs::Json(k));
   sink.arg("lambda", kgrid::obs::Json(lambda));
+  sink.arg("threads", kgrid::obs::Json(threads));
   sink.arg("paper", kgrid::obs::Json(paper));
+  sink.set_executor(&pool);
 
   std::printf("# Figure 3: steps to 98%% recall vs resources "
               "(single itemset, lambda=%.2f, k=%lld)\n",
@@ -96,6 +111,7 @@ int main(int argc, char** argv) {
       cfg.secure.count_budget = 100;
       cfg.secure.candidate_period = 1;  // sample the output every step
       cfg.secure.arrivals_per_step = 1;  // the paper's dynamic trickle
+      cfg.executor = &pool;  // one pool shared by every grid in the series
 
       core::SecureGrid grid(cfg, single_itemset_env(n, local, lambda, sig,
                                                     cfg.env.seed));
@@ -131,6 +147,63 @@ int main(int argc, char** argv) {
       sink.row(std::move(row));
     }
     std::printf("\n");
+  }
+
+  // --threads sweep: one fixed secure-Paillier grid rerun at several pool
+  // widths. The outcome columns must be identical on every row (the
+  // determinism contract); wall_s/speedup is the executor's contribution.
+  // A path overlay keeps every counter within 512-bit Paillier capacity.
+  {
+    const auto sweep_steps =
+        static_cast<std::size_t>(cli.get_int("sweep_steps", 10));
+    std::printf("\n# threads sweep: secure Paillier, 16 resources, 512-bit "
+                "modulus, %zu steps\n", sweep_steps);
+    std::printf("%8s %10s %9s %12s %10s %10s\n", "threads", "wall_s",
+                "speedup", "messages", "sfe_sends", "reveals");
+    kgrid::obs::Json sweep = kgrid::obs::Json::array();
+    double wall_t1 = 0.0;
+    for (const std::size_t t : {1u, 2u, 4u, 8u}) {
+      core::SecureGridConfig cfg;
+      cfg.env.n_resources = 16;
+      cfg.env.seed = 2024;
+      cfg.env.quest.n_items = 2;
+      cfg.secure.n_items = 1;
+      cfg.secure.min_freq = lambda;
+      cfg.secure.k = 4;
+      cfg.secure.candidate_period = 1;
+      cfg.secure.arrivals_per_step = 1;
+      cfg.backend = hom::Backend::kPaillier;
+      cfg.paillier_bits = 512;
+      cfg.threads = t;
+      kgrid::obs::Stopwatch wall;
+      core::SecureGrid grid(cfg, single_itemset_env(16, local, lambda, 0.10,
+                                                    cfg.env.seed,
+                                                    /*path_topology=*/true));
+      grid.run_steps(sweep_steps);
+      const double wall_s = wall.seconds();
+      if (t == 1) wall_t1 = wall_s;
+      const double speedup = wall_s > 0.0 ? wall_t1 / wall_s : 0.0;
+      const auto msgs = grid.engine().messages_delivered();
+      std::uint64_t sfe_sends = 0, reveals = 0;
+      for (net::NodeId u = 0; u < grid.size(); ++u) {
+        sfe_sends += grid.resource(u).controller().stats().sfe_sends;
+        reveals += grid.resource(u).controller().stats().gate_reveals;
+      }
+      kgrid::obs::Json protocol = grid.protocol_stats();
+      std::printf("%8zu %10.3f %8.2fx %12llu %10llu %10llu\n", t, wall_s,
+                  speedup, static_cast<unsigned long long>(msgs),
+                  static_cast<unsigned long long>(sfe_sends),
+                  static_cast<unsigned long long>(reveals));
+      std::fflush(stdout);
+      kgrid::obs::Json row = kgrid::obs::Json::object();
+      row.set("threads", t);
+      row.set("wall_s", wall_s);
+      row.set("speedup", speedup);
+      row.set("messages_delivered", msgs);
+      row.set("protocol", std::move(protocol));
+      sweep.push_back(std::move(row));
+    }
+    sink.section("threads_sweep", std::move(sweep));
   }
   return sink.write() ? 0 : 1;
 }

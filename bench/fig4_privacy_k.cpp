@@ -6,7 +6,7 @@
 // 64 x 400 (one core); --paper raises it.
 //
 //   ./fig4_privacy_k [--resources=64] [--local=400] [--max_steps=400]
-//                    [--paper] [--json[=PATH]]
+//                    [--threads=N] [--paper] [--json[=PATH]]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -21,11 +21,15 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("local", paper ? 10000 : 400));
   const auto max_steps =
       static_cast<std::size_t>(cli.get_int("max_steps", 400));
+  const std::size_t threads = bench::threads_arg(cli);
+  sim::Executor pool(threads);
   bench::JsonSink sink(cli, "fig4_privacy_k");
   sink.arg("resources", obs::Json(resources));
   sink.arg("local", obs::Json(local));
   sink.arg("max_steps", obs::Json(max_steps));
+  sink.arg("threads", obs::Json(threads));
   sink.arg("paper", obs::Json(paper));
+  sink.set_executor(&pool);
 
   std::printf("# Figure 4: steps to 90%% recall vs privacy parameter k "
               "(T10I4, %zu resources, %zu tx local)\n",
@@ -50,6 +54,7 @@ int main(int argc, char** argv) {
     cfg.secure.candidate_period = 5;
     cfg.secure.arrivals_per_step = 0;
     cfg.attach_monitor = true;
+    cfg.executor = &pool;
 
     core::SecureGrid grid(cfg);
     sink.attach(grid.engine());

@@ -53,14 +53,21 @@ Broker::VoteState& Broker::vote_state(const arm::Candidate& candidate) {
 hom::Cipher Broker::build_aggregate(const VoteState& state) {
   // Honest path: ⊥ plus every neighbour's latest, each rerandomized so the
   // controller's reply cannot be correlated with individual counters.
-  hom::Cipher agg = eval_.rerandomize(state.input, rng_);
+  // Collect the contribution list first (the malicious behaviours corrupt
+  // it here: a duplicated, dropped, or replayed entry), rerandomize it as
+  // one batch, then fold in list order — homomorphic addition is
+  // associative and the list order is the serial path's op order, so the
+  // aggregate plaintext is identical to the unbatched code.
+  std::vector<const hom::Cipher*> contributions;
+  contributions.reserve(state.edges.size() + 2);
+  contributions.push_back(&state.input);
   bool corrupted_once = false;
   for (const auto& [v, edge] : state.edges) {
     const hom::Cipher* contribution = &edge.received;
     switch (behavior_) {
       case BrokerBehavior::kDoubleCount:
         if (!corrupted_once && edge.contacted) {
-          agg = eval_.add(agg, eval_.rerandomize(edge.received, rng_));
+          contributions.push_back(&edge.received);
           corrupted_once = true;
         }
         break;
@@ -79,8 +86,12 @@ hom::Cipher Broker::build_aggregate(const VoteState& state) {
       default:
         break;
     }
-    agg = eval_.add(agg, eval_.rerandomize(*contribution, rng_));
+    contributions.push_back(contribution);
   }
+  std::vector<hom::Cipher> fresh =
+      eval_.rerandomize_batch(contributions, rng_, executor_);
+  hom::Cipher agg = std::move(fresh[0]);
+  for (std::size_t i = 1; i < fresh.size(); ++i) agg = eval_.add(agg, fresh[i]);
   return agg;
 }
 
@@ -88,17 +99,34 @@ void Broker::evaluate_edges(const arm::Candidate& rule, Effects& effects) {
   if (behavior_ == BrokerBehavior::kMuteBroker) return;
   VoteState& state = vote_state(rule);
   const hom::Cipher agg_all = build_aggregate(state);
+
+  // Pick the edges to consult, then have the controller decrypt the
+  // aggregate and every neighbour counter in one batch (E+1 decryptions
+  // for E edges instead of the 2E a per-edge SFE pays). The per-edge gate
+  // logic stays serial and in slot order — it is integer arithmetic plus
+  // at most one encryption, and its ordering carries the rng discipline.
+  std::vector<std::size_t> slots;
+  std::vector<const hom::Cipher*> recvs;
   for (std::size_t slot = 1; slot <= neighbors_.size(); ++slot) {
     const net::NodeId w = neighbors_[slot - 1];
     if (quarantined_.contains(w)) continue;
-    const auto token_it = tokens_.find(w);
-    if (token_it == tokens_.end()) continue;  // setup incomplete
-    const TokenInfo& token = token_it->second;
+    if (!tokens_.contains(w)) continue;  // setup incomplete
+    slots.push_back(slot);
+    recvs.push_back(&state.edges.at(w).received);
+  }
+  if (slots.empty()) return;
+  const Controller::SfeBatch batch =
+      controller_->prepare_sfe(agg_all, recvs, executor_);
+
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const std::size_t slot = slots[i];
+    const net::NodeId w = neighbors_[slot - 1];
+    const TokenInfo& token = tokens_.at(w);
 
     ++stats_.edge_evaluations;
-    auto decision = controller_->sfe_send(rule, w, slot, agg_all,
-                                          state.edges.at(w).received,
-                                          token.their_layout, token.our_slot);
+    auto decision =
+        controller_->sfe_send(rule, w, slot, batch.agg_all, batch.recv[i],
+                              token.their_layout, token.our_slot);
     for (auto& d : decision.detections) effects.detections.push_back(d);
     if (!decision.send) continue;
 
@@ -200,13 +228,28 @@ Broker::Effects Broker::flush_dirty() {
 
 Broker::Effects Broker::generate_candidates() {
   Effects effects;
-  // Query every candidate's correctness through the output SFE.
+  // Query every candidate's correctness through the output SFE. Aggregates
+  // are built first (in iteration order — that fixes the rng draw
+  // sequence), then decrypted as one batch, then judged serially in the
+  // same order.
   arm::CandidateSet correct;
+  std::vector<const arm::Candidate*> candidates;
+  std::vector<hom::Cipher> aggregates;
+  candidates.reserve(votes_.size());
+  aggregates.reserve(votes_.size());
   for (auto& [candidate, state] : votes_) {
-    auto decision = controller_->sfe_output(candidate, build_aggregate(state));
+    candidates.push_back(&candidate);
+    aggregates.push_back(build_aggregate(state));
+  }
+  std::vector<const hom::Cipher*> agg_ptrs;
+  agg_ptrs.reserve(aggregates.size());
+  for (const hom::Cipher& agg : aggregates) agg_ptrs.push_back(&agg);
+  const auto views = controller_->decrypt_views(agg_ptrs, executor_);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    auto decision = controller_->sfe_output(*candidates[i], views[i]);
     for (auto& d : decision.detections) effects.detections.push_back(d);
-    outputs_[candidate] = decision.correct;
-    if (decision.correct) correct.insert(candidate);
+    outputs_[*candidates[i]] = decision.correct;
+    if (decision.correct) correct.insert(*candidates[i]);
   }
   for (const auto& fresh : arm::derive_candidates(correct, known_)) {
     Effects more = register_candidate(fresh);

@@ -49,6 +49,13 @@ class Broker {
   void set_behavior(BrokerBehavior behavior) { behavior_ = behavior; }
   BrokerBehavior behavior() const { return behavior_; }
 
+  /// Executor lane for the crypto batch APIs (rerandomize/decrypt batches).
+  /// Optional; null keeps every batch an inline loop. Calls made from
+  /// inside an offloaded per-resource job degrade to inline automatically
+  /// (Executor::parallel_for's nested-batch rule), so the handle is safe to
+  /// leave attached in both execution modes.
+  void set_executor(sim::Executor* executor) { executor_ = executor; }
+
   /// Protocol-level accounting (docs/METRICS.md).
   struct Stats {
     std::uint64_t messages_out = 0;           // SecureRuleMessages emitted
@@ -146,6 +153,7 @@ class Broker {
   Accountant* accountant_;
   Controller* controller_;
   Rng rng_;
+  sim::Executor* executor_ = nullptr;
   BrokerBehavior behavior_ = BrokerBehavior::kHonest;
   Stats stats_;
 

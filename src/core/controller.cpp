@@ -10,12 +10,10 @@ Controller::RuleState& Controller::rule_state(const arm::Candidate& rule) {
   return it->second;
 }
 
-hom::CounterView Controller::validate(const arm::Candidate& rule,
-                                      const hom::Cipher& agg_all,
-                                      std::vector<Detection>& detections) {
+void Controller::validate_view(const arm::Candidate& rule,
+                               const hom::CounterView& view,
+                               std::vector<Detection>& detections) {
   const std::size_t pre_existing = detections.size();
-  const auto view = hom::CounterView::from_fields(
-      layout_, dec_.decrypt(agg_all, layout_.n_fields()));
   RuleState& state = rule_state(rule);
 
   // Share completeness: the aggregate must contain exactly one copy of the
@@ -47,24 +45,58 @@ hom::CounterView Controller::validate(const arm::Candidate& rule,
       state.trace[s] = view.timestamps[s];
   }
   stats_.detections += detections.size() - pre_existing;
-  return view;
+}
+
+Controller::SfeBatch Controller::prepare_sfe(
+    const hom::Cipher& agg_all, std::span<const hom::Cipher* const> recvs,
+    sim::Executor* executor) const {
+  SfeBatch batch;
+  batch.recv.resize(recvs.size());
+  if (halted_) return batch;  // every SFE refuses anyway; skip the modexps
+  std::vector<const hom::Cipher*> items;
+  items.reserve(recvs.size() + 1);
+  items.push_back(&agg_all);
+  items.insert(items.end(), recvs.begin(), recvs.end());
+  const auto fields = dec_.decrypt_batch(items, layout_.n_fields(), executor);
+  batch.agg_all = hom::CounterView::from_fields(layout_, fields[0]);
+  for (std::size_t i = 0; i < recvs.size(); ++i)
+    batch.recv[i] = hom::CounterView::from_fields(layout_, fields[i + 1]);
+  return batch;
+}
+
+std::vector<hom::CounterView> Controller::decrypt_views(
+    std::span<const hom::Cipher* const> ciphers,
+    sim::Executor* executor) const {
+  std::vector<hom::CounterView> views(ciphers.size());
+  if (halted_) return views;
+  const auto fields = dec_.decrypt_batch(ciphers, layout_.n_fields(), executor);
+  for (std::size_t i = 0; i < ciphers.size(); ++i)
+    views[i] = hom::CounterView::from_fields(layout_, fields[i]);
+  return views;
 }
 
 Controller::SendDecision Controller::sfe_send(
     const arm::Candidate& rule, net::NodeId w, std::size_t slot_w,
     const hom::Cipher& agg_all, const hom::Cipher& recv_w,
     const hom::CounterLayout& w_layout, std::size_t slot_u_at_w) {
+  if (halted_) return {};
+  return sfe_send(rule, w, slot_w, decrypt_view(agg_all), decrypt_view(recv_w),
+                  w_layout, slot_u_at_w);
+}
+
+Controller::SendDecision Controller::sfe_send(
+    const arm::Candidate& rule, net::NodeId w, std::size_t slot_w,
+    const hom::CounterView& view_all, const hom::CounterView& view_w,
+    const hom::CounterLayout& w_layout, std::size_t slot_u_at_w) {
   SendDecision decision;
   if (halted_) return decision;
   ++stats_.sfe_sends;
   KGRID_CHECK(slot_w < slot_neighbors_.size() && slot_neighbors_[slot_w] == w,
               "sfe_send slot/neighbour mismatch");
-  const auto view_all = validate(rule, agg_all, decision.detections);
+  validate_view(rule, view_all, decision.detections);
   if (!decision.detections.empty()) return decision;
 
-  // w's own latest contribution, to subtract out of the outgoing counter.
-  const auto view_w = hom::CounterView::from_fields(
-      layout_, dec_.decrypt(recv_w, layout_.n_fields()));
+  // w's own latest contribution is subtracted out of the outgoing counter.
   if (view_w.timestamps[slot_w] > 0 &&
       view_w.share != share_table_[slot_w] % hom::kShareModulus) {
     // The share inside w's counter is unforgeable by anyone but the party
@@ -159,6 +191,16 @@ Controller::SendDecision Controller::sfe_send(
 
 Controller::OutputDecision Controller::sfe_output(const arm::Candidate& rule,
                                                   const hom::Cipher& agg_all) {
+  if (halted_) {
+    OutputDecision decision;
+    decision.correct = rule_state(rule).output.last_answer;
+    return decision;
+  }
+  return sfe_output(rule, decrypt_view(agg_all));
+}
+
+Controller::OutputDecision Controller::sfe_output(
+    const arm::Candidate& rule, const hom::CounterView& view) {
   OutputDecision decision;
   RuleState& state = rule_state(rule);
   if (halted_) {
@@ -166,7 +208,7 @@ Controller::OutputDecision Controller::sfe_output(const arm::Candidate& rule,
     return decision;
   }
   ++stats_.sfe_outputs;
-  const auto view = validate(rule, agg_all, decision.detections);
+  validate_view(rule, view, decision.detections);
   if (!decision.detections.empty()) {
     decision.correct = state.output.last_answer;
     return decision;

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -102,6 +103,17 @@ class Controller {
                         const hom::CounterLayout& w_layout,
                         std::size_t slot_u_at_w);
 
+  /// View-based variant for the batched path: `view_all`/`view_w` are
+  /// decryptions of the same ciphers (obtained via prepare_sfe). Gate
+  /// logic, stats, and halting are identical to the cipher overload —
+  /// decryption is deterministic, so evaluating against a pre-decrypted
+  /// view is indistinguishable from decrypting in place.
+  SendDecision sfe_send(const arm::Candidate& rule, net::NodeId w,
+                        std::size_t slot_w, const hom::CounterView& view_all,
+                        const hom::CounterView& view_w,
+                        const hom::CounterLayout& w_layout,
+                        std::size_t slot_u_at_w);
+
   struct OutputDecision {
     bool correct = false;
     std::vector<Detection> detections;
@@ -110,6 +122,32 @@ class Controller {
   /// SFE occasion 2: is `rule` currently correct? (Algorithm 1's Output().)
   OutputDecision sfe_output(const arm::Candidate& rule,
                             const hom::Cipher& agg_all);
+
+  /// View-based variant (see the sfe_send view overload).
+  OutputDecision sfe_output(const arm::Candidate& rule,
+                            const hom::CounterView& view_all);
+
+  /// The decrypted views one evaluate_edges pass consults: the aggregate
+  /// plus every edge's latest received counter.
+  struct SfeBatch {
+    hom::CounterView agg_all;
+    std::vector<hom::CounterView> recv;
+  };
+
+  /// Decrypt the aggregate and all `recvs` as one batch — E+1 decryptions
+  /// for an E-edge evaluation instead of the 2E the per-edge cipher path
+  /// pays (each edge's SFE re-reads the same aggregate) — optionally spread
+  /// across executor lanes. When already halted the views are left
+  /// default-constructed; every consumer refuses before reading them.
+  SfeBatch prepare_sfe(const hom::Cipher& agg_all,
+                       std::span<const hom::Cipher* const> recvs,
+                       sim::Executor* executor = nullptr) const;
+
+  /// Batch-decrypt arbitrary aggregates into counter views (the
+  /// generate_candidates path). Skipped (default views) when halted.
+  std::vector<hom::CounterView> decrypt_views(
+      std::span<const hom::Cipher* const> ciphers,
+      sim::Executor* executor = nullptr) const;
 
  private:
   struct EdgeGate {
@@ -145,11 +183,15 @@ class Controller {
 
   RuleState& rule_state(const arm::Candidate& rule);
 
-  /// Decrypt + verify the full aggregate: share completeness and timestamp
+  hom::CounterView decrypt_view(const hom::Cipher& c) const {
+    return hom::CounterView::from_fields(layout_,
+                                         dec_.decrypt(c, layout_.n_fields()));
+  }
+
+  /// Verify a decrypted aggregate: share completeness and timestamp
   /// monotonicity; advances the trace when clean.
-  hom::CounterView validate(const arm::Candidate& rule,
-                            const hom::Cipher& agg_all,
-                            std::vector<Detection>& detections);
+  void validate_view(const arm::Candidate& rule, const hom::CounterView& view,
+                     std::vector<Detection>& detections);
 
   net::NodeId id_;
   hom::DecryptKey dec_;

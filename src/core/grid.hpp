@@ -26,6 +26,14 @@ struct SecureGridConfig {
   /// Per-resource attack assignments (resource id -> behaviour).
   std::map<net::NodeId, ResourceAttack> attacks;
   bool attach_monitor = false;  // audit every reveal against Def. 3.1
+  /// Executor lanes for per-resource crypto jobs: 0 = library default
+  /// (KGRID_THREADS env override, else 1), 1 = fully inline (the reference
+  /// schedule), N > 1 = worker pool. Protocol outcomes are identical for
+  /// every value — see the determinism contract in sim/engine.hpp.
+  std::size_t threads = 0;
+  /// Share a caller-owned executor instead (benches sweeping many grids
+  /// reuse one pool); overrides `threads` when non-null.
+  sim::Executor* executor = nullptr;
 };
 
 /// Secure-Majority-Rule over a simulated data grid.
@@ -38,6 +46,17 @@ class SecureGrid {
   /// single-itemset significance experiments of the paper's Figure 3).
   SecureGrid(const SecureGridConfig& config, GridEnv env)
       : config_(config), env_(std::move(env)), monitor_(config.secure.k) {
+    if (config.executor != nullptr) {
+      engine_.attach_executor(config.executor);
+    } else {
+      const std::size_t lanes = config.threads == 0
+                                    ? sim::Executor::default_threads()
+                                    : config.threads;
+      if (lanes > 1) {
+        owned_executor_ = std::make_unique<sim::Executor>(lanes);
+        engine_.attach_executor(owned_executor_.get());
+      }
+    }
     Rng rng(config.env.seed ^ 0xdeadbeef);
     crypto_ = config.backend == hom::Backend::kPlain
                   ? hom::Context::make_plain()
@@ -202,6 +221,9 @@ class SecureGrid {
   KTtpMonitor monitor_;
   sim::Engine engine_;
   std::vector<std::unique_ptr<SecureResource>> resources_;
+  // Declared last: destroyed first, so pool workers join (and any stray
+  // in-flight job finishes) before the resources its jobs reference die.
+  std::unique_ptr<sim::Executor> owned_executor_;
 };
 
 /// The non-private Majority-Rule baseline over the same environment
@@ -209,12 +231,22 @@ class SecureGrid {
 class BaselineGrid {
  public:
   BaselineGrid(const GridEnvConfig& env_config,
-               const majority::MajorityRuleConfig& config)
-      : BaselineGrid(env_config, config, make_grid_env(env_config)) {}
+               const majority::MajorityRuleConfig& config,
+               std::size_t threads = 0)
+      : BaselineGrid(env_config, config, make_grid_env(env_config), threads) {}
 
+  /// `threads` follows SecureGridConfig::threads semantics (0 = library
+  /// default, 1 = inline, N > 1 = worker pool; outcomes thread-invariant).
   BaselineGrid(const GridEnvConfig& env_config,
-               const majority::MajorityRuleConfig& config, GridEnv env)
+               const majority::MajorityRuleConfig& config, GridEnv env,
+               std::size_t threads = 0)
       : env_(std::move(env)) {
+    const std::size_t lanes =
+        threads == 0 ? sim::Executor::default_threads() : threads;
+    if (lanes > 1) {
+      owned_executor_ = std::make_unique<sim::Executor>(lanes);
+      engine_.attach_executor(owned_executor_.get());
+    }
     majority::MajorityRuleConfig cfg = config;
     if (cfg.n_items == 0) cfg.n_items = env_config.quest.n_items;
     for (net::NodeId u = 0; u < env_.overlay.size(); ++u) {
@@ -259,6 +291,8 @@ class BaselineGrid {
   GridEnv env_;
   sim::Engine engine_;
   std::vector<std::unique_ptr<majority::MajorityRuleResource>> resources_;
+  // Declared last: destroyed first, so workers join before resources die.
+  std::unique_ptr<sim::Executor> owned_executor_;
 };
 
 }  // namespace kgrid::core

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,14 +40,25 @@ class KTtpMonitor {
   };
 
   std::int64_t k() const { return k_; }
-  std::uint64_t grants() const { return grants_; }
-  const std::vector<Violation>& violations() const { return violations_; }
+  std::uint64_t grants() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return grants_;
+  }
+  std::vector<Violation> violations() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return violations_;
+  }
 
   /// Record that the controller revealed a data-dependent bit computed over
   /// `count` transactions and `num` resources in the given context (one
-  /// context per controller/rule/gate).
+  /// context per controller/rule/gate). Serialized internally: one monitor
+  /// is shared by every controller, and controllers run inside offloaded
+  /// per-resource jobs that may execute concurrently. Contexts are disjoint
+  /// per controller, so the per-context state is unaffected by the
+  /// cross-context interleaving.
   void on_reveal(const std::string& context, std::int64_t count,
                  std::int64_t num) {
+    std::lock_guard<std::mutex> lock(mu_);
     ++grants_;
     auto& prev = last_[context];
     const std::int64_t count_delta = count - prev.count;
@@ -66,6 +78,7 @@ class KTtpMonitor {
     std::int64_t num = 0;
   };
 
+  mutable std::mutex mu_;
   std::int64_t k_;
   std::uint64_t grants_ = 0;
   std::map<std::string, Last> last_;

@@ -10,6 +10,7 @@
 
 #include <any>
 #include <memory>
+#include <optional>
 #include <unordered_set>
 
 #include "core/accountant.hpp"
@@ -107,6 +108,11 @@ class SecureResource : public sim::Entity {
     self_entity_ = self;
     attached_ = true;
     step_period_ = period;
+    // Batch-API lane for this resource's crypto. Inside an offloaded step
+    // the batches degrade to inline loops (the job already owns a worker);
+    // the lane pays off for the event-driven on_receive path and for grid
+    // phases driven from the simulation thread.
+    broker_.set_executor(engine.executor());
     engine.schedule(self, 0.0, kStepTimer);
   }
 
@@ -152,6 +158,14 @@ class SecureResource : public sim::Entity {
     attack_active_ = true;
   }
 
+  /// One protocol step. The cheap, order-sensitive prologue (step count,
+  /// attack activation, arrival ingestion) runs in the timer handler; the
+  /// crypto-heavy body — counting, counter aggregation, SFE consults — is
+  /// offloaded as one engine job so concurrent resources' steps overlap on
+  /// executor workers. The job touches only this resource's entities plus
+  /// internally synchronized shared state (randomizer pool, obs counters,
+  /// the k-TTP monitor); all engine traffic happens in the returned Apply,
+  /// on the simulation thread, at the engine's virtual-time barrier.
   void step(sim::Engine& engine) {
     ++steps_;
     maybe_activate_attack();
@@ -159,12 +173,22 @@ class SecureResource : public sim::Entity {
          i < config_.arrivals_per_step && future_cursor_ < future_.size(); ++i)
       accountant_.append(std::move(future_[future_cursor_++]));
 
-    for (const auto& rule : accountant_.advance(config_.count_budget))
-      broker_.refresh_input(rule);
-    apply(engine, broker_.flush_dirty());
-
-    if (steps_ % config_.candidate_period == 0)
-      apply(engine, broker_.generate_candidates());
+    engine.offload(self_entity_, [this]() -> sim::Engine::Apply {
+      for (const auto& rule : accountant_.advance(config_.count_budget))
+        broker_.refresh_input(rule);
+      Broker::Effects flushed = broker_.flush_dirty();
+      std::optional<Broker::Effects> generated;
+      if (steps_ % config_.candidate_period == 0)
+        generated = broker_.generate_candidates();
+      // Two apply() calls, same order as the pre-offload serial code, so
+      // message seq assignment (and therefore equal-time delivery order)
+      // is unchanged.
+      return [this, flushed = std::move(flushed),
+              generated = std::move(generated)](sim::Engine& eng) {
+        apply(eng, flushed);
+        if (generated.has_value()) apply(eng, *generated);
+      };
+    });
   }
 
   void apply(sim::Engine& engine, const Broker::Effects& effects) {

@@ -5,11 +5,38 @@
 #include "crypto/packing.hpp"
 #include "crypto/randomizer_pool.hpp"
 #include "obs/crypto_counters.hpp"
+#include "sim/executor.hpp"
 #include "util/check.hpp"
 
 namespace kgrid::hom {
 
 using wide::BigInt;
+
+namespace {
+
+/// Shared batch driver: spread the indices across executor lanes when a
+/// multi-lane executor was supplied, plain index-order loop otherwise. The
+/// per-index work must be order-independent (the batch APIs guarantee that
+/// by pre-splitting Rngs and writing disjoint output slots).
+template <class Fn>
+void batch_for(sim::Executor* executor, std::size_t n, const Fn& fn) {
+  if (executor != nullptr && executor->threads() > 1 && n >= 2) {
+    executor->parallel_for(n, fn);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+}
+
+/// One child Rng per item, split off in index order before any dispatch, so
+/// the parent's draw count and every child stream are thread-count-invariant.
+std::vector<Rng> split_per_item(Rng& rng, std::size_t n) {
+  std::vector<Rng> rngs;
+  rngs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) rngs.push_back(rng.split());
+  return rngs;
+}
+
+}  // namespace
 
 /// The cipher's Montgomery-form view, converting (and caching) on first use.
 /// Chains of homomorphic ops therefore pay the to-form conversion once per
@@ -67,6 +94,16 @@ Cipher EncryptKey::encrypt(std::span<const std::uint64_t> fields, Rng& rng) cons
   set_cipher_form(c, ctx_->key_.pub.encrypt_form(pack_fields(fields), rng),
                   ctx_->key_.pub);
   return c;
+}
+
+std::vector<Cipher> EncryptKey::encrypt_batch(
+    std::span<const std::vector<std::uint64_t>> items, Rng& rng,
+    sim::Executor* executor) const {
+  std::vector<Rng> rngs = split_per_item(rng, items.size());
+  std::vector<Cipher> out(items.size());
+  batch_for(executor, items.size(),
+            [&](std::size_t i) { out[i] = encrypt(items[i], rngs[i]); });
+  return out;
 }
 
 Cipher EvalHandle::add(const Cipher& a, const Cipher& b) const {
@@ -141,6 +178,23 @@ Cipher EvalHandle::rerandomize(const Cipher& a, Rng& rng) const {
   return c;
 }
 
+std::vector<Cipher> EvalHandle::rerandomize_batch(
+    std::span<const Cipher* const> items, Rng& rng,
+    sim::Executor* executor) const {
+  std::vector<Rng> rngs = split_per_item(rng, items.size());
+  if (ctx_->backend() == Backend::kPaillier) {
+    // Warm the lazy Montgomery-form caches before going parallel: the batch
+    // may list the same cipher more than once (a double-counting broker
+    // does), and cipher_form's first-use population is not synchronized.
+    const PaillierPublicKey& pk = ctx_->key_.pub;
+    for (const Cipher* c : items) cipher_form(*c, pk);
+  }
+  std::vector<Cipher> out(items.size());
+  batch_for(executor, items.size(),
+            [&](std::size_t i) { out[i] = rerandomize(*items[i], rngs[i]); });
+  return out;
+}
+
 Cipher EvalHandle::zero(std::size_t n_fields, Rng& rng) const {
   obs::crypto_counters().hom_encrypts.inc();
   Cipher c;
@@ -167,6 +221,15 @@ std::vector<std::uint64_t> DecryptKey::decrypt(const Cipher& c,
     return out;
   }
   return unpack_fields(ctx_->key_.decrypt(c.paillier_), n_fields);
+}
+
+std::vector<std::vector<std::uint64_t>> DecryptKey::decrypt_batch(
+    std::span<const Cipher* const> items, std::size_t n_fields,
+    sim::Executor* executor) const {
+  std::vector<std::vector<std::uint64_t>> out(items.size());
+  batch_for(executor, items.size(),
+            [&](std::size_t i) { out[i] = decrypt(*items[i], n_fields); });
+  return out;
 }
 
 std::int64_t DecryptKey::decrypt_signed(const Cipher& c) const {

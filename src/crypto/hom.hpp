@@ -32,6 +32,10 @@
 #include "util/rng.hpp"
 #include "wide/bigint.hpp"
 
+namespace kgrid::sim {
+class Executor;  // sim/executor.hpp — optional parallel lane for batch ops
+}
+
 namespace kgrid::hom {
 
 enum class Backend { kPlain, kPaillier };
@@ -89,6 +93,15 @@ class EncryptKey {
     return encrypt(std::span(&value, 1), rng);
   }
 
+  /// Encrypt many plaintexts in one call, optionally spreading the modexps
+  /// across executor lanes. Randomness discipline (shared by every batch
+  /// API): one child Rng is split off `rng` per item, in index order, before
+  /// any work is dispatched — the parent draw count and every child stream
+  /// are pure functions of the batch contents, independent of thread count.
+  std::vector<Cipher> encrypt_batch(
+      std::span<const std::vector<std::uint64_t>> items, Rng& rng,
+      sim::Executor* executor = nullptr) const;
+
  private:
   friend class Context;
   explicit EncryptKey(ContextPtr ctx) : ctx_(std::move(ctx)) {}
@@ -117,6 +130,15 @@ class EvalHandle {
   /// Enc(0) with `n_fields` zero fields, usable as an aggregation seed.
   Cipher zero(std::size_t n_fields, Rng& rng) const;
 
+  /// Rerandomize many ciphers in one call (split-per-item Rng discipline,
+  /// see EncryptKey::encrypt_batch). Pointers may repeat — an attacking
+  /// broker batches the same contribution twice (kDoubleCount) — and the
+  /// lazily cached Montgomery forms are pre-warmed serially so the parallel
+  /// section touches shared ciphers read-only.
+  std::vector<Cipher> rerandomize_batch(std::span<const Cipher* const> items,
+                                        Rng& rng,
+                                        sim::Executor* executor = nullptr) const;
+
  private:
   friend class Context;
   explicit EvalHandle(ContextPtr ctx) : ctx_(std::move(ctx)) {}
@@ -131,6 +153,14 @@ class DecryptKey {
   /// Single-field signed read (two's-complement in the field for the plain
   /// backend, mod-n complement for Paillier).
   std::int64_t decrypt_signed(const Cipher& c) const;
+
+  /// Decrypt many ciphers (each into `n_fields` fields) in one call,
+  /// optionally spreading the CRT exponentiations across executor lanes.
+  /// Decryption draws no randomness and never mutates the cipher, so the
+  /// result is position-wise identical to a serial loop for any executor.
+  std::vector<std::vector<std::uint64_t>> decrypt_batch(
+      std::span<const Cipher* const> items, std::size_t n_fields,
+      sim::Executor* executor = nullptr) const;
 
  private:
   friend class Context;

@@ -26,6 +26,7 @@ wide::Montgomery::Form RandomizerPool::generate() {
 }
 
 wide::Montgomery::Form RandomizerPool::take() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!stock_.empty()) {
     obs::crypto_counters().pool_hits.inc();
     wide::Montgomery::Form f = std::move(stock_.front());
@@ -37,6 +38,7 @@ wide::Montgomery::Form RandomizerPool::take() {
 }
 
 void RandomizerPool::prefill(std::size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (std::size_t i = 0; i < count; ++i) {
     obs::crypto_counters().pool_prefills.inc();
     stock_.push_back(generate());

@@ -17,11 +17,19 @@
 // it in idle cycles. All randomness comes from the pool's own Rng, so a
 // fixed seed yields a reproducible factor sequence regardless of the
 // hit/miss pattern.
+//
+// Thread safety: take()/prefill()/stock() are serialized by an internal
+// mutex so crypto batch jobs on sim::Executor workers can draw factors
+// concurrently. The factor *sequence* stays seed-deterministic; which
+// ciphertext receives which factor at threads > 1 is schedule-dependent —
+// that perturbs ciphertext bits only, never plaintexts, and is the one
+// documented exception to bit-exactness (docs/ARCHITECTURE.md).
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 
 #include "util/rng.hpp"
 #include "wide/bigint.hpp"
@@ -44,11 +52,15 @@ class RandomizerPool {
   /// Generate `count` factors into the stock — the amortized precompute.
   void prefill(std::size_t count);
 
-  std::size_t stock() const { return stock_.size(); }
+  std::size_t stock() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stock_.size();
+  }
 
  private:
   wide::Montgomery::Form generate();
 
+  mutable std::mutex mu_;
   wide::BigInt n_;
   std::shared_ptr<const wide::Montgomery> mont_n2_;
   Rng rng_;

@@ -153,37 +153,55 @@ class MajorityRuleResource : public sim::Entity {
     }
   }
 
+  /// One protocol step, offloaded as one engine job: counting and vote
+  /// updates run on an executor worker (they touch only this resource's
+  /// state), and the collected outgoing messages are sent from the Apply on
+  /// the simulation thread, in the same order the pre-offload serial code
+  /// emitted them.
   void step(sim::Engine& engine) {
     ++steps_;
-    // 1. Dynamic growth: the paper appends 20 transactions per step.
-    for (std::size_t i = 0;
-         i < config_.arrivals_per_step && future_cursor_ < future_.size(); ++i)
-      counter_.append(std::move(future_[future_cursor_++]));
+    engine.offload(self_entity_, [this]() -> sim::Engine::Apply {
+      // 1. Dynamic growth: the paper appends 20 transactions per step.
+      for (std::size_t i = 0;
+           i < config_.arrivals_per_step && future_cursor_ < future_.size();
+           ++i)
+        counter_.append(std::move(future_[future_cursor_++]));
 
-    // 2. Budgeted counting; feed changed counts into the vote instances.
-    for (const auto& cand : counter_.advance(config_.count_budget)) {
-      const auto counts = counter_.counts(cand);
-      deliver(engine, cand,
-              instances_.at(cand)->set_input(
-                  {static_cast<std::int64_t>(counts.sum),
-                   static_cast<std::int64_t>(counts.count)}));
-    }
+      std::vector<std::pair<arm::Candidate, MajorityNode::Outgoing>> outbox;
+      const auto collect = [&outbox](const arm::Candidate& cand,
+                                     std::vector<MajorityNode::Outgoing> out) {
+        for (auto& o : out) outbox.emplace_back(cand, std::move(o));
+      };
 
-    // 3. First-contact bootstrap for instances created since the last step.
-    for (const auto& cand : pending_bootstrap_)
-      deliver(engine, cand, instances_.at(cand)->bootstrap());
-    pending_bootstrap_.clear();
+      // 2. Budgeted counting; feed changed counts into the vote instances.
+      for (const auto& cand : counter_.advance(config_.count_budget)) {
+        const auto counts = counter_.counts(cand);
+        collect(cand, instances_.at(cand)->set_input(
+                          {static_cast<std::int64_t>(counts.sum),
+                           static_cast<std::int64_t>(counts.count)}));
+      }
 
-    // 4. Candidate generation every candidate_period steps (paper: "on
-    //    every fifth step communicated with its controller to create new
-    //    candidate rules").
-    if (steps_ % config_.candidate_period == 0) {
-      arm::CandidateSet correct;
-      for (const auto& [cand, node] : instances_)
-        if (node->decide()) correct.insert(cand);
-      for (const auto& cand : arm::derive_candidates(correct, known_))
-        register_candidate(cand);
-    }
+      // 3. First-contact bootstrap for instances created since the last step.
+      for (const auto& cand : pending_bootstrap_)
+        collect(cand, instances_.at(cand)->bootstrap());
+      pending_bootstrap_.clear();
+
+      // 4. Candidate generation every candidate_period steps (paper: "on
+      //    every fifth step communicated with its controller to create new
+      //    candidate rules").
+      if (steps_ % config_.candidate_period == 0) {
+        arm::CandidateSet correct;
+        for (const auto& [cand, node] : instances_)
+          if (node->decide()) correct.insert(cand);
+        for (const auto& cand : arm::derive_candidates(correct, known_))
+          register_candidate(cand);
+      }
+
+      return [this, outbox = std::move(outbox)](sim::Engine& eng) {
+        for (const auto& [cand, out] : outbox)
+          deliver(eng, cand, {out});
+      };
+    });
   }
 
   net::NodeId id_;

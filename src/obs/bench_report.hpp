@@ -139,6 +139,19 @@ inline std::string validate_bench_json(const Json& j) {
         return "sim.entities." + kind + "." + key + " missing";
     }
   }
+  // sim.executor is optional (absent from single-threaded artifacts and
+  // everything written before the executor existed), but when present it
+  // must carry the full counter set from sim::Executor::metrics_json().
+  if (const Json* exec = sim->find("executor"); exec != nullptr) {
+    if (!exec->is_object()) return "sim.executor is not an object";
+    for (const char* key : {"threads", "jobs", "inline_jobs", "batches",
+                            "batch_items", "max_queue_depth", "busy_s",
+                            "wait_s"}) {
+      const Json* v = exec->find(key);
+      if (v == nullptr || !v->is_number())
+        return std::string("sim.executor.") + key + " missing or not a number";
+    }
+  }
 
   const Json* crypto = require("crypto");
   if (crypto == nullptr || !crypto->is_object())

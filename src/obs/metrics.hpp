@@ -12,6 +12,7 @@
 //     pointer-stable so handles survive later registrations.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -23,15 +24,29 @@
 
 namespace kgrid::obs {
 
-/// Monotone event count.
+/// Monotone event count. Increments are relaxed atomics so counters can be
+/// bumped from executor worker threads (crypto batch jobs) without a data
+/// race; the total is exact regardless of interleaving, which keeps the
+/// exported JSON deterministic across thread counts. Reads that must be
+/// consistent with each other should happen after the engine's barrier has
+/// quiesced the workers (every exporter in this repo does).
 class Counter {
  public:
-  void inc(std::uint64_t delta = 1) { n_ += delta; }
-  std::uint64_t value() const { return n_; }
-  void reset() { n_ = 0; }
+  Counter() = default;
+  Counter(const Counter& other) : n_(other.value()) {}
+  Counter& operator=(const Counter& other) {
+    n_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void inc(std::uint64_t delta = 1) {
+    n_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return n_.load(std::memory_order_relaxed); }
+  void reset() { n_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t n_ = 0;
+  std::atomic<std::uint64_t> n_{0};
 };
 
 /// Last-write-wins instantaneous value.

@@ -9,10 +9,32 @@
 // order, so a run is a pure function of the initial state and the seeds —
 // no wall-clock or thread nondeterminism can leak into measurements.
 //
+// Threading model (see docs/ARCHITECTURE.md for the full contract):
+//
+//   * The event loop is single-threaded. Every on_message/on_timer handler
+//     and every offload apply-closure runs on the thread driving step()/
+//     run_until() — entity state needs no locking from handlers.
+//   * Handlers may push CPU-heavy, self-contained work (a resource's
+//     per-step crypto) off the loop with offload(): the job runs on an
+//     Executor worker, and the Apply closure it returns is the only part
+//     that touches the engine (sending messages, scheduling timers). A job
+//     must read/write only its own entity's state plus immutable or
+//     internally synchronized shared state.
+//   * Barrier rule: pending applies are resolved on the simulation thread,
+//     in submission order, before (a) virtual time advances past the
+//     submission tick, (b) any event is delivered to an entity with a job
+//     in flight, (c) the loop reports an empty queue, or (d) run_until
+//     returns. All four triggers are pure functions of the event queue, so
+//     the merge points — and therefore seq assignment and the whole event
+//     trace — are identical for every thread count, including 1. With no
+//     executor attached (or a 1-lane executor) the job body runs inline at
+//     offload() and only the apply is deferred, which is the exact same
+//     schedule.
+//
 // Instrumentation is opt-in: attach_metrics() hooks an EngineMetrics
 // (sim/metrics.hpp) into the event loop for per-entity-class and
 // per-message-type accounting; detached (the default), every hook is a
-// single null-pointer test.
+// single null-pointer test (the with_metrics helper).
 #pragma once
 
 #include <any>
@@ -21,6 +43,7 @@
 #include <queue>
 #include <vector>
 
+#include "sim/executor.hpp"
 #include "sim/metrics.hpp"
 #include "util/check.hpp"
 
@@ -48,6 +71,12 @@ class Entity {
 
 class Engine {
  public:
+  /// What an offloaded job hands back: a closure the engine runs on the
+  /// simulation thread at the barrier (sends, schedules, bookkeeping).
+  using Apply = std::function<void(Engine&)>;
+  /// An offloaded job: heavy computation, run off-loop, returning its Apply.
+  using Job = std::function<Apply()>;
+
   /// Registers an entity; the engine does not own it (grid harnesses own
   /// their resources and typically outlive the engine). `kind` labels the
   /// entity's class for instrumentation ("secure_resource", ...); it must
@@ -55,7 +84,8 @@ class Engine {
   EntityId add_entity(Entity* entity, const char* kind = "entity") {
     entities_.push_back(entity);
     kinds_.push_back(kind);
-    if (metrics_ != nullptr) metrics_->on_entity(kind);
+    busy_.push_back(0);
+    with_metrics([&](EngineMetrics& m) { m.on_entity(kind); });
     return static_cast<EntityId>(entities_.size() - 1);
   }
 
@@ -70,10 +100,16 @@ class Engine {
 
   EngineMetrics* metrics() const { return metrics_; }
 
+  /// Attach (or detach, with nullptr) the worker pool offload() submits
+  /// jobs to. Detached, offload() runs jobs inline at submission — the
+  /// deterministic reference schedule every thread count must reproduce.
+  void attach_executor(Executor* executor) { executor_ = executor; }
+  Executor* executor() const { return executor_; }
+
   Time now() const { return now_; }
   std::uint64_t messages_delivered() const { return messages_delivered_; }
   std::uint64_t messages_sent() const { return messages_sent_; }
-  bool idle() const { return queue_.empty(); }
+  bool idle() const { return queue_.empty() && pending_.empty(); }
 
   /// Queue a message for delivery `delay` time units from now.
   void send(EntityId from, EntityId to, Time delay, std::any payload) {
@@ -82,10 +118,10 @@ class Engine {
     ++messages_sent_;
     queue_.push(Event{now_ + delay, next_seq_++, from, to, EventKind::kMessage, 0,
                       std::make_shared<std::any>(std::move(payload)), now_});
-    if (metrics_ != nullptr) {
-      metrics_->on_send(kind_of(from));
-      metrics_->on_queue_depth(queue_.size());
-    }
+    with_metrics([&](EngineMetrics& m) {
+      m.on_send(kind_of(from));
+      m.on_queue_depth(queue_.size());
+    });
   }
 
   /// Queue a timer for `entity`, firing `delay` from now.
@@ -94,36 +130,72 @@ class Engine {
     KGRID_CHECK(delay >= 0.0, "negative delay");
     queue_.push(Event{now_ + delay, next_seq_++, entity, entity,
                       EventKind::kTimer, timer_id, nullptr, now_});
-    if (metrics_ != nullptr) metrics_->on_queue_depth(queue_.size());
+    with_metrics([&](EngineMetrics& m) { m.on_queue_depth(queue_.size()); });
   }
 
-  /// Process a single event. Returns false if the queue is empty.
+  /// Submit a job on `entity`'s behalf. The job body runs on an executor
+  /// worker (inline right here when no multi-lane executor is attached);
+  /// the Apply it returns runs on the simulation thread at the next
+  /// barrier, in submission order. The entity counts as busy until then:
+  /// no event is delivered to it while its job is in flight.
+  void offload(EntityId entity, Job job) {
+    KGRID_CHECK(entity < entities_.size(), "offload for unknown entity");
+    Pending p;
+    p.entity = entity;
+    if (executor_ != nullptr && executor_->threads() > 1) {
+      auto slot = std::make_shared<Apply>();
+      p.result = slot;
+      p.ticket = executor_->submit(
+          [job = std::move(job), slot] { *slot = job(); });
+    } else {
+      p.apply = job();
+    }
+    ++busy_[entity];
+    pending_.push_back(std::move(p));
+    with_metrics([&](EngineMetrics& m) { m.on_offload(kind_of(entity)); });
+  }
+
+  /// Process a single event. Returns false if nothing is left to do.
   bool step() {
+    // Barrier triggers (a)-(c): next event would advance time past the
+    // submission tick, or targets a busy entity, or the queue is empty.
+    // resolve_pending() may enqueue events and further jobs, so re-check.
+    while (!pending_.empty() &&
+           (queue_.empty() || queue_.top().time > now_ ||
+            busy_[queue_.top().to] > 0))
+      resolve_pending();
     if (queue_.empty()) return false;
     Event ev = queue_.top();
     queue_.pop();
-    if (metrics_ != nullptr) metrics_->advance_time(ev.time - now_);
+    with_metrics([&](EngineMetrics& m) { m.advance_time(ev.time - now_); });
     now_ = ev.time;
     Entity* target = entities_[ev.to];
     if (ev.kind == EventKind::kMessage) {
       ++messages_delivered_;
-      if (metrics_ != nullptr)
-        metrics_->on_deliver(kinds_[ev.to], ev.payload->type(),
-                             ev.time - ev.sent_at);
+      with_metrics([&](EngineMetrics& m) {
+        m.on_deliver(kinds_[ev.to], ev.payload->type(), ev.time - ev.sent_at);
+      });
       target->on_message(*this, ev.from, *ev.payload);
     } else {
-      if (metrics_ != nullptr) metrics_->on_timer_fired(kinds_[ev.to]);
+      with_metrics([&](EngineMetrics& m) { m.on_timer_fired(kinds_[ev.to]); });
       target->on_timer(*this, ev.timer_id);
     }
     return true;
   }
 
   /// Process every event with time <= deadline (events spawned during the
-  /// run are included if they fall inside the deadline).
+  /// run are included if they fall inside the deadline). Barrier trigger
+  /// (d): every pending job is resolved before this returns, so callers
+  /// always observe quiesced entity state.
   void run_until(Time deadline) {
-    while (!queue_.empty() && queue_.top().time <= deadline) step();
-    if (metrics_ != nullptr && deadline > now_)
-      metrics_->advance_time(deadline - now_);
+    for (;;) {
+      while (!queue_.empty() && queue_.top().time <= deadline) step();
+      if (pending_.empty()) break;
+      resolve_pending();  // may enqueue events inside the deadline
+    }
+    with_metrics([&](EngineMetrics& m) {
+      if (deadline > now_) m.advance_time(deadline - now_);
+    });
     now_ = std::max(now_, deadline);
   }
 
@@ -131,9 +203,9 @@ class Engine {
   /// `max_events` guards against livelock in tests.
   std::uint64_t run_to_quiescence(std::uint64_t max_events) {
     std::uint64_t processed = 0;
-    while (!queue_.empty()) {
+    while (!idle()) {
       KGRID_CHECK(processed < max_events, "run_to_quiescence exceeded budget");
-      step();
+      if (!step()) break;
       ++processed;
     }
     return processed;
@@ -160,6 +232,42 @@ class Engine {
     }
   };
 
+  /// One offloaded job awaiting its barrier. Exactly one of `apply`
+  /// (inline mode) or `result` (worker mode) carries the Apply.
+  struct Pending {
+    EntityId entity = 0;
+    Apply apply;
+    std::shared_ptr<Apply> result;
+    Executor::Ticket ticket;
+  };
+
+  /// Run every pending Apply in submission order (waiting out in-flight
+  /// jobs first). Applies may send, schedule, and offload again; newly
+  /// offloaded jobs are appended and resolved in this same pass.
+  void resolve_pending() {
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      Pending p = std::move(pending_[i]);  // applies may grow pending_
+      Apply apply;
+      if (p.result != nullptr) {
+        executor_->wait(p.ticket);
+        apply = std::move(*p.result);
+      } else {
+        apply = std::move(p.apply);
+      }
+      KGRID_CHECK(busy_[p.entity] > 0, "pending/busy accounting mismatch");
+      --busy_[p.entity];
+      if (apply) apply(*this);
+    }
+    pending_.clear();
+  }
+
+  /// The attached-metrics guard: every instrumentation hook funnels through
+  /// here so the detached cost stays one null test.
+  template <class Fn>
+  void with_metrics(Fn&& fn) {
+    if (metrics_ != nullptr) fn(*metrics_);
+  }
+
   /// Kind label for a sender id; test harnesses send with ids that were
   /// never registered ("from the outside"), which we label as external.
   const char* kind_of(EntityId id) const {
@@ -168,12 +276,15 @@ class Engine {
 
   std::vector<Entity*> entities_;
   std::vector<const char*> kinds_;
+  std::vector<std::uint32_t> busy_;  // in-flight offload jobs per entity
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<Pending> pending_;  // submission-order apply queue
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t messages_sent_ = 0;
   EngineMetrics* metrics_ = nullptr;
+  Executor* executor_ = nullptr;
 };
 
 }  // namespace kgrid::sim

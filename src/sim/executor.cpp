@@ -1,0 +1,150 @@
+#include "sim/executor.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace kgrid::sim {
+
+namespace {
+
+thread_local bool tl_on_worker = false;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::size_t Executor::hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+std::size_t Executor::default_threads() {
+  if (const char* env = std::getenv("KGRID_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  return 1;
+}
+
+Executor::Executor(std::size_t threads)
+    : threads_(threads == 0 ? default_threads() : threads) {
+  workers_.reserve(threads_ - 1);
+  for (std::size_t i = 0; i + 1 < threads_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    // Queued-but-unstarted tasks are dropped (their futures report a broken
+    // promise); normal engine flow always drains before teardown, so this
+    // only matters on abnormal exits.
+    queue_.clear();
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool Executor::on_worker_thread() { return tl_on_worker; }
+
+void Executor::worker_loop() {
+  tl_on_worker = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const std::uint64_t t0 = now_ns();
+    task();
+    busy_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+  }
+}
+
+Executor::Ticket Executor::enqueue(Task task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  Ticket ticket(packaged.get_future());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(packaged));
+    if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
+  }
+  cv_.notify_one();
+  return ticket;
+}
+
+Executor::Ticket Executor::submit(Task task) {
+  jobs_.fetch_add(1, std::memory_order_relaxed);
+  if (threads_ == 1) {
+    inline_jobs_.fetch_add(1, std::memory_order_relaxed);
+    std::packaged_task<void()> packaged(std::move(task));
+    Ticket ticket(packaged.get_future());
+    packaged();
+    return ticket;
+  }
+  return enqueue(std::move(task));
+}
+
+void Executor::wait(Ticket& ticket) {
+  if (!ticket.future_.valid()) return;
+  const std::uint64_t t0 = now_ns();
+  ticket.future_.get();
+  wait_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+}
+
+void Executor::parallel_for(std::size_t n,
+                            const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_items_.fetch_add(n, std::memory_order_relaxed);
+  // Inline fallbacks: single lane, trivial batch, or a nested batch issued
+  // from a pool worker (waiting on pool helpers from a pool thread could
+  // deadlock with every worker blocked on every other).
+  if (threads_ == 1 || n == 1 || tl_on_worker) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  const auto run_chunk = [&next, &fn, n] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  const std::size_t helpers = std::min(threads_ - 1, n - 1);
+  std::vector<Ticket> tickets;
+  tickets.reserve(helpers);
+  for (std::size_t h = 0; h < helpers; ++h) tickets.push_back(enqueue(run_chunk));
+  run_chunk();  // the caller is a lane too
+  for (auto& t : tickets) wait(t);
+}
+
+obs::Json Executor::metrics_json() const {
+  std::size_t depth;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    depth = max_queue_depth_;
+  }
+  obs::Json j = obs::Json::object();
+  j.set("threads", static_cast<std::uint64_t>(threads_));
+  j.set("jobs", jobs_.load(std::memory_order_relaxed));
+  j.set("inline_jobs", inline_jobs_.load(std::memory_order_relaxed));
+  j.set("batches", batches_.load(std::memory_order_relaxed));
+  j.set("batch_items", batch_items_.load(std::memory_order_relaxed));
+  j.set("max_queue_depth", static_cast<std::uint64_t>(depth));
+  j.set("busy_s", static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) * 1e-9);
+  j.set("wait_s", static_cast<double>(wait_ns_.load(std::memory_order_relaxed)) * 1e-9);
+  return j;
+}
+
+}  // namespace kgrid::sim

@@ -39,12 +39,14 @@ class EngineMetrics {
     std::uint64_t sent = 0;
     std::uint64_t delivered = 0;
     std::uint64_t timers = 0;
+    std::uint64_t offloaded = 0;
   };
 
   // -- Hooks called by Engine (only when attached) --
 
   void on_entity(std::string_view kind) { ++kinds(kind).entities; }
   void on_send(std::string_view kind) { ++kinds(kind).sent; }
+  void on_offload(std::string_view kind) { ++kinds(kind).offloaded; }
   void on_timer_fired(std::string_view kind) {
     ++kinds(kind).timers;
     ++events_;
@@ -108,6 +110,7 @@ class EngineMetrics {
       k.set("sent", stats.sent);
       k.set("delivered", stats.delivered);
       k.set("timers", stats.timers);
+      k.set("offloaded", stats.offloaded);
       entities.set(kind, std::move(k));
     }
     j.set("entities", std::move(entities));

@@ -1,0 +1,115 @@
+// Cross-thread-count determinism: a SecureGrid run is a pure function of
+// its seeds, so the protocol-level fingerprint must be bit-identical at
+// every executor width (ISSUE: threads in {1, 2, 8} -> identical final
+// counters and message traces).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "golden_fingerprint.hpp"
+
+namespace kgrid {
+namespace {
+
+std::string run_fingerprint(core::SecureGridConfig cfg, std::size_t threads,
+                            std::size_t steps) {
+  cfg.threads = threads;
+  core::SecureGrid grid(cfg);
+  grid.run_steps(steps);
+  return test::grid_fingerprint(grid);
+}
+
+TEST(Determinism, PlainBackendInvariantAcrossThreadCounts) {
+  core::SecureGridConfig cfg;
+  cfg.env.n_resources = 10;
+  cfg.env.seed = 99;
+  cfg.env.quest.n_items = 8;
+  cfg.env.quest.n_transactions = 200;
+  cfg.secure.k = 4;
+  cfg.secure.arrivals_per_step = 5;
+
+  const std::string reference = run_fingerprint(cfg, 1, 30);
+  for (const std::size_t threads : {2u, 8u})
+    EXPECT_EQ(run_fingerprint(cfg, threads, 30), reference)
+        << "threads=" << threads;
+}
+
+TEST(Determinism, EventDrivenInvariantAcrossThreadCounts) {
+  core::SecureGridConfig cfg;
+  cfg.env.n_resources = 6;
+  cfg.env.seed = 5;
+  cfg.env.quest.n_items = 6;
+  cfg.env.quest.n_transactions = 120;
+  cfg.secure.k = 3;
+  cfg.secure.event_driven = true;
+
+  const std::string reference = run_fingerprint(cfg, 1, 20);
+  for (const std::size_t threads : {2u, 8u})
+    EXPECT_EQ(run_fingerprint(cfg, threads, 20), reference)
+        << "threads=" << threads;
+}
+
+TEST(Determinism, PaillierBackendInvariantAcrossThreadCounts) {
+  // Real Paillier on a deliberately tiny grid: ciphertext bits differ
+  // between runs at threads > 1 (randomizer-pool take() order is
+  // schedule-dependent), but the fingerprint only captures plaintext
+  // protocol state, which the determinism contract guarantees.
+  core::SecureGridConfig cfg;
+  cfg.env.n_resources = 3;
+  cfg.env.seed = 13;
+  cfg.env.quest.n_items = 6;
+  cfg.env.quest.n_transactions = 60;
+  cfg.env.quest.n_patterns = 4;
+  cfg.env.quest.avg_transaction_len = 4;
+  cfg.env.quest.avg_pattern_len = 2;
+  cfg.secure.k = 2;
+  cfg.secure.arrivals_per_step = 0;
+  cfg.backend = hom::Backend::kPaillier;
+  cfg.paillier_bits = 512;
+
+  const std::string reference = run_fingerprint(cfg, 1, 8);
+  for (const std::size_t threads : {2u, 8u})
+    EXPECT_EQ(run_fingerprint(cfg, threads, 8), reference)
+        << "threads=" << threads;
+}
+
+TEST(Determinism, AttackDetectionInvariantAcrossThreadCounts) {
+  // The detection path (forged shares -> MaliciousReport flood ->
+  // quarantine) must also be schedule-independent.
+  core::SecureGridConfig cfg;
+  cfg.env.n_resources = 8;
+  cfg.env.seed = 42;
+  cfg.env.quest.n_items = 6;
+  cfg.env.quest.n_transactions = 160;
+  cfg.secure.k = 3;
+  core::ResourceAttack attack;
+  attack.broker = core::BrokerBehavior::kDoubleCount;
+  attack.active_from_step = 5;
+  cfg.attacks[2] = attack;
+
+  const std::string reference = run_fingerprint(cfg, 1, 25);
+  for (const std::size_t threads : {2u, 8u})
+    EXPECT_EQ(run_fingerprint(cfg, threads, 25), reference)
+        << "threads=" << threads;
+}
+
+TEST(Determinism, SharedExecutorMatchesOwnedExecutor) {
+  // Benches share one pool across many grids via cfg.executor; that must
+  // not change outcomes relative to a per-grid owned pool.
+  core::SecureGridConfig cfg;
+  cfg.env.n_resources = 8;
+  cfg.env.seed = 7;
+  cfg.env.quest.n_items = 6;
+  cfg.env.quest.n_transactions = 120;
+  cfg.secure.k = 3;
+
+  const std::string reference = run_fingerprint(cfg, 2, 15);
+  sim::Executor shared(2);
+  cfg.executor = &shared;
+  core::SecureGrid grid(cfg);
+  grid.run_steps(15);
+  EXPECT_EQ(test::grid_fingerprint(grid), reference);
+}
+
+}  // namespace
+}  // namespace kgrid

@@ -1,0 +1,54 @@
+// Protocol-level fingerprint of a finished SecureGrid run, used by the
+// golden-trace regression test (threads=1 must keep reproducing the protocol
+// behaviour of the pre-executor engine) and the cross-thread-count
+// determinism test.
+//
+// The fingerprint deliberately captures only protocol-visible state — event
+// counts, plaintext protocol counters, interim rule sets, and accountant
+// clocks — never ciphertext bits or rerandomization salts, which the
+// determinism contract (docs/ARCHITECTURE.md) excludes.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/grid.hpp"
+
+namespace kgrid::test {
+
+inline std::string grid_fingerprint(core::SecureGrid& grid) {
+  obs::Json j = obs::Json::object();
+  j.set("messages_sent", grid.engine().messages_sent());
+  j.set("messages_delivered", grid.engine().messages_delivered());
+  j.set("protocol", grid.protocol_stats());
+  obs::Json interim = obs::Json::array();
+  obs::Json clocks = obs::Json::array();
+  for (net::NodeId u = 0; u < grid.size(); ++u) {
+    std::vector<std::string> rules;
+    for (const auto& r : grid.resource(u).interim())
+      rules.push_back(arm::to_string(r));
+    std::sort(rules.begin(), rules.end());
+    obs::Json arr = obs::Json::array();
+    for (auto& r : rules) arr.push_back(obs::Json(std::move(r)));
+    interim.push_back(std::move(arr));
+    clocks.push_back(obs::Json(grid.resource(u).accountant().clock()));
+  }
+  j.set("interim", std::move(interim));
+  j.set("clocks", std::move(clocks));
+  return j.dump();
+}
+
+/// FNV-1a 64 over the fingerprint string — stable across platforms, unlike
+/// std::hash.
+inline std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace kgrid::test

@@ -1,0 +1,45 @@
+// Golden-trace regression: `threads = 1` must reproduce, bit for bit, the
+// protocol traces of the engine as it was before the executor existed.
+// The hashes below were frozen from the pre-executor engine (commit
+// "Rebuild the modular-arithmetic hot path") with the same configs; any
+// change here means the executor refactor altered the reference schedule.
+#include <gtest/gtest.h>
+
+#include "golden_fingerprint.hpp"
+
+namespace kgrid {
+namespace {
+
+TEST(GoldenTrace, BatchedDisciplineMatchesPreExecutorEngine) {
+  core::SecureGridConfig cfg;
+  cfg.env.n_resources = 12;
+  cfg.env.seed = 7;
+  cfg.env.quest.n_items = 8;
+  cfg.env.quest.n_transactions = 240;
+  cfg.env.initial_fraction = 0.5;
+  cfg.secure.k = 4;
+  cfg.secure.arrivals_per_step = 5;
+  cfg.threads = 1;  // the reference schedule
+  core::SecureGrid grid(cfg);
+  grid.run_steps(40);
+  EXPECT_EQ(test::fnv1a(test::grid_fingerprint(grid)),
+            0x24762fb198c29b5full);
+}
+
+TEST(GoldenTrace, EventDrivenDisciplineMatchesPreExecutorEngine) {
+  core::SecureGridConfig cfg;
+  cfg.env.n_resources = 8;
+  cfg.env.seed = 21;
+  cfg.env.quest.n_items = 6;
+  cfg.env.quest.n_transactions = 160;
+  cfg.secure.k = 3;
+  cfg.secure.event_driven = true;
+  cfg.threads = 1;
+  core::SecureGrid grid(cfg);
+  grid.run_steps(25);
+  EXPECT_EQ(test::fnv1a(test::grid_fingerprint(grid)),
+            0x8275f31088db4279ull);
+}
+
+}  // namespace
+}  // namespace kgrid

@@ -1,0 +1,173 @@
+#include "sim/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace kgrid::sim {
+namespace {
+
+TEST(Executor, SingleLaneRunsInline) {
+  Executor exec(1);
+  EXPECT_EQ(exec.threads(), 1u);
+  bool ran = false;
+  auto ticket = exec.submit([&] { ran = true; });
+  // Inline mode: the task has already run by the time submit returns.
+  EXPECT_TRUE(ran);
+  exec.wait(ticket);  // still fine to wait on an inline ticket
+}
+
+TEST(Executor, SubmitAndWaitOnWorkers) {
+  Executor exec(4);
+  EXPECT_EQ(exec.threads(), 4u);
+  std::atomic<int> done{0};
+  std::vector<Executor::Ticket> tickets;
+  for (int i = 0; i < 32; ++i)
+    tickets.push_back(exec.submit([&] { done.fetch_add(1); }));
+  for (auto& t : tickets) exec.wait(t);
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(Executor, WaitRethrowsTaskException) {
+  Executor exec(2);
+  auto ticket = exec.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(exec.wait(ticket), std::runtime_error);
+}
+
+TEST(Executor, ParallelForCoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    Executor exec(threads);
+    std::vector<std::atomic<int>> hits(257);
+    exec.parallel_for(hits.size(),
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(Executor, ParallelForZeroAndOne) {
+  Executor exec(4);
+  exec.parallel_for(0, [](std::size_t) { FAIL() << "n=0 must not call fn"; });
+  std::size_t seen = 1234;
+  exec.parallel_for(1, [&](std::size_t i) { seen = i; });
+  EXPECT_EQ(seen, 0u);
+}
+
+TEST(Executor, NestedParallelForDegradesInline) {
+  Executor exec(4);
+  // A batch issued from inside a worker task must not deadlock the pool;
+  // it runs as an inline loop on that worker.
+  std::atomic<int> total{0};
+  auto ticket = exec.submit([&] {
+    EXPECT_TRUE(Executor::on_worker_thread());
+    exec.parallel_for(100, [&](std::size_t) { total.fetch_add(1); });
+  });
+  exec.wait(ticket);
+  EXPECT_EQ(total.load(), 100);
+  EXPECT_FALSE(Executor::on_worker_thread());
+}
+
+TEST(Executor, MetricsCountJobsAndBatches) {
+  Executor exec(1);
+  auto t1 = exec.submit([] {});
+  exec.wait(t1);
+  exec.parallel_for(5, [](std::size_t) {});
+  const obs::Json j = exec.metrics_json();
+  const std::string dump = j.dump();
+  EXPECT_NE(dump.find("\"threads\":1,"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"jobs\":1,"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"inline_jobs\":1,"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"batches\":1,"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"batch_items\":5,"), std::string::npos) << dump;
+}
+
+TEST(Executor, DefaultThreadsHonorsEnvironment) {
+  // Do not disturb an externally forced value (CI runs the suite under
+  // KGRID_THREADS=2 on purpose).
+  if (const char* env = std::getenv("KGRID_THREADS")) {
+    EXPECT_EQ(Executor::default_threads(),
+              static_cast<std::size_t>(std::strtol(env, nullptr, 10)));
+    return;
+  }
+  EXPECT_EQ(Executor::default_threads(), 1u);
+}
+
+// -- Engine offload integration --
+
+class Recorder : public Entity {
+ public:
+  void on_message(Engine&, EntityId from, std::any& payload) override {
+    log.push_back({from, std::any_cast<int>(payload)});
+  }
+  void on_timer(Engine& engine, std::uint64_t timer_id) override {
+    // Offload a job whose apply sends a message tagged with the timer id.
+    engine.offload(0, [this, timer_id]() -> Engine::Apply {
+      const int tag = static_cast<int>(timer_id) * 10;
+      return [tag](Engine& eng) { eng.send(0, 0, 0.5, tag); };
+    });
+  }
+  std::vector<std::pair<EntityId, int>> log;
+};
+
+TEST(EngineOffload, AppliesResolveInSubmissionOrder) {
+  for (const std::size_t threads : {1u, 3u}) {
+    Executor exec(threads);
+    Engine engine;
+    Recorder rec;
+    engine.add_entity(&rec, "recorder");
+    engine.attach_executor(&exec);
+    for (std::uint64_t id = 1; id <= 4; ++id) engine.schedule(0, 0.0, id);
+    engine.run_until(1.0);
+    ASSERT_EQ(rec.log.size(), 4u) << "threads=" << threads;
+    for (std::size_t i = 0; i < 4; ++i)
+      EXPECT_EQ(rec.log[i].second, static_cast<int>(i + 1) * 10)
+          << "threads=" << threads;
+    EXPECT_TRUE(engine.idle());
+  }
+}
+
+TEST(EngineOffload, BusyEntityDefersDelivery) {
+  // A message addressed to an entity with a job in flight must not be
+  // delivered before the job's apply has run.
+  struct Probe : Entity {
+    bool apply_ran = false;
+    bool delivered_after_apply = false;
+    void on_message(Engine&, EntityId, std::any&) override {
+      delivered_after_apply = apply_ran;
+    }
+  };
+  Executor exec(2);
+  Engine engine;
+  Probe probe;
+  engine.add_entity(&probe, "probe");
+  engine.attach_executor(&exec);
+  engine.offload(0, [&probe]() -> Engine::Apply {
+    return [&probe](Engine&) { probe.apply_ran = true; };
+  });
+  engine.send(99, 0, 0.0, 1);  // same virtual time as the pending job
+  engine.run_until(0.0);
+  EXPECT_TRUE(probe.apply_ran);
+  EXPECT_TRUE(probe.delivered_after_apply);
+}
+
+TEST(EngineOffload, WithoutExecutorJobsRunInlineAtSubmit) {
+  Engine engine;
+  Recorder rec;
+  engine.add_entity(&rec, "recorder");
+  bool job_ran = false;
+  engine.offload(0, [&job_ran]() -> Engine::Apply {
+    job_ran = true;
+    return {};
+  });
+  EXPECT_TRUE(job_ran);      // computed at submit
+  EXPECT_FALSE(engine.idle());  // but the apply barrier is still pending
+  engine.run_until(0.0);
+  EXPECT_TRUE(engine.idle());
+}
+
+}  // namespace
+}  // namespace kgrid::sim
