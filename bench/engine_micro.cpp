@@ -1,0 +1,335 @@
+// Microbenchmarks of the simulation engine's event path — the hot loop
+// under every figure bench once the crypto is offloaded (see ISSUE-5 /
+// EXPERIMENTS.md "Engine event path"). Three workloads, each swept over the
+// queue policies of sim/event_queue.hpp:
+//
+//   * TimerStorm    — N self-rescheduling timers with jittered periods:
+//                     pure scheduler throughput, no payloads.
+//   * MessageMesh   — N entities forwarding SecureRuleMessages (candidate +
+//                     Paillier ciphertext) around a ring: the payload path
+//                     (typed variant + pooled slots + COW cipher bodies vs
+//                     the legacy shared_ptr<any> + value-semantic-cipher
+//                     structure).
+//   * OffloadHeavy  — N entities running every step through offload():
+//                     the pending/barrier machinery plus the queue.
+//
+// Suffix-less benches run the default policy (adaptive calendar queue +
+// slab event pool); the *Dary4/*Dary8 twins run the indexed-heap policies;
+// the *Legacy twins the seed's binary-heap/fat-event structure. items/s
+// counts processed events, so new-vs-legacy ratios read directly off the
+// committed BENCH_engine_micro.json (acceptance: MessageMesh >= 3x).
+//
+// Besides google-benchmark's own flags, `--json[=PATH]` (kgrid convention,
+// stripped before benchmark::Initialize) writes a kgrid.bench.v1 envelope
+// with one series row per run; the artifact's sim section comes from a
+// separate instrumented MessageMesh run after the timed benchmarks, so
+// metrics overhead never pollutes the measurements. `--threads` is likewise
+// stripped and recorded: the engine loop is single-threaded by design, the
+// flag exists for CLI uniformity with the figure benches.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arm/rules.hpp"
+#include "core/messages.hpp"
+#include "crypto/hom.hpp"
+#include "obs/bench_report.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace kgrid;
+
+/// Events processed per benchmark iteration (and the items/s unit).
+constexpr std::uint64_t kEventsPerIter = 1024;
+
+/// Cheap deterministic jitter (splitmix64 finalizer) so timer periods and
+/// link delays spread events across the heap instead of degenerating into
+/// one FIFO band.
+inline double jitter(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<double>(z & 1023) / 1024.0;
+}
+
+class TimerEntity : public sim::Entity {
+ public:
+  TimerEntity(sim::EntityId self, std::uint64_t seed) : self_(self), s_(seed) {}
+  void on_message(sim::Engine&, sim::EntityId, sim::Payload&) override {}
+  void on_timer(sim::Engine& engine, std::uint64_t) override {
+    engine.schedule(self_, 0.5 + jitter(s_), 0);
+  }
+
+ private:
+  sim::EntityId self_;
+  std::uint64_t s_;
+};
+
+void timer_storm(benchmark::State& state, sim::QueuePolicy policy) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Engine engine(policy);
+  std::vector<std::unique_ptr<TimerEntity>> entities;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<sim::EntityId>(i);
+    entities.push_back(std::make_unique<TimerEntity>(id, i));
+    engine.add_entity(entities.back().get(), "timer");
+    std::uint64_t s = i;
+    engine.schedule(id, jitter(s), 0);
+  }
+  for (auto _ : state)
+    for (std::uint64_t i = 0; i < kEventsPerIter; ++i) engine.step();
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kEventsPerIter));
+}
+
+/// The message the figure benches actually push through the engine: a rule
+/// candidate plus a Paillier ciphertext. Built once (keygen + one
+/// encryption) and copied into every in-flight message — under COW a copy
+/// is a refcount bump; under the legacy policy every boxed message detaches
+/// into a private body, as the seed's value-semantic ciphers did. 1024-bit
+/// keys match SecureGridConfig's default, so the per-hop body size is the
+/// figure benches' real one.
+const core::SecureRuleMessage& mesh_message() {
+  static const core::SecureRuleMessage msg = [] {
+    Rng rng(1234);
+    const hom::ContextPtr ctx = hom::Context::make_paillier(1024, rng);
+    return core::SecureRuleMessage{arm::frequency_candidate({}),
+                                   ctx->encrypt_key().encrypt_value(1, rng)};
+  }();
+  return msg;
+}
+
+/// Ring forwarder: every delivery sends the rule message one hop further,
+/// so the in-flight population stays constant and each event is one pop +
+/// one push with a real protocol payload.
+class MeshEntity : public sim::Entity {
+ public:
+  MeshEntity(sim::EntityId self, sim::EntityId next, std::uint64_t seed)
+      : self_(self), next_(next), s_(seed) {}
+  void on_message(sim::Engine& engine, sim::EntityId,
+                  sim::Payload& payload) override {
+    engine.send(self_, next_, 0.5 + jitter(s_),
+                payload.get<core::SecureRuleMessage>());
+  }
+
+ private:
+  sim::EntityId self_;
+  sim::EntityId next_;
+  std::uint64_t s_;
+};
+
+void seed_mesh(sim::Engine& engine, std::size_t n,
+               std::vector<std::unique_ptr<MeshEntity>>& entities) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<sim::EntityId>(i);
+    const auto next = static_cast<sim::EntityId>((i + 1) % n);
+    entities.push_back(std::make_unique<MeshEntity>(id, next, i));
+    engine.add_entity(entities.back().get(), "mesh");
+  }
+  // In-flight population scales with the grid so the pending set (and the
+  // heap depth) grows with the benchmark arg, as it does in the figure runs.
+  const std::size_t in_flight = std::max<std::size_t>(64, n / 4);
+  std::uint64_t s = 42;
+  for (std::size_t m = 0; m < in_flight; ++m) {
+    const auto from = static_cast<sim::EntityId>(m % n);
+    const auto to = static_cast<sim::EntityId>((m + 1) % n);
+    engine.send(from, to, jitter(s), mesh_message());
+  }
+}
+
+void message_mesh(benchmark::State& state, sim::QueuePolicy policy) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Engine engine(policy);
+  std::vector<std::unique_ptr<MeshEntity>> entities;
+  seed_mesh(engine, n, entities);
+  for (auto _ : state)
+    for (std::uint64_t i = 0; i < kEventsPerIter; ++i) engine.step();
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kEventsPerIter));
+}
+
+/// Every step runs through offload(): job body inline (no executor), apply
+/// resolved at the barrier — the figure benches' per-resource crypto shape
+/// with the crypto stripped out.
+class OffloadEntity : public sim::Entity {
+ public:
+  OffloadEntity(sim::EntityId self, std::uint64_t seed) : self_(self), s_(seed) {}
+  void on_message(sim::Engine&, sim::EntityId, sim::Payload&) override {}
+  void on_timer(sim::Engine& engine, std::uint64_t) override {
+    engine.offload(self_, [this]() -> sim::Engine::Apply {
+      // Stand-in for a step's local work, heavy enough not to vanish.
+      std::uint64_t acc = s_;
+      for (int i = 0; i < 64; ++i) acc = acc * 6364136223846793005ull + 1;
+      return [this, acc](sim::Engine& eng) {
+        eng.schedule(self_, 0.5 + jitter(s_), acc | 1);
+      };
+    });
+  }
+
+ private:
+  sim::EntityId self_;
+  std::uint64_t s_;
+};
+
+void offload_heavy(benchmark::State& state, sim::QueuePolicy policy) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Engine engine(policy);
+  std::vector<std::unique_ptr<OffloadEntity>> entities;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<sim::EntityId>(i);
+    entities.push_back(std::make_unique<OffloadEntity>(id, i));
+    engine.add_entity(entities.back().get(), "offload");
+    std::uint64_t s = i;
+    engine.schedule(id, jitter(s), 0);
+  }
+  for (auto _ : state)
+    for (std::uint64_t i = 0; i < kEventsPerIter; ++i) engine.step();
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kEventsPerIter));
+}
+
+void BM_TimerStorm(benchmark::State& state) {
+  timer_storm(state, sim::QueuePolicy::kCalendar);
+}
+void BM_TimerStormDary4(benchmark::State& state) {
+  timer_storm(state, sim::QueuePolicy::kDary4);
+}
+void BM_TimerStormDary8(benchmark::State& state) {
+  timer_storm(state, sim::QueuePolicy::kDary8);
+}
+void BM_TimerStormLegacy(benchmark::State& state) {
+  timer_storm(state, sim::QueuePolicy::kLegacy);
+}
+BENCHMARK(BM_TimerStorm)->Arg(1024)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_TimerStormDary4)->Arg(1024)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_TimerStormDary8)->Arg(1024)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_TimerStormLegacy)->Arg(1024)->Arg(4096)->Arg(65536);
+
+void BM_MessageMesh(benchmark::State& state) {
+  message_mesh(state, sim::QueuePolicy::kCalendar);
+}
+void BM_MessageMeshDary4(benchmark::State& state) {
+  message_mesh(state, sim::QueuePolicy::kDary4);
+}
+void BM_MessageMeshDary8(benchmark::State& state) {
+  message_mesh(state, sim::QueuePolicy::kDary8);
+}
+void BM_MessageMeshLegacy(benchmark::State& state) {
+  message_mesh(state, sim::QueuePolicy::kLegacy);
+}
+BENCHMARK(BM_MessageMesh)->Arg(1024)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_MessageMeshDary4)->Arg(1024)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_MessageMeshDary8)->Arg(1024)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_MessageMeshLegacy)->Arg(1024)->Arg(4096)->Arg(65536);
+
+void BM_OffloadHeavy(benchmark::State& state) {
+  offload_heavy(state, sim::QueuePolicy::kCalendar);
+}
+void BM_OffloadHeavyDary4(benchmark::State& state) {
+  offload_heavy(state, sim::QueuePolicy::kDary4);
+}
+void BM_OffloadHeavyLegacy(benchmark::State& state) {
+  offload_heavy(state, sim::QueuePolicy::kLegacy);
+}
+BENCHMARK(BM_OffloadHeavy)->Arg(256)->Arg(1024);
+BENCHMARK(BM_OffloadHeavyDary4)->Arg(256)->Arg(1024);
+BENCHMARK(BM_OffloadHeavyLegacy)->Arg(256)->Arg(1024);
+
+/// Console reporter that additionally captures every run as a series row
+/// ({name, iterations, real_time, cpu_time, time_unit, items_per_second}).
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.error_occurred) continue;
+      obs::Json row = obs::Json::object();
+      row.set("name", run.benchmark_name());
+      row.set("iterations", static_cast<std::uint64_t>(run.iterations));
+      row.set("real_time", run.GetAdjustedRealTime());
+      row.set("cpu_time", run.GetAdjustedCPUTime());
+      row.set("time_unit", benchmark::GetTimeUnitString(run.time_unit));
+      // Finalized counters; SetItemsProcessed surfaces as items_per_second.
+      for (const auto& [name, counter] : run.counters)
+        row.set(name, counter.value);
+      rows.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  std::vector<obs::Json> rows;
+};
+
+/// One modest instrumented MessageMesh run under the default policy: the
+/// artifact's sim section (queue/event_pool counters, message-type stats)
+/// comes from here, outside the timed region.
+obs::Json instrumented_sim_section() {
+  sim::EngineMetrics metrics;
+  {
+    sim::Engine engine(sim::QueuePolicy::kCalendar);
+    engine.attach_metrics(&metrics);
+    std::vector<std::unique_ptr<MeshEntity>> entities;
+    seed_mesh(engine, 1024, entities);
+    for (int i = 0; i < 1 << 15; ++i) engine.step();
+  }  // ~Engine flushes the queue/pool counters into `metrics`
+  return metrics.to_json();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Split off the kgrid-convention flags (--json, --threads) before
+  // google-benchmark sees (and rejects) them.
+  std::string json_path;
+  std::string threads_flag;
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (i > 0 && arg.rfind("--json", 0) == 0) {
+      const auto eq = arg.find('=');
+      json_path = eq == std::string_view::npos ? std::string()
+                                               : std::string(arg.substr(eq + 1));
+      if (json_path.empty()) json_path = "BENCH_engine_micro.json";
+      continue;
+    }
+    if (i > 0 && arg.rfind("--threads", 0) == 0) {
+      const auto eq = arg.find('=');
+      threads_flag = eq == std::string_view::npos
+                         ? std::string("auto")
+                         : std::string(arg.substr(eq + 1));
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  const bool json_enabled = !json_path.empty();
+  int bench_argc = static_cast<int>(bench_argv.size());
+
+  kgrid::obs::BenchReport report("engine_micro");
+  if (!threads_flag.empty()) report.set_arg("threads", threads_flag);
+  for (int i = 1; i < bench_argc; ++i)
+    report.set_arg("argv" + std::to_string(i), bench_argv[i]);
+
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data()))
+    return 1;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (json_enabled) {
+    for (auto& row : reporter.rows) report.add_row(std::move(row));
+    report.set_sim(instrumented_sim_section());
+    if (!report.write(json_path)) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

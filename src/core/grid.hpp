@@ -34,6 +34,10 @@ struct SecureGridConfig {
   /// Share a caller-owned executor instead (benches sweeping many grids
   /// reuse one pool); overrides `threads` when non-null.
   sim::Executor* executor = nullptr;
+  /// Event-queue scheduler policy (sim/event_queue.hpp). Every policy
+  /// delivers the identical event order; kLegacy exists for differential
+  /// testing against the seed's binary-heap structure.
+  sim::QueuePolicy queue_policy = sim::QueuePolicy::kCalendar;
 };
 
 /// Secure-Majority-Rule over a simulated data grid.
@@ -45,7 +49,8 @@ class SecureGrid {
   /// Run over a caller-built environment (custom topology or data, e.g. the
   /// single-itemset significance experiments of the paper's Figure 3).
   SecureGrid(const SecureGridConfig& config, GridEnv env)
-      : config_(config), env_(std::move(env)), monitor_(config.secure.k) {
+      : config_(config), env_(std::move(env)), monitor_(config.secure.k),
+        engine_(config.queue_policy) {
     if (config.executor != nullptr) {
       engine_.attach_executor(config.executor);
     } else {
@@ -232,15 +237,18 @@ class BaselineGrid {
  public:
   BaselineGrid(const GridEnvConfig& env_config,
                const majority::MajorityRuleConfig& config,
-               std::size_t threads = 0)
-      : BaselineGrid(env_config, config, make_grid_env(env_config), threads) {}
+               std::size_t threads = 0,
+               sim::QueuePolicy queue_policy = sim::QueuePolicy::kCalendar)
+      : BaselineGrid(env_config, config, make_grid_env(env_config), threads,
+                     queue_policy) {}
 
   /// `threads` follows SecureGridConfig::threads semantics (0 = library
   /// default, 1 = inline, N > 1 = worker pool; outcomes thread-invariant).
   BaselineGrid(const GridEnvConfig& env_config,
                const majority::MajorityRuleConfig& config, GridEnv env,
-               std::size_t threads = 0)
-      : env_(std::move(env)) {
+               std::size_t threads = 0,
+               sim::QueuePolicy queue_policy = sim::QueuePolicy::kCalendar)
+      : env_(std::move(env)), engine_(queue_policy) {
     const std::size_t lanes =
         threads == 0 ? sim::Executor::default_threads() : threads;
     if (lanes > 1) {

@@ -123,12 +123,12 @@ class SecureResource : public sim::Entity {
   }
 
   void on_message(sim::Engine& engine, sim::EntityId from,
-                  std::any& payload) override {
-    if (auto* report = std::any_cast<MaliciousReport>(&payload)) {
+                  sim::Payload& payload) override {
+    if (auto* report = payload.get_if<MaliciousReport>()) {
       handle_report(engine, static_cast<net::NodeId>(from), *report);
       return;
     }
-    const auto& msg = std::any_cast<const SecureRuleMessage&>(payload);
+    const auto& msg = payload.get<SecureRuleMessage>();
     // Batched discipline stores now and evaluates at the next step
     // boundary; the event-driven discipline is Algorithm 1 verbatim.
     apply(engine,

@@ -43,17 +43,19 @@ std::vector<Rng> split_per_item(Rng& rng, std::size_t n) {
 /// cipher lineage, not once per op.
 const wide::Montgomery::Form& cipher_form(const Cipher& c,
                                           const PaillierPublicKey& pk) {
-  if (!c.paillier_form_.attached()) c.paillier_form_ = pk.to_form(c.paillier_);
-  return c.paillier_form_;
+  const Cipher::Body& b = c.body();
+  if (!b.paillier_form.attached()) b.paillier_form = pk.to_form(b.paillier);
+  return b.paillier_form;
 }
 
 /// Install an op result: keep the form for the next chained op and
 /// materialize the canonical BigInt eagerly — decryption, serialization, and
-/// operator== all read paillier_, so the two views must never diverge.
+/// operator== all read `paillier`, so the two views must never diverge.
 void set_cipher_form(Cipher& c, wide::Montgomery::Form f,
                      const PaillierPublicKey& pk) {
-  c.paillier_ = pk.from_form(f);
-  c.paillier_form_ = std::move(f);
+  Cipher::Body& b = c.own();
+  b.paillier = pk.from_form(f);
+  b.paillier_form = std::move(f);
 }
 
 ContextPtr Context::make_plain() {
@@ -83,10 +85,11 @@ std::size_t Context::max_fields() const {
 Cipher EncryptKey::encrypt(std::span<const std::uint64_t> fields, Rng& rng) const {
   obs::crypto_counters().hom_encrypts.inc();
   Cipher c;
-  c.backend_ = ctx_->backend();
+  Cipher::Body& cb = c.own();
+  cb.backend = ctx_->backend();
   if (ctx_->backend() == Backend::kPlain) {
-    c.plain_.assign(fields.begin(), fields.end());
-    c.salt_ = rng();
+    cb.plain.assign(fields.begin(), fields.end());
+    cb.salt = rng();
     return c;
   }
   KGRID_CHECK(fields.size() <= ctx_->max_fields(),
@@ -107,21 +110,24 @@ std::vector<Cipher> EncryptKey::encrypt_batch(
 }
 
 Cipher EvalHandle::add(const Cipher& a, const Cipher& b) const {
-  KGRID_CHECK(a.backend_ == ctx_->backend() && b.backend_ == ctx_->backend(),
+  KGRID_CHECK(a.backend() == ctx_->backend() && b.backend() == ctx_->backend(),
               "cipher backend mismatch");
   obs::crypto_counters().hom_adds.inc();
   Cipher c;
-  c.backend_ = ctx_->backend();
+  Cipher::Body& cb = c.own();
+  cb.backend = ctx_->backend();
   if (ctx_->backend() == Backend::kPlain) {
-    c.plain_.resize(std::max(a.plain_.size(), b.plain_.size()), 0);
-    for (std::size_t i = 0; i < c.plain_.size(); ++i) {
-      const std::uint64_t x = i < a.plain_.size() ? a.plain_[i] : 0;
-      const std::uint64_t y = i < b.plain_.size() ? b.plain_[i] : 0;
-      c.plain_[i] = x + y;  // fields may wrap mod 2^64 exactly like a packed
+    const auto& ap = a.body().plain;
+    const auto& bp = b.body().plain;
+    cb.plain.resize(std::max(ap.size(), bp.size()), 0);
+    for (std::size_t i = 0; i < cb.plain.size(); ++i) {
+      const std::uint64_t x = i < ap.size() ? ap[i] : 0;
+      const std::uint64_t y = i < bp.size() ? bp[i] : 0;
+      cb.plain[i] = x + y;  // fields may wrap mod 2^64 exactly like a packed
                             // Paillier field would carry; protocol invariants
                             // keep real fields far from the boundary
     }
-    c.salt_ = a.salt_ ^ (b.salt_ << 1) ^ 0x9e3779b97f4a7c15ull;
+    cb.salt = a.body().salt ^ (b.body().salt << 1) ^ 0x9e3779b97f4a7c15ull;
     return c;
   }
   const PaillierPublicKey& pk = ctx_->key_.pub;
@@ -130,18 +136,21 @@ Cipher EvalHandle::add(const Cipher& a, const Cipher& b) const {
 }
 
 Cipher EvalHandle::sub_single(const Cipher& a, const Cipher& b) const {
-  KGRID_CHECK(a.backend_ == ctx_->backend() && b.backend_ == ctx_->backend(),
+  KGRID_CHECK(a.backend() == ctx_->backend() && b.backend() == ctx_->backend(),
               "cipher backend mismatch");
   obs::crypto_counters().hom_adds.inc();
   Cipher c;
-  c.backend_ = ctx_->backend();
+  Cipher::Body& cb = c.own();
+  cb.backend = ctx_->backend();
   if (ctx_->backend() == Backend::kPlain) {
-    KGRID_CHECK(a.plain_.size() <= 1 && b.plain_.size() <= 1,
+    const auto& ap = a.body().plain;
+    const auto& bp = b.body().plain;
+    KGRID_CHECK(ap.size() <= 1 && bp.size() <= 1,
                 "sub_single on multi-field cipher");
-    const std::uint64_t x = a.plain_.empty() ? 0 : a.plain_[0];
-    const std::uint64_t y = b.plain_.empty() ? 0 : b.plain_[0];
-    c.plain_ = {x - y};
-    c.salt_ = a.salt_ ^ (b.salt_ >> 1) ^ 0xbf58476d1ce4e5b9ull;
+    const std::uint64_t x = ap.empty() ? 0 : ap[0];
+    const std::uint64_t y = bp.empty() ? 0 : bp[0];
+    cb.plain = {x - y};
+    cb.salt = a.body().salt ^ (b.body().salt >> 1) ^ 0xbf58476d1ce4e5b9ull;
     return c;
   }
   const PaillierPublicKey& pk = ctx_->key_.pub;
@@ -150,14 +159,15 @@ Cipher EvalHandle::sub_single(const Cipher& a, const Cipher& b) const {
 }
 
 Cipher EvalHandle::scalar_mul(std::uint64_t m, const Cipher& a) const {
-  KGRID_CHECK(a.backend_ == ctx_->backend(), "cipher backend mismatch");
+  KGRID_CHECK(a.backend() == ctx_->backend(), "cipher backend mismatch");
   obs::crypto_counters().hom_scalar_muls.inc();
   Cipher c;
-  c.backend_ = ctx_->backend();
+  Cipher::Body& cb = c.own();
+  cb.backend = ctx_->backend();
   if (ctx_->backend() == Backend::kPlain) {
-    c.plain_ = a.plain_;
-    for (auto& f : c.plain_) f *= m;
-    c.salt_ = a.salt_ * 0x94d049bb133111ebull + m;
+    cb.plain = a.body().plain;
+    for (auto& f : cb.plain) f *= m;
+    cb.salt = a.body().salt * 0x94d049bb133111ebull + m;
     return c;
   }
   const PaillierPublicKey& pk = ctx_->key_.pub;
@@ -166,11 +176,11 @@ Cipher EvalHandle::scalar_mul(std::uint64_t m, const Cipher& a) const {
 }
 
 Cipher EvalHandle::rerandomize(const Cipher& a, Rng& rng) const {
-  KGRID_CHECK(a.backend_ == ctx_->backend(), "cipher backend mismatch");
+  KGRID_CHECK(a.backend() == ctx_->backend(), "cipher backend mismatch");
   obs::crypto_counters().hom_rerandomizes.inc();
-  Cipher c = a;
+  Cipher c = a;  // COW: the clone happens inside own() below
   if (ctx_->backend() == Backend::kPlain) {
-    c.salt_ = rng();
+    c.own().salt = rng();
     return c;
   }
   const PaillierPublicKey& pk = ctx_->key_.pub;
@@ -198,10 +208,11 @@ std::vector<Cipher> EvalHandle::rerandomize_batch(
 Cipher EvalHandle::zero(std::size_t n_fields, Rng& rng) const {
   obs::crypto_counters().hom_encrypts.inc();
   Cipher c;
-  c.backend_ = ctx_->backend();
+  Cipher::Body& cb = c.own();
+  cb.backend = ctx_->backend();
   if (ctx_->backend() == Backend::kPlain) {
-    c.plain_.assign(n_fields, 0);
-    c.salt_ = rng();
+    cb.plain.assign(n_fields, 0);
+    cb.salt = rng();
     return c;
   }
   // Enc(0) is constructible from public material alone (1 * r^n); this does
@@ -213,14 +224,14 @@ Cipher EvalHandle::zero(std::size_t n_fields, Rng& rng) const {
 
 std::vector<std::uint64_t> DecryptKey::decrypt(const Cipher& c,
                                                std::size_t n_fields) const {
-  KGRID_CHECK(c.backend_ == ctx_->backend(), "cipher backend mismatch");
+  KGRID_CHECK(c.backend() == ctx_->backend(), "cipher backend mismatch");
   obs::crypto_counters().hom_decrypts.inc();
   if (ctx_->backend() == Backend::kPlain) {
-    std::vector<std::uint64_t> out = c.plain_;
+    std::vector<std::uint64_t> out = c.body().plain;
     out.resize(n_fields, 0);
     return out;
   }
-  return unpack_fields(ctx_->key_.decrypt(c.paillier_), n_fields);
+  return unpack_fields(ctx_->key_.decrypt(c.body().paillier), n_fields);
 }
 
 std::vector<std::vector<std::uint64_t>> DecryptKey::decrypt_batch(
@@ -233,13 +244,14 @@ std::vector<std::vector<std::uint64_t>> DecryptKey::decrypt_batch(
 }
 
 std::int64_t DecryptKey::decrypt_signed(const Cipher& c) const {
-  KGRID_CHECK(c.backend_ == ctx_->backend(), "cipher backend mismatch");
+  KGRID_CHECK(c.backend() == ctx_->backend(), "cipher backend mismatch");
   obs::crypto_counters().hom_decrypts.inc();
   if (ctx_->backend() == Backend::kPlain) {
-    const std::uint64_t v = c.plain_.empty() ? 0 : c.plain_[0];
+    const auto& plain = c.body().plain;
+    const std::uint64_t v = plain.empty() ? 0 : plain[0];
     return static_cast<std::int64_t>(v);
   }
-  return ctx_->key_.decrypt_signed(c.paillier_).to_i64();
+  return ctx_->key_.decrypt_signed(c.body().paillier).to_i64();
 }
 
 }  // namespace kgrid::hom

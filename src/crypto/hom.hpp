@@ -41,24 +41,47 @@ namespace kgrid::hom {
 enum class Backend { kPlain, kPaillier };
 
 /// An opaque additively-homomorphic ciphertext over packed 64-bit fields.
+///
+/// The representation is copy-on-write: a Cipher is one shared_ptr to an
+/// immutable-once-shared body, so copying — a resource forwarding the same
+/// SecureRuleMessage to every neighbor, a broker storing the received
+/// counter per edge — is a refcount bump instead of a deep copy of a
+/// 2048-bit integer. Only the homomorphic ops (hom.cpp) write bodies, and
+/// they clone first when the body is shared (`own`), so aliases never
+/// observe a value change. Sharing is an implementation detail: two ciphers
+/// compare by content, never by identity.
 class Cipher {
  public:
   Cipher() = default;
 
-  Backend backend() const { return backend_; }
-  bool empty() const { return backend_ == Backend::kPlain && plain_.empty(); }
+  Backend backend() const { return body().backend; }
+  bool empty() const {
+    return body().backend == Backend::kPlain && body().plain.empty();
+  }
 
   /// Ciphertext equality. Distinct encryptions/rerandomizations of the same
   /// plaintext compare unequal (probabilistic encryption), which tests rely
   /// on to assert that brokers cannot detect unchanged counters. The
   /// Montgomery-form cache is deliberately excluded: it is a redundant
-  /// representation of paillier_, present or absent depending on the op
+  /// representation of `paillier`, present or absent depending on the op
   /// history.
   friend bool operator==(const Cipher& a, const Cipher& b) {
-    return a.backend_ == b.backend_ && a.plain_ == b.plain_ &&
-           a.salt_ == b.salt_ && a.paillier_ == b.paillier_;
+    if (a.body_ == b.body_) return true;  // COW aliases (and empty == empty)
+    const Body& x = a.body();
+    const Body& y = b.body();
+    return x.backend == y.backend && x.plain == y.plain && x.salt == y.salt &&
+           x.paillier == y.paillier;
   }
   friend bool operator!=(const Cipher& a, const Cipher& b) { return !(a == b); }
+
+  /// Force a private copy of the body — the value semantics every Cipher
+  /// had before copy-on-write. Callers that need copy isolation (and the
+  /// legacy queue policy, which reproduces the seed's per-message deep
+  /// copies) use this; everything else shares bodies freely.
+  void detach() {
+    if (body_ != nullptr && body_.use_count() > 1)
+      body_ = std::make_shared<Body>(*body_);
+  }
 
  private:
   friend class Context;
@@ -71,15 +94,36 @@ class Cipher {
   friend void set_cipher_form(Cipher& c, wide::Montgomery::Form f,
                               const PaillierPublicKey& pk);
 
-  Backend backend_ = Backend::kPlain;
-  std::vector<std::uint64_t> plain_;  // plain backend: field values
-  std::uint64_t salt_ = 0;            // plain backend: rerandomization witness
-  wide::BigInt paillier_;             // paillier backend: cipher mod n^2
-  // Cache of paillier_ in Montgomery form over n^2, so chained homomorphic
-  // ops skip the per-op R-conversions. Populated lazily on first use and
-  // eagerly by every op that produces a Paillier cipher; always consistent
-  // with paillier_ when attached.
-  mutable wide::Montgomery::Form paillier_form_;
+  struct Body {
+    Backend backend = Backend::kPlain;
+    std::vector<std::uint64_t> plain;  // plain backend: field values
+    std::uint64_t salt = 0;            // plain backend: rerandomization witness
+    wide::BigInt paillier;             // paillier backend: cipher mod n^2
+    // Cache of `paillier` in Montgomery form over n^2, so chained
+    // homomorphic ops skip the per-op R-conversions. Populated lazily on
+    // first use and eagerly by every op that produces a Paillier cipher;
+    // always consistent with `paillier` when attached. Mutating the cache
+    // through a shared body is safe only under the batch APIs' pre-warm
+    // discipline (rerandomize_batch warms serially before going parallel).
+    mutable wide::Montgomery::Form paillier_form;
+  };
+
+  /// Read view; a default-constructed Cipher reads as the empty plain body.
+  const Body& body() const {
+    static const Body kEmpty;
+    return body_ == nullptr ? kEmpty : *body_;
+  }
+
+  /// Write view: materialize an owned body, cloning if currently shared.
+  Body& own() {
+    if (body_ == nullptr)
+      body_ = std::make_shared<Body>();
+    else if (body_.use_count() > 1)
+      body_ = std::make_shared<Body>(*body_);
+    return *body_;
+  }
+
+  std::shared_ptr<Body> body_;
 };
 
 class Context;

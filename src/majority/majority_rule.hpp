@@ -17,6 +17,7 @@
 #include "arm/apriori.hpp"
 #include "arm/candidates.hpp"
 #include "arm/counting.hpp"
+#include "majority/messages.hpp"
 #include "majority/scalable_majority.hpp"
 #include "net/topology.hpp"
 #include "sim/engine.hpp"
@@ -36,13 +37,6 @@ struct MajorityRuleConfig {
   std::size_t count_budget = 100;    // transactions counted per step (paper §6)
   std::size_t candidate_period = 5;  // candidate generation every k-th step (paper §6)
   std::size_t arrivals_per_step = 20;  // dynamic growth per step (paper §6)
-};
-
-/// The network payload of the baseline protocol: one Scalable-Majority
-/// message, tagged by the vote instance it belongs to.
-struct RuleMessage {
-  arm::Candidate candidate;
-  VotePair vote;
 };
 
 class MajorityRuleResource : public sim::Entity {
@@ -114,8 +108,8 @@ class MajorityRuleResource : public sim::Entity {
   }
 
   void on_message(sim::Engine& engine, sim::EntityId from,
-                  std::any& payload) override {
-    const auto& msg = std::any_cast<const RuleMessage&>(payload);
+                  sim::Payload& payload) override {
+    const auto& msg = payload.get<RuleMessage>();
     // Algorithm 4: an unknown candidate learned from a neighbor joins C,
     // along with the frequency vote for its full itemset.
     if (!instances_.contains(msg.candidate)) {

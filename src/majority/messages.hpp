@@ -1,0 +1,18 @@
+// Network payload of the Majority-Rule baseline (Wolff & Schuster,
+// ICDM'03). Split out of majority_rule.hpp so the simulation engine's typed
+// Payload variant (sim/payload.hpp) can name the protocol's closed message
+// set without pulling in the resource/engine machinery.
+#pragma once
+
+#include "arm/candidates.hpp"
+#include "majority/scalable_majority.hpp"
+
+namespace kgrid::majority {
+
+/// One Scalable-Majority message, tagged by the vote instance it belongs to.
+struct RuleMessage {
+  arm::Candidate candidate;
+  VotePair vote;
+};
+
+}  // namespace kgrid::majority

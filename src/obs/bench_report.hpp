@@ -42,6 +42,21 @@ inline Json empty_sim_json() {
   j.set("timers_fired", std::uint64_t{0});
   j.set("max_queue_depth", std::uint64_t{0});
   j.set("entities", Json::object());
+  Json queue = Json::object();
+  queue.set("kind", "none");
+  queue.set("engines", std::uint64_t{0});
+  queue.set("pushes", std::uint64_t{0});
+  queue.set("pops", std::uint64_t{0});
+  queue.set("resizes", std::uint64_t{0});
+  queue.set("max_depth", std::uint64_t{0});
+  j.set("queue", std::move(queue));
+  Json pool = Json::object();
+  pool.set("acquired", std::uint64_t{0});
+  pool.set("released", std::uint64_t{0});
+  pool.set("overflow", std::uint64_t{0});
+  pool.set("max_in_use", std::uint64_t{0});
+  pool.set("slots", std::uint64_t{0});
+  j.set("event_pool", std::move(pool));
   j.set("message_types", Json::object());
   return j;
 }
@@ -139,6 +154,45 @@ inline std::string validate_bench_json(const Json& j) {
         return "sim.entities." + kind + "." + key + " missing";
     }
   }
+  // sim.queue / sim.event_pool describe the engine's scheduler and event
+  // pool (sim/event_queue.hpp). Artifacts written before those existed may
+  // omit them — but an artifact that actually processed events must carry
+  // them, and the queue cannot have been idle while events flowed.
+  const bool has_events = sim->find("events_processed")->as_double() > 0;
+  const Json* queue = sim->find("queue");
+  if (queue == nullptr) {
+    if (has_events) return "sim.queue missing despite events_processed > 0";
+  } else {
+    if (!queue->is_object()) return "sim.queue is not an object";
+    const Json* kind = queue->find("kind");
+    if (kind == nullptr || !kind->is_string() || kind->as_string().empty())
+      return "sim.queue.kind missing or not a string";
+    for (const char* key :
+         {"engines", "pushes", "pops", "resizes", "max_depth"}) {
+      const Json* v = queue->find(key);
+      if (v == nullptr || !v->is_number())
+        return std::string("sim.queue.") + key + " missing or not a number";
+    }
+    if (has_events && queue->find("pushes")->as_double() == 0 &&
+        queue->find("pops")->as_double() == 0)
+      return "sim.queue counters all zero despite events_processed > 0";
+  }
+  const Json* event_pool = sim->find("event_pool");
+  if (event_pool == nullptr) {
+    if (has_events)
+      return "sim.event_pool missing despite events_processed > 0";
+  } else {
+    if (!event_pool->is_object()) return "sim.event_pool is not an object";
+    // All-zero pool counters are legitimate (a legacy-policy run bypasses
+    // the pool), so only presence and types are checked here.
+    for (const char* key :
+         {"acquired", "released", "overflow", "max_in_use", "slots"}) {
+      const Json* v = event_pool->find(key);
+      if (v == nullptr || !v->is_number())
+        return std::string("sim.event_pool.") + key +
+               " missing or not a number";
+    }
+  }
   // sim.executor is optional (absent from single-threaded artifacts and
   // everything written before the executor existed), but when present it
   // must carry the full counter set from sim::Executor::metrics_json().
@@ -186,6 +240,8 @@ inline std::string validate_bench_json(const Json& j) {
   const Json* series = require("series");
   if (series == nullptr || !series->is_array())
     return "missing \"series\" array";
+  if (series->elements().empty())
+    return "\"series\" is empty (a bench with no rows measured nothing)";
   for (const Json& row : series->elements())
     if (!row.is_object()) return "series row is not an object";
   return "";

@@ -9,6 +9,16 @@
 // order, so a run is a pure function of the initial state and the seeds —
 // no wall-clock or thread nondeterminism can leak into measurements.
 //
+// Event path (sim/event_queue.hpp, sim/payload.hpp): messages carry a typed
+// Payload variant over the protocol's closed message set, events live in a
+// slab-allocated pool with freelist recycling, and the scheduler is an
+// adaptive calendar queue by default (4/8-ary indexed heaps are kept as
+// comparison policies). The seed's binary-heap /
+// shared_ptr<std::any> structure survives as QueuePolicy::kLegacy for
+// differential testing and as the "before" series of the engine
+// microbenchmarks; every policy delivers the identical (time, seq) order,
+// so protocol traces are policy-invariant.
+//
 // Threading model (see docs/ARCHITECTURE.md for the full contract):
 //
 //   * The event loop is single-threaded. Every on_message/on_timer handler
@@ -34,23 +44,24 @@
 // Instrumentation is opt-in: attach_metrics() hooks an EngineMetrics
 // (sim/metrics.hpp) into the event loop for per-entity-class and
 // per-message-type accounting; detached (the default), every hook is a
-// single null-pointer test (the with_metrics helper).
+// single null-pointer test (the with_metrics helper). Queue and event-pool
+// counters are tallied unconditionally (plain increments) and flushed to
+// the attached metrics on destruction or via flush_stats().
 #pragma once
 
-#include <any>
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/executor.hpp"
 #include "sim/metrics.hpp"
+#include "sim/payload.hpp"
 #include "util/check.hpp"
 
 namespace kgrid::sim {
-
-using Time = double;
-using EntityId = std::uint32_t;
 
 class Engine;
 
@@ -60,7 +71,7 @@ class Entity {
   virtual ~Entity() = default;
 
   /// A message from another entity arrived.
-  virtual void on_message(Engine& engine, EntityId from, std::any& payload) = 0;
+  virtual void on_message(Engine& engine, EntityId from, Payload& payload) = 0;
 
   /// A timer scheduled via Engine::schedule fired.
   virtual void on_timer(Engine& engine, std::uint64_t timer_id) {
@@ -77,6 +88,14 @@ class Engine {
   /// An offloaded job: heavy computation, run off-loop, returning its Apply.
   using Job = std::function<Apply()>;
 
+  explicit Engine(QueuePolicy queue_policy = QueuePolicy::kCalendar)
+      : queue_(queue_policy) {}
+
+  ~Engine() { flush_stats(); }
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
   /// Registers an entity; the engine does not own it (grid harnesses own
   /// their resources and typically outlive the engine). `kind` labels the
   /// entity's class for instrumentation ("secure_resource", ...); it must
@@ -91,8 +110,10 @@ class Engine {
 
   /// Attach (or detach, with nullptr) instrumentation. Already-registered
   /// entities are reported to the new sink; event counts accumulate from
-  /// the moment of attachment.
+  /// the moment of attachment. Detaching flushes the queue/pool counters
+  /// to the outgoing sink first.
   void attach_metrics(EngineMetrics* metrics) {
+    if (metrics == nullptr) flush_stats();
     metrics_ = metrics;
     if (metrics_ != nullptr)
       for (const char* kind : kinds_) metrics_->on_entity(kind);
@@ -111,13 +132,20 @@ class Engine {
   std::uint64_t messages_sent() const { return messages_sent_; }
   bool idle() const { return queue_.empty() && pending_.empty(); }
 
-  /// Queue a message for delivery `delay` time units from now.
-  void send(EntityId from, EntityId to, Time delay, std::any payload) {
+  QueuePolicy queue_policy() const { return queue_.policy(); }
+  const QueueStats& queue_stats() const { return queue_.stats(); }
+  const EventPoolStats& event_pool_stats() const { return queue_.pool_stats(); }
+
+  /// Queue a message for delivery `delay` time units from now. `payload`
+  /// is a Payload or any message type Payload accepts, forwarded straight
+  /// into the pooled event slot (zero intermediate copies or moves).
+  template <class P = Payload>
+  void send(EntityId from, EntityId to, Time delay, P&& payload = Payload()) {
     KGRID_CHECK(to < entities_.size(), "send to unknown entity");
     KGRID_CHECK(delay >= 0.0, "negative delay");
     ++messages_sent_;
-    queue_.push(Event{now_ + delay, next_seq_++, from, to, EventKind::kMessage, 0,
-                      std::make_shared<std::any>(std::move(payload)), now_});
+    queue_.push(now_ + delay, next_seq_++, from, to, EventKind::kMessage, 0,
+                std::forward<P>(payload), now_);
     with_metrics([&](EngineMetrics& m) {
       m.on_send(kind_of(from));
       m.on_queue_depth(queue_.size());
@@ -128,8 +156,8 @@ class Engine {
   void schedule(EntityId entity, Time delay, std::uint64_t timer_id) {
     KGRID_CHECK(entity < entities_.size(), "schedule for unknown entity");
     KGRID_CHECK(delay >= 0.0, "negative delay");
-    queue_.push(Event{now_ + delay, next_seq_++, entity, entity,
-                      EventKind::kTimer, timer_id, nullptr, now_});
+    queue_.push(now_ + delay, next_seq_++, entity, entity, EventKind::kTimer,
+                timer_id, Payload(), now_);
     with_metrics([&](EngineMetrics& m) { m.on_queue_depth(queue_.size()); });
   }
 
@@ -161,12 +189,14 @@ class Engine {
     // submission tick, or targets a busy entity, or the queue is empty.
     // resolve_pending() may enqueue events and further jobs, so re-check.
     while (!pending_.empty() &&
-           (queue_.empty() || queue_.top().time > now_ ||
-            busy_[queue_.top().to] > 0))
+           (queue_.empty() || queue_.top_time() > now_ ||
+            busy_[queue_.top_to()] > 0))
       resolve_pending();
     if (queue_.empty()) return false;
-    Event ev = queue_.top();
-    queue_.pop();
+    // Zero-copy delivery: the payload is dispatched by reference from its
+    // pool slot; the slot is recycled only after the handler returns (so
+    // handlers can push new events without invalidating it).
+    const EventQueue::Popped ev = queue_.pop();
     with_metrics([&](EngineMetrics& m) { m.advance_time(ev.time - now_); });
     now_ = ev.time;
     Entity* target = entities_[ev.to];
@@ -180,6 +210,7 @@ class Engine {
       with_metrics([&](EngineMetrics& m) { m.on_timer_fired(kinds_[ev.to]); });
       target->on_timer(*this, ev.timer_id);
     }
+    queue_.finish(ev);
     return true;
   }
 
@@ -189,7 +220,7 @@ class Engine {
   /// always observe quiesced entity state.
   void run_until(Time deadline) {
     for (;;) {
-      while (!queue_.empty() && queue_.top().time <= deadline) step();
+      while (!queue_.empty() && queue_.top_time() <= deadline) step();
       if (pending_.empty()) break;
       resolve_pending();  // may enqueue events inside the deadline
     }
@@ -211,27 +242,29 @@ class Engine {
     return processed;
   }
 
+  /// Push the queue/event-pool counters accumulated since the last flush
+  /// into the attached metrics (no-op when detached). Called automatically
+  /// on destruction, so benches that destroy engines before writing their
+  /// artifact need no explicit call; tests that read the metrics while the
+  /// engine is alive call this directly.
+  void flush_stats() {
+    if (metrics_ == nullptr) return;
+    const QueueStats& q = queue_.stats();
+    const EventPoolStats& p = queue_.pool_stats();
+    QueueStats dq{q.pushes - flushed_queue_.pushes, q.pops - flushed_queue_.pops,
+                  q.resizes - flushed_queue_.resizes, q.max_depth};
+    EventPoolStats dp{p.acquired - flushed_pool_.acquired,
+                      p.released - flushed_pool_.released,
+                      p.overflow - flushed_pool_.overflow, p.max_in_use,
+                      p.slots};
+    metrics_->on_engine_stats(queue_policy_name(queue_.policy()), dq, dp,
+                              !stats_flushed_);
+    stats_flushed_ = true;
+    flushed_queue_ = q;
+    flushed_pool_ = p;
+  }
+
  private:
-  enum class EventKind { kMessage, kTimer };
-
-  struct Event {
-    Time time;
-    std::uint64_t seq;  // FIFO tie-break for equal timestamps
-    EntityId from;
-    EntityId to;
-    EventKind kind;
-    std::uint64_t timer_id;
-    std::shared_ptr<std::any> payload;
-    Time sent_at;  // enqueue time, for delivery-delay instrumentation
-  };
-
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
   /// One offloaded job awaiting its barrier. Exactly one of `apply`
   /// (inline mode) or `result` (worker mode) carries the Apply.
   struct Pending {
@@ -277,7 +310,7 @@ class Engine {
   std::vector<Entity*> entities_;
   std::vector<const char*> kinds_;
   std::vector<std::uint32_t> busy_;  // in-flight offload jobs per entity
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  EventQueue queue_;
   std::vector<Pending> pending_;  // submission-order apply queue
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
@@ -285,6 +318,9 @@ class Engine {
   std::uint64_t messages_sent_ = 0;
   EngineMetrics* metrics_ = nullptr;
   Executor* executor_ = nullptr;
+  bool stats_flushed_ = false;    // this engine already counted in "engines"
+  QueueStats flushed_queue_;      // snapshot at last flush (delta reporting)
+  EventPoolStats flushed_pool_;
 };
 
 }  // namespace kgrid::sim

@@ -1,0 +1,623 @@
+// Event storage for sim::Engine: a slab-allocated event pool plus a
+// pluggable (time, seq) scheduler.
+//
+// The engine's hot loop at grid scale is push/pop on the pending-event set.
+// The seed implementation kept a binary std::priority_queue of ~64-byte
+// events, each carrying a std::shared_ptr<std::any> payload — two heap
+// allocations per message and fat sift copies per level. This header
+// replaces that with
+//
+//   * EventPool — events live in fixed 1024-slot slabs and are recycled
+//     through a freelist, so a steady-state run allocates no events at all
+//     (the pool only grows while the in-flight high-water mark grows);
+//   * CalendarQueue — a Brown-style calendar queue over 24-byte entries
+//     {time, seq, pool handle, target}, with bucket width adapted to the
+//     observed event rate (the simulator's link-delay distribution). O(1)
+//     amortized push/pop makes it the benchmarked default
+//     (bench/engine_micro.cpp);
+//   * DaryHeap — an indexed d-ary min-heap over the same entries; 4-ary
+//     and 8-ary instantiations are kept as O(log n) comparison points and
+//     as the conservative fallback;
+//   * the legacy binary-heap policy — std::push_heap/pop_heap over fat
+//     events with a per-message shared_ptr payload, reproducing the seed's
+//     cost structure byte for byte. It exists for differential testing
+//     (tests/sim/queue_fuzz_test.cpp) and as the "before" series of
+//     BENCH_engine_micro.json.
+//
+// Every policy is a stable total order on (time, seq), so the delivery
+// sequence — and therefore every protocol trace — is identical across
+// policies (the determinism contract of docs/ARCHITECTURE.md).
+//
+// QueueStats/EventPoolStats are counted unconditionally (plain integer
+// increments); they surface through EngineMetrics as the artifact's
+// sim.queue / sim.event_pool sections (docs/METRICS.md).
+#pragma once
+
+#include <algorithm>
+#include <any>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/payload.hpp"
+#include "util/check.hpp"
+
+namespace kgrid::sim {
+
+using Time = double;
+using EntityId = std::uint32_t;
+
+enum class EventKind : std::uint8_t { kMessage, kTimer };
+
+/// Scheduler selection. All policies deliver the identical (time, seq)
+/// order; they differ only in constant factors.
+enum class QueuePolicy {
+  kCalendar,  // pooled events + adaptive calendar queue (default)
+  kDary4,     // pooled events + 4-ary indexed heap
+  kDary8,     // pooled events + 8-ary indexed heap
+  kLegacy,    // seed-structure binary heap, shared_ptr payloads
+};
+
+inline const char* queue_policy_name(QueuePolicy p) {
+  switch (p) {
+    case QueuePolicy::kCalendar: return "calendar";
+    case QueuePolicy::kDary4: return "dary4";
+    case QueuePolicy::kDary8: return "dary8";
+    case QueuePolicy::kLegacy: return "legacy";
+  }
+  return "unknown";
+}
+
+/// One scheduled event, fully materialized (what Engine::step consumes).
+struct Event {
+  Time time = 0.0;
+  Time sent_at = 0.0;  // enqueue time, for delivery-delay instrumentation
+  std::uint64_t seq = 0;  // FIFO tie-break for equal timestamps
+  std::uint64_t timer_id = 0;
+  EntityId from = 0;
+  EntityId to = 0;
+  EventKind kind = EventKind::kTimer;
+  Payload payload;
+};
+
+struct QueueStats {
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t resizes = 0;    // backing-array growths (capacity doublings)
+  std::uint64_t max_depth = 0;  // pending-event high-water mark
+};
+
+struct EventPoolStats {
+  std::uint64_t acquired = 0;
+  std::uint64_t released = 0;
+  std::uint64_t overflow = 0;    // slab allocations beyond the first
+  std::uint64_t max_in_use = 0;  // in-flight high-water mark
+  std::uint64_t slots = 0;       // current capacity (slabs * slab size)
+};
+
+/// Slab allocator with freelist recycling. Handles are stable (slabs never
+/// move), so heap entries can reference events by index while the payloads
+/// stay put.
+class EventPool {
+ public:
+  using Handle = std::uint32_t;
+  static constexpr std::size_t kSlabEvents = 1024;
+
+  Handle acquire() {
+    if (free_.empty()) grow();
+    const Handle h = free_.back();
+    free_.pop_back();
+    ++stats_.acquired;
+    const std::uint64_t in_use = stats_.acquired - stats_.released;
+    if (in_use > stats_.max_in_use) stats_.max_in_use = in_use;
+    return h;
+  }
+
+  /// Return a slot to the freelist. The payload is cleared eagerly so a
+  /// parked slot never pins a message body (a COW ciphertext would
+  /// otherwise stay alive until the slot's next reuse).
+  void release(Handle h) {
+    (*this)[h].payload = Payload();
+    ++stats_.released;
+    free_.push_back(h);
+  }
+
+  Event& operator[](Handle h) {
+    return slabs_[h / kSlabEvents][h % kSlabEvents];
+  }
+
+  const EventPoolStats& stats() const { return stats_; }
+
+ private:
+  void grow() {
+    KGRID_CHECK(slabs_.size() < (std::uint64_t{1} << 22),
+                "event pool exhausted (2^32 events in flight)");
+    slabs_.push_back(std::make_unique<Event[]>(kSlabEvents));
+    if (slabs_.size() > 1) ++stats_.overflow;
+    stats_.slots = slabs_.size() * kSlabEvents;
+    const auto base = static_cast<Handle>((slabs_.size() - 1) * kSlabEvents);
+    // Reverse order so the next acquires hand out ascending handles.
+    for (std::size_t i = kSlabEvents; i > 0; --i)
+      free_.push_back(base + static_cast<Handle>(i - 1));
+  }
+
+  std::vector<std::unique_ptr<Event[]>> slabs_;
+  std::vector<Handle> free_;
+  EventPoolStats stats_;
+};
+
+/// Indexed d-ary min-heap on (time, seq). Entries are 24 bytes and carry
+/// the delivery target so the engine's barrier check (is the next event's
+/// target busy?) never touches the pool.
+template <unsigned kArity>
+class DaryHeap {
+  static_assert(kArity >= 2, "heap arity");
+
+ public:
+  bool empty() const { return v_.empty(); }
+  std::size_t size() const { return v_.size(); }
+  Time top_time() const { return v_.front().time; }
+  EntityId top_to() const { return v_.front().to; }
+
+  /// Returns true when the backing array grew (for QueueStats::resizes).
+  bool push(Time time, std::uint64_t seq, EventPool::Handle handle,
+            EntityId to) {
+    const bool grew = v_.size() == v_.capacity();
+    v_.push_back(Entry{time, seq, handle, to});
+    sift_up(v_.size() - 1);
+    return grew;
+  }
+
+  EventPool::Handle pop() {
+    const EventPool::Handle out = v_.front().handle;
+    const Entry last = v_.back();
+    v_.pop_back();
+    if (!v_.empty()) sift_bounce(last);
+    return out;
+  }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    EventPool::Handle handle;
+    EntityId to;
+  };
+
+  /// Lexicographic (time, seq). Deliberately branchy: the tie-break arm is
+  /// rare enough to predict well, and two branchless variants measured
+  /// slower on the pop path (a cmov chain serializes the child scan on the
+  /// compare's data dependency, and a packed 128-bit bit_cast key with a
+  /// cmov tournament over full child groups lost ~40% — the wide compares
+  /// and index selects cost more than the mispredicts they remove).
+  static bool before(const Entry& a, const Entry& b) {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    const Entry e = v_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!before(e, v_[parent])) break;
+      v_[i] = v_[parent];
+      i = parent;
+    }
+    v_[i] = e;
+  }
+
+  /// Pop-path reheapify, bottom-bounce variant (libstdc++'s __adjust_heap
+  /// trick): sink the root hole to a leaf choosing the best child
+  /// unconditionally, then bubble the displaced tail entry back up. The
+  /// tail entry nearly always belongs near the leaves, so skipping the
+  /// per-level early-exit compare is a net win.
+  void sift_bounce(const Entry& e) {
+    const std::size_t n = v_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = i * kArity + 1;
+      if (first >= n) break;
+      const std::size_t last = std::min(first + kArity, n);
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < last; ++c)
+        if (before(v_[c], v_[best])) best = c;
+      v_[i] = v_[best];
+      i = best;
+    }
+    v_[i] = e;
+    sift_up(i);
+  }
+
+  std::vector<Entry> v_;
+};
+
+/// Brown-style calendar queue (R. Brown, CACM 1988): a ring of time buckets
+/// of width `w`, where bucket `floor(t / w)` holds the events of that time
+/// slice. Pushes are an index computation plus a push_back; pops drain the
+/// current bucket (sorted on first arrival, min at the back) and advance the
+/// cursor. Both are O(1) amortized when `w` tracks the event rate, which is
+/// why this is the benchmarked default over the O(log n) heaps.
+///
+/// Three departures from the textbook structure keep the engine's exact
+/// (time, seq) total order and unbounded time horizon:
+///
+///   * ring span — the ring covers absolute buckets
+///     [cur_b, cur_b + nbuckets); events beyond it wait in a small `far`
+///     min-heap and migrate as the cursor advances, so one ring slot never
+///     mixes two "years" and a distant timer costs a heap op, not a scan.
+///   * behind-cursor pushes — a zero-delay send can target a time whose
+///     bucket the cursor already passed (the cursor sits at the *next*
+///     event's bucket, which may be ahead of now). Such events sorted-insert
+///     into the current bucket instead: every entry there has a strictly
+///     later timestamp, so the (time, seq) sort puts them at the pop end and
+///     the total order is preserved.
+///   * adaptive width — the width is re-derived from the spread of the last
+///     kHist pops (≈ kTargetPerBucket events per bucket) whenever the
+///     pending count doubles/quarters or drifts 4x away from the ideal;
+///     rebuilds redistribute every entry and count as QueueStats::resizes.
+class CalendarQueue {
+ public:
+  bool empty() const { return n_ == 0; }
+  std::size_t size() const { return n_; }
+
+  /// Precondition: !empty(). The current bucket is kept non-empty and
+  /// sorted (class invariant), so peeking never mutates.
+  Time top_time() const { return cur_bucket().back().time; }
+  EntityId top_to() const { return cur_bucket().back().to; }
+
+  /// Returns true when the calendar was rebuilt (for QueueStats::resizes).
+  bool push(Time time, std::uint64_t seq, EventPool::Handle handle,
+            EntityId to) {
+    KGRID_CHECK(time >= 0.0, "negative event time");
+    const bool rebuilt = maybe_rebuild();
+    if (n_ == 0) cur_b_ = bucket_of(time);
+    insert(Entry{time, seq, handle, to});
+    ++n_;
+    return rebuilt;
+  }
+
+  /// Precondition: !empty().
+  EventPool::Handle pop() {
+    auto& vec = buckets_[cur_b_ & mask_];
+    const Entry out = vec.back();
+    vec.pop_back();
+    --n_;
+    --ring_count_;
+    note_pop(out.time);
+    if (n_ > 0) advance_to_nonempty();
+    return out.handle;
+  }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    EventPool::Handle handle;
+    EntityId to;
+  };
+
+  static constexpr std::size_t kMinBuckets = 256;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
+  static constexpr std::size_t kHist = 64;  // pop-rate sample window
+  static constexpr double kTargetPerBucket = 4.0;
+  static constexpr std::uint64_t kCheckEvery = 4096;  // width-drift cadence
+
+  static bool before(const Entry& a, const Entry& b) {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  }
+  /// Buckets sort descending so the minimum pops from the back.
+  static bool desc(const Entry& a, const Entry& b) { return before(b, a); }
+  /// `far_` is a min-heap under std::push_heap's max-at-front convention.
+  static bool far_after(const Entry& a, const Entry& b) { return before(b, a); }
+
+  std::uint64_t bucket_of(Time t) const {
+    return static_cast<std::uint64_t>(t * inv_w_);
+  }
+  std::vector<Entry>& cur_bucket() { return buckets_[cur_b_ & mask_]; }
+  const std::vector<Entry>& cur_bucket() const {
+    return buckets_[cur_b_ & mask_];
+  }
+
+  void insert(const Entry& e) {
+    const std::uint64_t b = bucket_of(e.time);
+    if (b <= cur_b_) {
+      // Behind or at the cursor: sorted-insert into the current bucket
+      // (see class comment — order-safe because everything there is later).
+      auto& vec = cur_bucket();
+      vec.insert(std::lower_bound(vec.begin(), vec.end(), e, desc), e);
+      ++ring_count_;
+    } else if (b - cur_b_ < buckets_.size()) {
+      buckets_[b & mask_].push_back(e);
+      ++ring_count_;
+    } else {
+      far_.push_back(e);
+      std::push_heap(far_.begin(), far_.end(), far_after);
+    }
+  }
+
+  /// Restore the invariant after a pop: cursor on a non-empty, sorted
+  /// bucket. Empty ring jumps straight to the far-heap minimum instead of
+  /// scanning (a sparse timer wheel would otherwise walk every slot).
+  void advance_to_nonempty() {
+    while (cur_bucket().empty()) {
+      if (ring_count_ == 0) {
+        cur_b_ = bucket_of(far_.front().time);
+      } else {
+        ++cur_b_;
+      }
+      drain_far();
+      auto& vec = cur_bucket();
+      if (!vec.empty()) std::sort(vec.begin(), vec.end(), desc);
+    }
+  }
+
+  /// Move far events whose bucket entered the ring span.
+  void drain_far() {
+    const std::uint64_t end = cur_b_ + buckets_.size();
+    while (!far_.empty() && bucket_of(far_.front().time) < end) {
+      std::pop_heap(far_.begin(), far_.end(), far_after);
+      const Entry e = far_.back();
+      far_.pop_back();
+      buckets_[bucket_of(e.time) & mask_].push_back(e);
+      ++ring_count_;
+    }
+  }
+
+  void note_pop(Time t) {
+    hist_[hist_idx_] = t;
+    hist_idx_ = (hist_idx_ + 1) % kHist;
+    if (hist_idx_ == 0) hist_full_ = true;
+  }
+
+  /// Ideal width from the pop-rate window: kTargetPerBucket events per
+  /// bucket at the observed rate. 0 when there is no estimate yet.
+  double ideal_width() const {
+    if (!hist_full_) return 0.0;
+    // hist_idx_ points at the oldest sample (next to be overwritten).
+    const double span = hist_[(hist_idx_ + kHist - 1) % kHist] - hist_[hist_idx_];
+    if (!(span > 0.0)) return 0.0;
+    return kTargetPerBucket * span / static_cast<double>(kHist - 1);
+  }
+
+  bool maybe_rebuild() {
+    bool need = n_ + 1 > 2 * built_n_;
+    if (++ops_since_check_ >= kCheckEvery) {
+      ops_since_check_ = 0;
+      if (4 * (n_ + 1) < built_n_ && built_n_ > 2 * kMinBuckets) need = true;
+      const double ideal = ideal_width();
+      if (ideal > 0.0 && (w_ > 4.0 * ideal || 4.0 * w_ < ideal)) need = true;
+    }
+    if (need) rebuild();
+    return need;
+  }
+
+  void rebuild() {
+    std::vector<Entry> all;
+    all.reserve(n_);
+    for (auto& vec : buckets_) {
+      all.insert(all.end(), vec.begin(), vec.end());
+      vec.clear();
+    }
+    all.insert(all.end(), far_.begin(), far_.end());
+    far_.clear();
+
+    const double ideal = ideal_width();
+    if (ideal > 0.0) {
+      w_ = std::clamp(ideal, 1e-12, 1e12);
+      inv_w_ = 1.0 / w_;
+    }
+    std::size_t nb = kMinBuckets;
+    while (nb < all.size() && nb < kMaxBuckets) nb <<= 1;
+    buckets_.assign(nb, {});
+    mask_ = nb - 1;
+    built_n_ = std::max<std::size_t>(kMinBuckets / kTargetPerBucket,
+                                     all.size());
+    ring_count_ = 0;
+    n_ = 0;
+    if (all.empty()) return;
+
+    const Entry* min = &all.front();
+    for (const Entry& e : all)
+      if (before(e, *min)) min = &e;
+    cur_b_ = bucket_of(min->time);
+    for (const Entry& e : all) insert(e);
+    n_ = all.size();
+    auto& vec = cur_bucket();
+    std::sort(vec.begin(), vec.end(), desc);
+  }
+
+  double w_ = 1.0 / 64.0;
+  double inv_w_ = 64.0;
+  std::uint64_t mask_ = kMinBuckets - 1;
+  std::uint64_t cur_b_ = 0;
+  std::size_t n_ = 0;
+  std::size_t ring_count_ = 0;          // entries in buckets_ (rest in far_)
+  std::size_t built_n_ = kMinBuckets / 4;  // pending count at last rebuild
+  std::uint64_t ops_since_check_ = 0;
+  std::vector<std::vector<Entry>> buckets_{kMinBuckets};
+  std::vector<Entry> far_;
+  double hist_[kHist] = {};
+  std::size_t hist_idx_ = 0;
+  bool hist_full_ = false;
+};
+
+/// The engine's pending-event set under the selected policy.
+class EventQueue {
+ public:
+  explicit EventQueue(QueuePolicy policy) : policy_(policy) {}
+
+  QueuePolicy policy() const { return policy_; }
+  bool empty() const { return size() == 0; }
+
+  std::size_t size() const {
+    switch (policy_) {
+      case QueuePolicy::kCalendar: return cal_.size();
+      case QueuePolicy::kDary4: return d4_.size();
+      case QueuePolicy::kDary8: return d8_.size();
+      case QueuePolicy::kLegacy: return legacy_.size();
+    }
+    return 0;
+  }
+
+  /// Timestamp / target of the minimum-(time, seq) event. Precondition:
+  /// !empty(). The engine's barrier triggers are pure functions of these
+  /// two views, so they are identical across policies.
+  Time top_time() const {
+    switch (policy_) {
+      case QueuePolicy::kCalendar: return cal_.top_time();
+      case QueuePolicy::kDary4: return d4_.top_time();
+      case QueuePolicy::kDary8: return d8_.top_time();
+      default: return legacy_.front().time;
+    }
+  }
+
+  EntityId top_to() const {
+    switch (policy_) {
+      case QueuePolicy::kCalendar: return cal_.top_to();
+      case QueuePolicy::kDary4: return d4_.top_to();
+      case QueuePolicy::kDary8: return d8_.top_to();
+      default: return legacy_.front().to;
+    }
+  }
+
+  /// `payload` may be a Payload or any message type Payload accepts; it is
+  /// constructed directly in the pool slot (no intermediate Payload moves).
+  template <class P>
+  void push(Time time, std::uint64_t seq, EntityId from, EntityId to,
+            EventKind kind, std::uint64_t timer_id, P&& payload,
+            Time sent_at) {
+    ++stats_.pushes;
+    if (policy_ == QueuePolicy::kLegacy) {
+      if (legacy_.size() == legacy_.capacity()) ++stats_.resizes;
+      // Seed structure verbatim: the caller's message was type-erased into a
+      // std::any (one heap block for anything past the SBO) and that any was
+      // wrapped in a shared_ptr (a second block for the control+object pair);
+      // ciphertext bodies had value semantics, so every boxed message owned
+      // a private copy (detach() undoes the COW sharing).
+      std::shared_ptr<std::any> boxed;
+      if (kind == EventKind::kMessage) {
+        boxed = std::make_shared<std::any>(std::in_place_type<Payload>,
+                                           std::forward<P>(payload));
+        std::any_cast<Payload>(boxed.get())->detach();
+      }
+      legacy_.push_back(LegacyEvent{time, seq, from, to, kind, timer_id,
+                                    std::move(boxed), sent_at});
+      std::push_heap(legacy_.begin(), legacy_.end(), LegacyAfter{});
+    } else {
+      const EventPool::Handle h = pool_.acquire();
+      Event& slot = pool_[h];
+      slot.time = time;
+      slot.sent_at = sent_at;
+      slot.seq = seq;
+      slot.timer_id = timer_id;
+      slot.from = from;
+      slot.to = to;
+      slot.kind = kind;
+      slot.payload.assign(std::forward<P>(payload));
+      bool grew = false;
+      switch (policy_) {
+        case QueuePolicy::kCalendar: grew = cal_.push(time, seq, h, to); break;
+        case QueuePolicy::kDary4: grew = d4_.push(time, seq, h, to); break;
+        default: grew = d8_.push(time, seq, h, to); break;
+      }
+      if (grew) ++stats_.resizes;
+    }
+    if (size() > stats_.max_depth) stats_.max_depth = size();
+  }
+
+  /// The minimum event, popped from the scheduler but not yet recycled:
+  /// small metadata copies plus a pointer to the payload, which stays in
+  /// its pool slot (or the legacy staging area) until finish(). This is the
+  /// zero-copy delivery path — the message body is never moved between the
+  /// sender's push and the receiving handler.
+  struct Popped {
+    Time time;
+    Time sent_at;
+    std::uint64_t seq;
+    std::uint64_t timer_id;
+    EntityId from;
+    EntityId to;
+    EventKind kind;
+    EventPool::Handle handle;  // pool slot; unused under kLegacy
+    Payload* payload;          // null for timers under kLegacy
+  };
+
+  /// Remove the minimum-(time, seq) event. Precondition: !empty(). The
+  /// caller must finish() the returned event after dispatching it; exactly
+  /// one event may be in flight at a time (Engine::step is not reentrant).
+  /// Handlers may push() while an event is in flight — slabs are stable and
+  /// the in-flight slot is not on the freelist, so the payload stays put.
+  Popped pop() {
+    ++stats_.pops;
+    if (policy_ == QueuePolicy::kLegacy) {
+      // The seed read `Event ev = queue_.top()` before popping — a full
+      // fat-event copy (shared_ptr refcount pair included), reproduced here
+      // as copy-then-pop rather than move-from-back.
+      staging_ = legacy_.front();
+      std::pop_heap(legacy_.begin(), legacy_.end(), LegacyAfter{});
+      legacy_.pop_back();
+      // Seed delivery path: unwrap the shared any (any_cast's typeid check
+      // included) before the handler sees the message.
+      Payload* payload = staging_.payload == nullptr
+                             ? nullptr
+                             : std::any_cast<Payload>(staging_.payload.get());
+      return {staging_.time, staging_.sent_at,  staging_.seq,
+              staging_.timer_id, staging_.from, staging_.to,
+              staging_.kind,     0,             payload};
+    }
+    EventPool::Handle h = 0;
+    switch (policy_) {
+      case QueuePolicy::kCalendar: h = cal_.pop(); break;
+      case QueuePolicy::kDary4: h = d4_.pop(); break;
+      default: h = d8_.pop(); break;
+    }
+    Event& slot = pool_[h];
+    return {slot.time, slot.sent_at, slot.seq, slot.timer_id, slot.from,
+            slot.to,   slot.kind,    h,        &slot.payload};
+  }
+
+  /// Recycle the slot behind a pop() once its handler has returned.
+  void finish(const Popped& ev) {
+    if (policy_ == QueuePolicy::kLegacy)
+      staging_.payload.reset();  // the seed freed the event at end of step
+    else
+      pool_.release(ev.handle);
+  }
+
+  const QueueStats& stats() const { return stats_; }
+  const EventPoolStats& pool_stats() const { return pool_.stats(); }
+
+ private:
+  /// The seed engine's event representation: fat struct, heap-allocated
+  /// shared std::any payload per message, binary heap (std::priority_queue
+  /// is push_heap/pop_heap over a vector — spelled out here so capacity
+  /// growth is observable for QueueStats::resizes).
+  struct LegacyEvent {
+    Time time;
+    std::uint64_t seq;
+    EntityId from;
+    EntityId to;
+    EventKind kind;
+    std::uint64_t timer_id;
+    std::shared_ptr<std::any> payload;
+    Time sent_at;
+  };
+
+  struct LegacyAfter {
+    bool operator()(const LegacyEvent& a, const LegacyEvent& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  QueuePolicy policy_;
+  EventPool pool_;
+  CalendarQueue cal_;
+  DaryHeap<4> d4_;
+  DaryHeap<8> d8_;
+  std::vector<LegacyEvent> legacy_;
+  LegacyEvent staging_;  // the in-flight legacy event between pop and finish
+  QueueStats stats_;
+};
+
+}  // namespace kgrid::sim

@@ -18,6 +18,7 @@
 
 #include <cxxabi.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <map>
@@ -29,6 +30,7 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "sim/event_queue.hpp"
 
 namespace kgrid::sim {
 
@@ -65,6 +67,30 @@ class EngineMetrics {
     if (depth > max_queue_depth_) max_queue_depth_ = depth;
   }
 
+  /// Engine::flush_stats() pushes the queue/event-pool counters here as
+  /// deltas since the previous flush (so repeated flushes never double
+  /// count); maxima merge by max. `first_flush` is true the first time a
+  /// given engine reports, which is when it joins the `engines` count.
+  void on_engine_stats(std::string_view queue_kind, const QueueStats& queue,
+                       const EventPoolStats& pool, bool first_flush) {
+    if (first_flush) {
+      ++queue_engines_;
+      if (queue_kind_.empty())
+        queue_kind_ = queue_kind;
+      else if (queue_kind_ != queue_kind)
+        queue_kind_ = "mixed";
+    }
+    queue_.pushes += queue.pushes;
+    queue_.pops += queue.pops;
+    queue_.resizes += queue.resizes;
+    queue_.max_depth = std::max(queue_.max_depth, queue.max_depth);
+    pool_.acquired += pool.acquired;
+    pool_.released += pool.released;
+    pool_.overflow += pool.overflow;
+    pool_.max_in_use = std::max(pool_.max_in_use, pool.max_in_use);
+    pool_.slots = std::max(pool_.slots, pool.slots);
+  }
+
   void advance_time(double dt) { sim_time_ += dt; }
 
   // -- Read side --
@@ -72,6 +98,9 @@ class EngineMetrics {
   double sim_time() const { return sim_time_; }
   std::uint64_t events_processed() const { return events_; }
   std::uint64_t max_queue_depth() const { return max_queue_depth_; }
+  const QueueStats& queue_stats() const { return queue_; }
+  const EventPoolStats& event_pool_stats() const { return pool_; }
+  const std::string& queue_kind() const { return queue_kind_; }
   const std::map<std::string, KindStats, std::less<>>& by_kind() const {
     return kinds_;
   }
@@ -114,6 +143,21 @@ class EngineMetrics {
       entities.set(kind, std::move(k));
     }
     j.set("entities", std::move(entities));
+    obs::Json queue = obs::Json::object();
+    queue.set("kind", queue_kind_.empty() ? std::string("none") : queue_kind_);
+    queue.set("engines", queue_engines_);
+    queue.set("pushes", queue_.pushes);
+    queue.set("pops", queue_.pops);
+    queue.set("resizes", queue_.resizes);
+    queue.set("max_depth", queue_.max_depth);
+    j.set("queue", std::move(queue));
+    obs::Json pool = obs::Json::object();
+    pool.set("acquired", pool_.acquired);
+    pool.set("released", pool_.released);
+    pool.set("overflow", pool_.overflow);
+    pool.set("max_in_use", pool_.max_in_use);
+    pool.set("slots", pool_.slots);
+    j.set("event_pool", std::move(pool));
     obs::Json types = obs::Json::object();
     for (const auto& [name, stats] : types_) {
       obs::Json t = obs::Json::object();
@@ -161,6 +205,10 @@ class EngineMetrics {
   std::uint64_t events_ = 0;
   std::uint64_t max_queue_depth_ = 0;
   double sim_time_ = 0.0;
+  QueueStats queue_;
+  EventPoolStats pool_;
+  std::uint64_t queue_engines_ = 0;
+  std::string queue_kind_;
 };
 
 }  // namespace kgrid::sim

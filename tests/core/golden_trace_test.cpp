@@ -41,5 +41,91 @@ TEST(GoldenTrace, EventDrivenDisciplineMatchesPreExecutorEngine) {
             0x8275f31088db4279ull);
 }
 
+core::SecureGridConfig event_driven_config() {
+  core::SecureGridConfig cfg;
+  cfg.env.n_resources = 8;
+  cfg.env.seed = 21;
+  cfg.env.quest.n_items = 6;
+  cfg.env.quest.n_transactions = 160;
+  cfg.secure.k = 3;
+  cfg.secure.event_driven = true;
+  return cfg;
+}
+
+constexpr sim::QueuePolicy kAllPolicies[] = {
+    sim::QueuePolicy::kCalendar, sim::QueuePolicy::kDary4,
+    sim::QueuePolicy::kDary8, sim::QueuePolicy::kLegacy};
+
+// The determinism contract across the queue/pool rebuild: every scheduler
+// policy, at every thread count, reproduces the frozen pre-executor traces
+// bit for bit. (kLegacy reproduces the seed's cost structure; the calendar
+// and d-ary policies must deliver the identical (time, seq) order on top of
+// the slab pool.)
+TEST(GoldenTrace, QueuePolicyAndThreadCountLeaveTracesUnchanged) {
+  for (const sim::QueuePolicy policy : kAllPolicies) {
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      core::SecureGridConfig cfg = event_driven_config();
+      cfg.threads = threads;
+      cfg.queue_policy = policy;
+      core::SecureGrid grid(cfg);
+      grid.run_steps(25);
+      EXPECT_EQ(test::fnv1a(test::grid_fingerprint(grid)),
+                0x8275f31088db4279ull)
+          << "policy=" << sim::queue_policy_name(policy)
+          << " threads=" << threads;
+    }
+  }
+}
+
+TEST(GoldenTrace, BatchedDisciplineIsPolicyInvariant) {
+  for (const sim::QueuePolicy policy : kAllPolicies) {
+    core::SecureGridConfig cfg;
+    cfg.env.n_resources = 12;
+    cfg.env.seed = 7;
+    cfg.env.quest.n_items = 8;
+    cfg.env.quest.n_transactions = 240;
+    cfg.env.initial_fraction = 0.5;
+    cfg.secure.k = 4;
+    cfg.secure.arrivals_per_step = 5;
+    cfg.threads = 2;
+    cfg.queue_policy = policy;
+    core::SecureGrid grid(cfg);
+    grid.run_steps(40);
+    EXPECT_EQ(test::fnv1a(test::grid_fingerprint(grid)),
+              0x24762fb198c29b5full)
+        << "policy=" << sim::queue_policy_name(policy);
+  }
+}
+
+// max_queue_depth is a pure function of the (time, seq) stream, so the
+// instrumented high-water mark — and the engine's own always-on counter —
+// must agree between queue policies.
+TEST(GoldenTrace, MaxQueueDepthAgreesAcrossQueuePolicies) {
+  struct Depths {
+    std::uint64_t metrics;
+    std::uint64_t engine;
+  };
+  const auto run = [](sim::QueuePolicy policy) -> Depths {
+    core::SecureGridConfig cfg = event_driven_config();
+    cfg.threads = 1;
+    cfg.queue_policy = policy;
+    core::SecureGrid grid(cfg);
+    sim::EngineMetrics metrics;
+    grid.engine().attach_metrics(&metrics);
+    grid.run_steps(25);
+    return {metrics.max_queue_depth(), grid.engine().queue_stats().max_depth};
+  };
+  const Depths reference = run(sim::QueuePolicy::kLegacy);
+  EXPECT_GT(reference.engine, 0u);
+  for (const sim::QueuePolicy policy :
+       {sim::QueuePolicy::kCalendar, sim::QueuePolicy::kDary4,
+        sim::QueuePolicy::kDary8}) {
+    const Depths got = run(policy);
+    EXPECT_EQ(got.metrics, reference.metrics)
+        << sim::queue_policy_name(policy);
+    EXPECT_EQ(got.engine, reference.engine) << sim::queue_policy_name(policy);
+  }
+}
+
 }  // namespace
 }  // namespace kgrid

@@ -33,6 +33,9 @@ TEST(BenchReport, DefaultsToEmptySimSection) {
 
 TEST(BenchReport, SectionsAppendAfterSeries) {
   BenchReport report("unit_test");
+  Json row = Json::object();
+  row.set("step", 1);
+  report.add_row(std::move(row));
   Json protocol = Json::object();
   protocol.set("gate_reveals", 3);
   report.set_section("protocol", std::move(protocol));
@@ -90,6 +93,73 @@ TEST(ValidateBenchJson, RejectsNonObjectSeriesRow) {
   series.push_back(7);
   j.set("series", std::move(series));
   EXPECT_NE(validate_bench_json(j), "");
+}
+
+TEST(ValidateBenchJson, RejectsEmptySeries) {
+  Json j = valid_report_json();
+  j.set("series", Json::array());
+  const std::string err = validate_bench_json(j);
+  EXPECT_NE(err.find("series"), std::string::npos) << err;
+}
+
+TEST(ValidateBenchJson, RejectsMissingQueueSectionWhenEventsFlowed) {
+  Json j = valid_report_json();
+  Json sim = *j.find("sim");
+  sim.set("events_processed", 42);
+  Json stripped = Json::object();
+  for (const auto& [key, v] : sim.items())
+    if (key != "queue") stripped.set(key, v);
+  j.set("sim", std::move(stripped));
+  const std::string err = validate_bench_json(j);
+  EXPECT_NE(err.find("sim.queue missing"), std::string::npos) << err;
+}
+
+TEST(ValidateBenchJson, RejectsAllZeroQueueCountersWhenEventsFlowed) {
+  Json j = valid_report_json();
+  Json sim = *j.find("sim");
+  sim.set("events_processed", 42);  // queue counters still zero
+  j.set("sim", std::move(sim));
+  const std::string err = validate_bench_json(j);
+  EXPECT_NE(err.find("all zero"), std::string::npos) << err;
+}
+
+TEST(ValidateBenchJson, AcceptsLiveQueueCountersWhenEventsFlowed) {
+  Json j = valid_report_json();
+  Json sim = *j.find("sim");
+  sim.set("events_processed", 42);
+  Json queue = *sim.find("queue");
+  queue.set("kind", "dary4");
+  queue.set("pushes", 42);
+  queue.set("pops", 42);
+  sim.set("queue", std::move(queue));
+  j.set("sim", std::move(sim));
+  EXPECT_EQ(validate_bench_json(j), "");
+}
+
+TEST(ValidateBenchJson, RejectsMalformedEventPool) {
+  Json j = valid_report_json();
+  Json sim = *j.find("sim");
+  Json pool = *sim.find("event_pool");
+  // Drop one required counter.
+  Json stripped = Json::object();
+  for (const auto& [key, v] : pool.items())
+    if (key != "max_in_use") stripped.set(key, v);
+  sim.set("event_pool", std::move(stripped));
+  j.set("sim", std::move(sim));
+  const std::string err = validate_bench_json(j);
+  EXPECT_NE(err.find("max_in_use"), std::string::npos) << err;
+}
+
+// Artifacts written before the queue/pool counters existed omit both
+// sections; they stay valid as long as they processed no events.
+TEST(ValidateBenchJson, AcceptsPreQueueArtifactsWithoutEvents) {
+  Json j = valid_report_json();
+  Json sim = *j.find("sim");
+  Json stripped = Json::object();
+  for (const auto& [key, v] : sim.items())
+    if (key != "queue" && key != "event_pool") stripped.set(key, v);
+  j.set("sim", std::move(stripped));
+  EXPECT_EQ(validate_bench_json(j), "");
 }
 
 TEST(ValidateBenchJson, RejectsMalformedEntityClass) {

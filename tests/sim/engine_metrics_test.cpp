@@ -18,7 +18,7 @@ class Relay : public Entity {
   EntityId peer = 0;
   int budget = 0;
 
-  void on_message(Engine& engine, EntityId /*from*/, std::any& payload) override {
+  void on_message(Engine& engine, EntityId /*from*/, Payload& payload) override {
     if (budget-- > 0) engine.send(self, peer, 1.0, payload);
   }
 
@@ -145,6 +145,41 @@ TEST(EngineMetrics, IdenticalSeededRunsExportIdenticalJson) {
 
   const RunResult c = instrumented_run(987);
   EXPECT_NE(c.metrics_json, a.metrics_json);  // delays differ with the seed
+}
+
+TEST(EngineMetrics, QueueAndPoolCountersFlushAsDeltas) {
+  EngineMetrics metrics;
+  {
+    Engine engine;  // default policy: calendar + event pool
+    engine.attach_metrics(&metrics);
+    Relay sink;  // budget 0: swallow the message
+    sink.self = engine.add_entity(&sink, "sink");
+    engine.send(sink.self, sink.self, 1.0, std::string("x"));
+    engine.run_to_quiescence(10);
+    engine.flush_stats();
+    engine.flush_stats();  // repeat flushes must not double-count
+  }  // destructor flush: nothing new since the explicit flush
+  EXPECT_EQ(metrics.queue_kind(), "calendar");
+  EXPECT_EQ(metrics.queue_stats().pushes, 1u);
+  EXPECT_EQ(metrics.queue_stats().pops, 1u);
+  EXPECT_EQ(metrics.queue_stats().max_depth, 1u);
+  EXPECT_EQ(metrics.event_pool_stats().acquired, 1u);
+  EXPECT_EQ(metrics.event_pool_stats().released, 1u);
+
+  const obs::Json j = metrics.to_json();
+  EXPECT_EQ(j.find("queue")->find("kind")->as_string(), "calendar");
+  EXPECT_EQ(j.find("queue")->find("engines")->as_uint(), 1u);
+  EXPECT_EQ(j.find("queue")->find("pushes")->as_uint(), 1u);
+  EXPECT_EQ(j.find("event_pool")->find("acquired")->as_uint(), 1u);
+}
+
+TEST(EngineMetrics, MixedQueuePoliciesReportMixedKind) {
+  EngineMetrics metrics;
+  { Engine e(QueuePolicy::kDary4); e.attach_metrics(&metrics); }
+  EXPECT_EQ(metrics.queue_kind(), "dary4");
+  { Engine e(QueuePolicy::kLegacy); e.attach_metrics(&metrics); }
+  EXPECT_EQ(metrics.queue_kind(), "mixed");
+  EXPECT_EQ(metrics.to_json().find("queue")->find("engines")->as_uint(), 2u);
 }
 
 TEST(EngineMetrics, DetachedEngineRunsUninstrumented) {

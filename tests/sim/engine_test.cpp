@@ -21,8 +21,8 @@ class Recorder : public Entity {
 
   explicit Recorder(std::vector<Record>* log) : log_(log) {}
 
-  void on_message(Engine& engine, EntityId from, std::any& payload) override {
-    log_->push_back({engine.now(), from, std::any_cast<std::string>(payload)});
+  void on_message(Engine& engine, EntityId from, Payload& payload) override {
+    log_->push_back({engine.now(), from, payload.get<std::string>()});
   }
 
   void on_timer(Engine& engine, std::uint64_t timer_id) override {
@@ -42,7 +42,7 @@ class Echo : public Entity {
   EntityId id = 0;
   int received = 0;
 
-  void on_message(Engine& engine, EntityId from, std::any& payload) override {
+  void on_message(Engine& engine, EntityId from, Payload& payload) override {
     ++received;
     if (budget_-- > 0) engine.send(id, from, delay_, payload);
   }

@@ -49,7 +49,7 @@ class Straggler : public sim::Entity {
     });
   }
 
-  void on_message(sim::Engine&, sim::EntityId, std::any&) override {}
+  void on_message(sim::Engine&, sim::EntityId, sim::Payload&) override {}
 
   sim::EntityId self_ = 0;
 

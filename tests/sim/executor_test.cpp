@@ -100,8 +100,8 @@ TEST(Executor, DefaultThreadsHonorsEnvironment) {
 
 class Recorder : public Entity {
  public:
-  void on_message(Engine&, EntityId from, std::any& payload) override {
-    log.push_back({from, std::any_cast<int>(payload)});
+  void on_message(Engine&, EntityId from, Payload& payload) override {
+    log.push_back({from, payload.get<int>()});
   }
   void on_timer(Engine& engine, std::uint64_t timer_id) override {
     // Offload a job whose apply sends a message tagged with the timer id.
@@ -136,7 +136,7 @@ TEST(EngineOffload, BusyEntityDefersDelivery) {
   struct Probe : Entity {
     bool apply_ran = false;
     bool delivered_after_apply = false;
-    void on_message(Engine&, EntityId, std::any&) override {
+    void on_message(Engine&, EntityId, Payload&) override {
       delivered_after_apply = apply_ran;
     }
   };
