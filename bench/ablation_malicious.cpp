@@ -3,6 +3,7 @@
 // recall of the honest resources.
 //
 //   ./ablation_malicious [--resources=16] [--threads=N] [--json[=PATH]]
+//                        [--trace_record=PATH] [--trace_replay=PATH]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
   sink.arg("attack_step", obs::Json(attack_step));
   sink.arg("threads", obs::Json(threads));
   sink.set_executor(&pool);
+  bench::TraceSource trace(cli, "ablation_malicious");
 
   std::printf("# Ablation: malicious broker behaviours "
               "(%zu resources, takeover at step %zu)\n",
@@ -57,7 +59,13 @@ int main(int argc, char** argv) {
                       attack_step};
     cfg.executor = &pool;
 
-    core::SecureGrid grid(cfg);
+    // Every behaviour mines the same workload; the env is recorded once
+    // and the per-behaviour schedules diverge only after the takeover.
+    const std::string cell_key = std::string("behaviour=") + name;
+    cfg.trace = trace.begin(cell_key);
+    core::SecureGrid grid(cfg, trace.env("workload", [&] {
+      return core::make_grid_env(cfg.env);
+    }));
     sink.attach(grid.engine());
     const auto reference = grid.env().reference({0.2, 0.8});
     // Detection = the grid broadcast *someone* as malicious. Algorithm 3
@@ -80,6 +88,7 @@ int main(int argc, char** argv) {
         }
       }
     }
+    trace.end(grid.engine());
     double honest_recall = 0;
     for (net::NodeId u = 1; u < grid.size(); ++u)
       honest_recall += arm::recall(grid.resource(u).interim(), reference);
@@ -108,5 +117,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(mute is undetectable by design: refusing to send is "
               "indistinguishable from a slow link.)\n");
-  return sink.write() ? 0 : 1;
+  if (trace.active()) sink.section("trace", trace.section());
+  const bool trace_ok = trace.finish();
+  return sink.write() && trace_ok ? 0 : 1;
 }

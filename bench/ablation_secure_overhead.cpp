@@ -8,6 +8,7 @@
 //
 //   ./ablation_secure_overhead [--resources=32] [--local=500]
 //                               [--threads=N] [--json[=PATH]]
+//                               [--trace_record=PATH] [--trace_replay=PATH]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
   sink.arg("local", obs::Json(local));
   sink.arg("threads", obs::Json(threads));
   sink.set_executor(&pool);
+  bench::TraceSource trace(cli, "ablation_secure_overhead");
 
   core::GridEnvConfig env_cfg;
   env_cfg.n_resources = resources;
@@ -47,11 +49,17 @@ int main(int argc, char** argv) {
     base.min_freq = thresholds.min_freq;
     base.min_conf = thresholds.min_conf;
     base.arrivals_per_step = 0;
-    core::BaselineGrid grid(env_cfg, base, threads);
+    core::BaselineGrid grid(env_cfg, base,
+                            trace.env("workload", [&] {
+                              return core::make_grid_env(env_cfg);
+                            }),
+                            threads, sim::QueuePolicy::kCalendar,
+                            trace.begin("variant=majority-rule"));
     sink.attach(grid.engine());
     const auto reference = grid.env().reference(thresholds);
     auto recall = [&] { return grid.average_recall(reference); };
     const std::size_t steps = bench::steps_to_target(grid, recall, 0.9, 400);
+    trace.end(grid.engine());
     std::printf("%-24s %14zu %14llu %14s\n", "majority-rule (plain)", steps,
                 static_cast<unsigned long long>(
                     grid.engine().messages_delivered()),
@@ -73,11 +81,15 @@ int main(int argc, char** argv) {
     cfg.secure.arrivals_per_step = 0;
     cfg.attach_monitor = true;
     cfg.executor = &pool;
-    core::SecureGrid grid(cfg);
+    cfg.trace = trace.begin("variant=secure/k=" + std::to_string(k));
+    core::SecureGrid grid(cfg, trace.env("workload", [&] {
+      return core::make_grid_env(cfg.env);
+    }));
     sink.attach(grid.engine());
     const auto reference = grid.env().reference(thresholds);
     auto recall = [&] { return grid.average_recall(reference); };
     const std::size_t steps = bench::steps_to_target(grid, recall, 0.9, 400);
+    trace.end(grid.engine());
     char name[64];
     std::snprintf(name, sizeof name, "secure-majority-rule k=%lld",
                   static_cast<long long>(k));
@@ -95,5 +107,7 @@ int main(int argc, char** argv) {
     row.set("protocol", grid.protocol_stats());
     sink.row(std::move(row));
   }
-  return sink.write() ? 0 : 1;
+  if (trace.active()) sink.section("trace", trace.section());
+  const bool trace_ok = trace.finish();
+  return sink.write() && trace_ok ? 0 : 1;
 }

@@ -1,0 +1,158 @@
+// The perf-regression gate: compare a committed BENCH_*.baseline.json
+// against one or more fresh --json runs of the same bench and fail on
+// regressions (obs/bench_diff.hpp; thresholds documented in
+// docs/BENCHMARKS.md).
+//
+//   ./bench_diff --baseline=BENCH_x.baseline.json RUN1.json [RUN2.json ...]
+//                [--time_tol_pct=25] [--rate_tol_pct=25] [--count_tol_pct=0]
+//                [--verdict=PATH]
+//
+// Multiple RUN files (repeated invocations of the same bench) are reduced
+// with a per-metric median before comparison — the median-of-k noise shield.
+// The verdict (schema kgrid.benchdiff.v1) is printed and optionally written
+// to --verdict=PATH for CI to archive.
+//
+// Exit status: 0 pass (improvements and new rows are informational),
+// 1 regression (or KGRID_BENCH_BASELINE_REFRESH unset and counts changed),
+// 2 usage/io/validation error.
+//
+// Set KGRID_BENCH_BASELINE_REFRESH=1 to report the comparison but exit 0
+// regardless — the documented escape hatch for intentional baseline bumps.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/bench_diff.hpp"
+#include "obs/bench_report.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+bool read_file(const char* path, std::string& out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, got);
+  std::fclose(f);
+  return true;
+}
+
+/// Parse + schema-validate one artifact; nullopt (with a message) on error.
+std::optional<kgrid::obs::Json> load_artifact(const char* path) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "bench_diff: %s: cannot read\n", path);
+    return std::nullopt;
+  }
+  auto parsed = kgrid::obs::Json::parse(text);
+  if (!parsed) {
+    std::fprintf(stderr, "bench_diff: %s: not valid JSON\n", path);
+    return std::nullopt;
+  }
+  const std::string err = kgrid::obs::validate_bench_json(*parsed);
+  if (!err.empty()) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", path, err.c_str());
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const kgrid::Cli cli(argc, argv);
+  const std::string baseline_path = cli.get("baseline", "");
+  std::vector<const char*> run_paths;
+  for (int i = 1; i < argc; ++i)
+    if (std::string_view(argv[i]).rfind("--", 0) != 0)
+      run_paths.push_back(argv[i]);
+  if (baseline_path.empty() || run_paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_diff --baseline=BASELINE.json RUN.json...\n"
+                 "       [--time_tol_pct=P] [--rate_tol_pct=P]\n"
+                 "       [--count_tol_pct=P] [--verdict=PATH]\n");
+    return 2;
+  }
+
+  const auto baseline = load_artifact(baseline_path.c_str());
+  if (!baseline) return 2;
+  std::vector<kgrid::obs::Json> runs;
+  runs.reserve(run_paths.size());
+  for (const char* path : run_paths) {
+    auto run = load_artifact(path);
+    if (!run) return 2;
+    runs.push_back(std::move(*run));
+  }
+
+  const std::string bench_name = baseline->find("bench")->as_string();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const std::string& run_name = runs[i].find("bench")->as_string();
+    if (run_name != bench_name) {
+      std::fprintf(stderr,
+                   "bench_diff: %s is bench \"%s\" but baseline %s is bench "
+                   "\"%s\" — refusing to compare different benches\n",
+                   run_paths[i], run_name.c_str(), baseline_path.c_str(),
+                   bench_name.c_str());
+      return 2;
+    }
+  }
+
+  kgrid::obs::DiffOptions options;
+  options.time_tol_pct = cli.get_double("time_tol_pct", options.time_tol_pct);
+  options.rate_tol_pct = cli.get_double("rate_tol_pct", options.rate_tol_pct);
+  options.count_tol_pct =
+      cli.get_double("count_tol_pct", options.count_tol_pct);
+
+  std::vector<const kgrid::obs::Json*> run_ptrs;
+  for (const kgrid::obs::Json& run : runs) run_ptrs.push_back(&run);
+  const kgrid::obs::DiffResult result =
+      kgrid::obs::diff_bench(*baseline, run_ptrs, options);
+
+  for (const kgrid::obs::DiffEntry& e : result.entries) {
+    const bool fatal = kgrid::obs::diff_status_is_regression(e.status);
+    std::fprintf(fatal ? stderr : stdout, "%s %-13s %-7s %s", fatal ? "✗" : "•",
+                 kgrid::obs::diff_status_name(e.status),
+                 kgrid::obs::metric_class_name(e.metric_class),
+                 e.location.c_str());
+    if (e.baseline != 0.0 || e.current != 0.0)
+      std::fprintf(fatal ? stderr : stdout,
+                   "  %.6g -> %.6g (%+.1f%%, tol %.0f%%)", e.baseline,
+                   e.current, e.delta_pct, e.tolerance_pct);
+    if (!e.note.empty())
+      std::fprintf(fatal ? stderr : stdout, "  [%s]", e.note.c_str());
+    std::fprintf(fatal ? stderr : stdout, "\n");
+  }
+  std::printf(
+      "bench_diff: bench=%s runs=%zu metrics=%zu regressions=%zu "
+      "improvements=%zu -> %s\n",
+      result.bench.c_str(), result.runs, result.metrics_compared,
+      result.regressions(), result.improvements(),
+      result.pass() ? "PASS" : "FAIL");
+
+  const std::string verdict_path = cli.get("verdict", "");
+  if (!verdict_path.empty()) {
+    std::FILE* f = std::fopen(verdict_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_diff: cannot write %s\n",
+                   verdict_path.c_str());
+      return 2;
+    }
+    const std::string text = result.to_json().dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+
+  if (!result.pass()) {
+    const char* refresh = std::getenv("KGRID_BENCH_BASELINE_REFRESH");
+    if (refresh != nullptr && std::string_view(refresh) == "1") {
+      std::printf(
+          "bench_diff: KGRID_BENCH_BASELINE_REFRESH=1 — regression "
+          "tolerated for an intentional baseline bump\n");
+      return 0;
+    }
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Synthetically degrade one metric of a bench artifact — the self-check
+// half of the perf-regression gate. CI degrades a fresh artifact by +30% on
+// one series metric and asserts that `bench_diff` against the undegraded
+// original exits non-zero; if that ever stops failing, the gate is dead and
+// the pipeline says so.
+//
+//   ./degrade_bench_json IN.json OUT.json METRIC PCT
+//
+// Every numeric field named METRIC inside the series rows (and any other
+// array-of-rows section, nested objects included) is multiplied by
+// (1 + PCT/100). Exits 2 if no field matched — a degradation that touches
+// nothing would silently validate the gate against itself.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using kgrid::obs::Json;
+
+bool read_file(const char* path, std::string& out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, got);
+  std::fclose(f);
+  return true;
+}
+
+/// Rebuild `value` with every numeric field named `metric` scaled; Json has
+/// no mutable find, so objects and arrays are reconstructed.
+Json degrade(const Json& value, const std::string& metric, double factor,
+             std::size_t& touched) {
+  if (value.is_object()) {
+    Json out = Json::object();
+    for (const auto& [key, child] : value.items()) {
+      if (key == metric && child.is_number()) {
+        out.set(key, child.as_double() * factor);
+        ++touched;
+      } else {
+        out.set(key, degrade(child, metric, factor, touched));
+      }
+    }
+    return out;
+  }
+  if (value.is_array()) {
+    Json out = Json::array();
+    for (const Json& child : value.elements())
+      out.push_back(degrade(child, metric, factor, touched));
+    return out;
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 5) {
+    std::fprintf(stderr, "usage: degrade_bench_json IN.json OUT.json METRIC PCT\n");
+    return 2;
+  }
+  const char* in_path = argv[1];
+  const char* out_path = argv[2];
+  const std::string metric = argv[3];
+  const double pct = std::strtod(argv[4], nullptr);
+
+  std::string text;
+  if (!read_file(in_path, text)) {
+    std::fprintf(stderr, "degrade_bench_json: %s: cannot read\n", in_path);
+    return 2;
+  }
+  const auto parsed = Json::parse(text);
+  if (!parsed) {
+    std::fprintf(stderr, "degrade_bench_json: %s: not valid JSON\n", in_path);
+    return 2;
+  }
+
+  // Degrade only the measurement sections, never the envelope (a scaled
+  // "schema" or "args" would fail validation, not the gate under test).
+  std::size_t touched = 0;
+  Json out = Json::object();
+  for (const auto& [key, value] : parsed->items()) {
+    const bool envelope = key == "schema" || key == "bench" || key == "args" ||
+                          key == "wall_time_s";
+    out.set(key, envelope ? value : degrade(value, metric, 1.0 + pct / 100.0,
+                                            touched));
+  }
+  if (touched == 0) {
+    std::fprintf(stderr,
+                 "degrade_bench_json: no numeric field named \"%s\" in %s — "
+                 "nothing degraded\n",
+                 metric.c_str(), in_path);
+    return 2;
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "degrade_bench_json: cannot write %s\n", out_path);
+    return 2;
+  }
+  const std::string dumped = out.dump(2);
+  std::fwrite(dumped.data(), 1, dumped.size(), f);
+  std::fclose(f);
+  std::printf("degrade_bench_json: scaled %zu \"%s\" field(s) by %+.1f%% -> %s\n",
+              touched, metric.c_str(), pct, out_path);
+  return 0;
+}

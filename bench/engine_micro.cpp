@@ -26,6 +26,14 @@
 // metrics overhead never pollutes the measurements. `--threads` is likewise
 // stripped and recorded: the engine loop is single-threaded by design, the
 // flag exists for CLI uniformity with the figure benches.
+//
+// `--trace=PATH` (plus optional `--trace_key=KEY`) loads a KGTRACE1 file
+// recorded by a figure bench (e.g. fig3_scalability --trace_record) and
+// registers BM_TraceReplay* benchmarks — one per queue policy — that replay
+// the recorded event schedule through a fresh engine each iteration. Unlike
+// the synthetic workloads above, the replay pushes the *exact* event stream
+// a real protocol run produced, so queue-policy comparisons run on a pinned,
+// PR-invariant workload (docs/BENCHMARKS.md "Trace replay").
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -41,6 +49,7 @@
 #include "crypto/hom.hpp"
 #include "obs/bench_report.hpp"
 #include "sim/engine.hpp"
+#include "sim/trace.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -269,6 +278,89 @@ class CaptureReporter : public benchmark::ConsoleReporter {
   std::vector<obs::Json> rows;
 };
 
+/// The schedule loaded from --trace (kept alive for the registered replay
+/// benchmarks) and the trace key it came from.
+sim::Schedule replay_schedule_data;
+std::string replay_schedule_key;
+
+/// One replay per iteration: a fresh engine under `policy`, inert sink
+/// entities, the recorded push/dispatch interleaving. A hash mismatch is a
+/// broken engine (or a corrupted trace), not a slow one — surfaced through
+/// google-benchmark's error path so the run fails loudly.
+void trace_replay(benchmark::State& state, sim::QueuePolicy policy) {
+  sim::NullEntity sink;
+  for (auto _ : state) {
+    sim::Engine engine(policy);
+    const sim::ReplayResult r =
+        sim::replay_schedule(engine, sink, replay_schedule_data);
+    if (!r.hash_matches) {
+      state.SkipWithError("replayed dispatch order diverged from recording");
+      return;
+    }
+    benchmark::DoNotOptimize(r.hash);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * replay_schedule_data.dispatch_count));
+}
+
+/// Load `sched:<key>` (or the first sched: entry) from a KGTRACE1 file and
+/// register the BM_TraceReplay* family. Returns false (with a message) when
+/// the file or entry is missing/corrupt.
+bool register_trace_replay(const std::string& path, const std::string& key) {
+  sim::TraceFile file;
+  if (!sim::TraceFile::load(path, &file)) {
+    std::fprintf(stderr, "engine_micro: cannot load trace file %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::string entry = key.empty() ? std::string() : "sched:" + key;
+  if (entry.empty()) {
+    for (const std::string& k : file.keys())
+      if (k.rfind("sched:", 0) == 0) {
+        entry = k;
+        break;
+      }
+    if (entry.empty()) {
+      std::fprintf(stderr,
+                   "engine_micro: %s has no sched: entries (record with "
+                   "--trace_schedule=KEY)\n",
+                   path.c_str());
+      return false;
+    }
+  }
+  const std::string* bytes = file.find(entry);
+  if (bytes == nullptr) {
+    std::fprintf(stderr, "engine_micro: %s has no entry \"%s\"\n", path.c_str(),
+                 entry.c_str());
+    return false;
+  }
+  if (!sim::decode_schedule(*bytes, &replay_schedule_data)) {
+    std::fprintf(stderr, "engine_micro: corrupt schedule \"%s\" in %s\n",
+                 entry.c_str(), path.c_str());
+    return false;
+  }
+  replay_schedule_key = entry.substr(std::string_view("sched:").size());
+  std::printf("engine_micro: replaying \"%s\" (%llu pushes, %llu dispatches, "
+              "%llu entities)\n",
+              replay_schedule_key.c_str(),
+              static_cast<unsigned long long>(replay_schedule_data.pushes.size()),
+              static_cast<unsigned long long>(replay_schedule_data.dispatch_count),
+              static_cast<unsigned long long>(replay_schedule_data.entity_count));
+  benchmark::RegisterBenchmark("BM_TraceReplay", [](benchmark::State& s) {
+    trace_replay(s, sim::QueuePolicy::kCalendar);
+  });
+  benchmark::RegisterBenchmark("BM_TraceReplayDary4", [](benchmark::State& s) {
+    trace_replay(s, sim::QueuePolicy::kDary4);
+  });
+  benchmark::RegisterBenchmark("BM_TraceReplayDary8", [](benchmark::State& s) {
+    trace_replay(s, sim::QueuePolicy::kDary8);
+  });
+  benchmark::RegisterBenchmark("BM_TraceReplayLegacy", [](benchmark::State& s) {
+    trace_replay(s, sim::QueuePolicy::kLegacy);
+  });
+  return true;
+}
+
 /// One modest instrumented MessageMesh run under the default policy: the
 /// artifact's sim section (queue/event_pool counters, message-type stats)
 /// comes from here, outside the timed region.
@@ -287,10 +379,12 @@ obs::Json instrumented_sim_section() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Split off the kgrid-convention flags (--json, --threads) before
-  // google-benchmark sees (and rejects) them.
+  // Split off the kgrid-convention flags (--json, --threads, --trace,
+  // --trace_key) before google-benchmark sees (and rejects) them.
   std::string json_path;
   std::string threads_flag;
+  std::string trace_path;
+  std::string trace_key;
   std::vector<char*> bench_argv;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -308,6 +402,16 @@ int main(int argc, char** argv) {
                          : std::string(arg.substr(eq + 1));
       continue;
     }
+    if (i > 0 && arg.rfind("--trace_key", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq != std::string_view::npos) trace_key = arg.substr(eq + 1);
+      continue;
+    }
+    if (i > 0 && arg.rfind("--trace", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq != std::string_view::npos) trace_path = arg.substr(eq + 1);
+      continue;
+    }
     bench_argv.push_back(argv[i]);
   }
   const bool json_enabled = !json_path.empty();
@@ -315,8 +419,14 @@ int main(int argc, char** argv) {
 
   kgrid::obs::BenchReport report("engine_micro");
   if (!threads_flag.empty()) report.set_arg("threads", threads_flag);
+  if (!trace_path.empty()) report.set_arg("trace", trace_path);
   for (int i = 1; i < bench_argc; ++i)
     report.set_arg("argv" + std::to_string(i), bench_argv[i]);
+
+  if (!trace_path.empty() && !register_trace_replay(trace_path, trace_key))
+    return 2;
+  if (!trace_path.empty())
+    report.set_arg("trace_key", replay_schedule_key);
 
   benchmark::Initialize(&bench_argc, bench_argv.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data()))

@@ -11,6 +11,7 @@
 //
 //   ./fig2_convergence [--resources=32] [--local=500] [--k=10] [--scans=5]
 //                      [--threads=N] [--paper] [--json[=PATH]]
+//                      [--trace_record=PATH] [--trace_replay=PATH]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
   sink.arg("threads", obs::Json(threads));
   sink.arg("paper", obs::Json(paper));
   sink.set_executor(&pool);
+  bench::TraceSource trace(cli, "fig2_convergence");
 
   std::printf("# Figure 2: recall/precision vs database scans "
               "(%zu resources, %zu tx local, k=%lld)\n",
@@ -76,8 +78,17 @@ int main(int argc, char** argv) {
     base.arrivals_per_step = cfg.secure.arrivals_per_step;
 
     cfg.executor = &pool;
-    core::SecureGrid secure(cfg);
-    core::BaselineGrid baseline(cfg.env, base, threads);
+    // One environment for both grids; on replay it comes from the trace.
+    // The secure engine carries the schedule hash (the baseline runs the
+    // same workload but is a different protocol, hence a different trace).
+    const std::string cell_key = std::string("db=") + preset;
+    core::GridEnv env = trace.env(cell_key, [&] {
+      return core::make_grid_env(cfg.env);
+    });
+    core::GridEnv base_env = env;
+    cfg.trace = trace.begin(cell_key);
+    core::SecureGrid secure(cfg, std::move(env));
+    core::BaselineGrid baseline(cfg.env, base, std::move(base_env), threads);
     sink.attach(secure.engine());
     sink.attach(baseline.engine());
 
@@ -106,7 +117,10 @@ int main(int argc, char** argv) {
       row.set("baseline_precision", base_precision);
       sink.row(std::move(row));
     }
+    trace.end(secure.engine());
     sink.section(std::string("protocol_") + preset, secure.protocol_stats());
   }
-  return sink.write() ? 0 : 1;
+  if (trace.active()) sink.section("trace", trace.section());
+  const bool trace_ok = trace.finish();
+  return sink.write() && trace_ok ? 0 : 1;
 }

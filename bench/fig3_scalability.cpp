@@ -16,7 +16,8 @@
 //
 //   ./fig3_scalability [--max_resources=512] [--local=1000] [--k=10]
 //                      [--threads=N] [--sweep_steps=10] [--paper]
-//                      [--json[=PATH]]
+//                      [--json[=PATH]] [--trace_record=PATH]
+//                      [--trace_replay=PATH] [--trace_schedule=KEY]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -89,6 +90,7 @@ int main(int argc, char** argv) {
   sink.arg("threads", kgrid::obs::Json(threads));
   sink.arg("paper", kgrid::obs::Json(paper));
   sink.set_executor(&pool);
+  kgrid::bench::TraceSource trace(cli, "fig3_scalability");
 
   std::printf("# Figure 3: steps to 98%% recall vs resources "
               "(single itemset, lambda=%.2f, k=%lld)\n",
@@ -113,8 +115,12 @@ int main(int argc, char** argv) {
       cfg.secure.arrivals_per_step = 1;  // the paper's dynamic trickle
       cfg.executor = &pool;  // one pool shared by every grid in the series
 
-      core::SecureGrid grid(cfg, single_itemset_env(n, local, lambda, sig,
-                                                    cfg.env.seed));
+      char cell_key[32];
+      std::snprintf(cell_key, sizeof cell_key, "n=%zu/sig=%.2f", n, sig);
+      cfg.trace = trace.begin(cell_key);
+      core::SecureGrid grid(cfg, trace.env(cell_key, [&] {
+        return single_itemset_env(n, local, lambda, sig, cfg.env.seed);
+      }));
       sink.attach(grid.engine());
       const arm::Candidate vote = arm::frequency_candidate({0});
       auto recall = [&grid, &vote] {
@@ -125,6 +131,7 @@ int main(int argc, char** argv) {
       };
       const std::size_t steps =
           kgrid::bench::steps_to_target(grid, recall, 0.98, 400, 1);
+      trace.end(grid.engine());
       const auto msgs_per_resource =
           grid.engine().messages_delivered() / grid.size();
       char cell[32];
@@ -175,11 +182,15 @@ int main(int argc, char** argv) {
       cfg.backend = hom::Backend::kPaillier;
       cfg.paillier_bits = 512;
       cfg.threads = t;
+      const std::string cell_key = "sweep/t" + std::to_string(t);
+      cfg.trace = trace.begin(cell_key);
       kgrid::obs::Stopwatch wall;
-      core::SecureGrid grid(cfg, single_itemset_env(16, local, lambda, 0.10,
-                                                    cfg.env.seed,
-                                                    /*path_topology=*/true));
+      core::SecureGrid grid(cfg, trace.env("sweep", [&] {
+        return single_itemset_env(16, local, lambda, 0.10, cfg.env.seed,
+                                  /*path_topology=*/true);
+      }));
       grid.run_steps(sweep_steps);
+      trace.end(grid.engine());
       const double wall_s = wall.seconds();
       if (t == 1) wall_t1 = wall_s;
       const double speedup = wall_s > 0.0 ? wall_t1 / wall_s : 0.0;
@@ -205,5 +216,7 @@ int main(int argc, char** argv) {
     }
     sink.section("threads_sweep", std::move(sweep));
   }
-  return sink.write() ? 0 : 1;
+  if (trace.active()) sink.section("trace", trace.section());
+  const bool trace_ok = trace.finish();
+  return sink.write() && trace_ok ? 0 : 1;
 }

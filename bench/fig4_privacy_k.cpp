@@ -7,6 +7,7 @@
 //
 //   ./fig4_privacy_k [--resources=64] [--local=400] [--max_steps=400]
 //                    [--threads=N] [--paper] [--json[=PATH]]
+//                    [--trace_record=PATH] [--trace_replay=PATH]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
   sink.arg("threads", obs::Json(threads));
   sink.arg("paper", obs::Json(paper));
   sink.set_executor(&pool);
+  bench::TraceSource trace(cli, "fig4_privacy_k");
 
   std::printf("# Figure 4: steps to 90%% recall vs privacy parameter k "
               "(T10I4, %zu resources, %zu tx local)\n",
@@ -56,7 +58,11 @@ int main(int argc, char** argv) {
     cfg.attach_monitor = true;
     cfg.executor = &pool;
 
-    core::SecureGrid grid(cfg);
+    const std::string cell_key = "k=" + std::to_string(k);
+    cfg.trace = trace.begin(cell_key);
+    core::SecureGrid grid(cfg, trace.env(cell_key, [&] {
+      return core::make_grid_env(cfg.env);
+    }));
     sink.attach(grid.engine());
     const auto reference = grid.env().reference({0.15, 0.8});
     auto recall = [&grid, &reference] {
@@ -64,6 +70,7 @@ int main(int argc, char** argv) {
     };
     const std::size_t steps =
         bench::steps_to_target(grid, recall, 0.9, max_steps);
+    trace.end(grid.engine());
     if (steps > max_steps)
       std::printf("%8lld %16s %14llu\n", static_cast<long long>(k), ">max",
                   static_cast<unsigned long long>(grid.monitor().grants()));
@@ -79,5 +86,7 @@ int main(int argc, char** argv) {
     row.set("protocol", grid.protocol_stats());
     sink.row(std::move(row));
   }
-  return sink.write() ? 0 : 1;
+  if (trace.active()) sink.section("trace", trace.section());
+  const bool trace_ok = trace.finish();
+  return sink.write() && trace_ok ? 0 : 1;
 }

@@ -1,0 +1,118 @@
+#include "core/env_trace.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "data/trace_codec.hpp"
+#include "util/bytes.hpp"
+
+namespace kgrid::core {
+namespace {
+
+constexpr std::uint8_t kEnvVersion = 1;
+
+// Graph::from_adjacency and the LinkDelays constructor enforce their
+// invariants with KGRID_CHECK (abort). Decoding untrusted bytes must fail
+// soft instead, so the same invariants are pre-checked here and the checked
+// constructors only ever see valid input.
+bool valid_adjacency(const std::vector<std::vector<net::NodeId>>& adjacency) {
+  const std::size_t n = adjacency.size();
+  for (net::NodeId u = 0; u < n; ++u) {
+    for (std::size_t i = 0; i < adjacency[u].size(); ++i) {
+      const net::NodeId v = adjacency[u][i];
+      if (v >= n || v == u) return false;
+      for (std::size_t j = 0; j < i; ++j)
+        if (adjacency[u][j] == v) return false;
+      if (std::find(adjacency[v].begin(), adjacency[v].end(), u) ==
+          adjacency[v].end())
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string encode_env(const GridEnv& env) {
+  util::ByteWriter w;
+  w.u8(kEnvVersion);
+
+  // Overlay, adjacency lists verbatim (neighbour order is load-bearing).
+  w.varint(env.overlay.size());
+  for (net::NodeId u = 0; u < env.overlay.size(); ++u) {
+    const auto& neighbors = env.overlay.neighbors(u);
+    w.varint(neighbors.size());
+    for (const net::NodeId v : neighbors) w.varint(v);
+  }
+
+  // Link delays: the pure function's full state.
+  w.u64(env.delays.seed());
+  w.f64(env.delays.lo());
+  w.f64(env.delays.hi());
+
+  // Global database, then per-resource splits as references into it.
+  data::encode_database(w, env.global);
+  const auto index = data::index_by_id(env.global);
+  w.varint(env.initial.size());
+  for (std::size_t i = 0; i < env.initial.size(); ++i) {
+    data::encode_transaction_refs(w, env.initial[i].transactions(), env.global,
+                                  index);
+    data::encode_transaction_refs(w, env.arrivals[i], env.global, index);
+  }
+  return w.take();
+}
+
+std::optional<GridEnv> decode_env(std::string_view bytes) {
+  util::ByteReader r(bytes);
+  if (r.u8() != kEnvVersion) return std::nullopt;
+
+  const std::uint64_t n_nodes = r.varint();
+  if (!r.ok() || n_nodes > r.remaining()) return std::nullopt;
+  std::vector<std::vector<net::NodeId>> adjacency(n_nodes);
+  for (std::uint64_t u = 0; u < n_nodes; ++u) {
+    const std::uint64_t degree = r.varint();
+    if (!r.ok() || degree > r.remaining()) return std::nullopt;
+    adjacency[u].reserve(degree);
+    for (std::uint64_t i = 0; i < degree; ++i) {
+      const std::uint64_t v = r.varint();
+      if (!r.ok() || v >= n_nodes) return std::nullopt;
+      adjacency[u].push_back(static_cast<net::NodeId>(v));
+    }
+  }
+  if (!valid_adjacency(adjacency)) return std::nullopt;
+
+  const std::uint64_t delay_seed = r.u64();
+  const double delay_lo = r.f64();
+  const double delay_hi = r.f64();
+  if (!r.ok() || !(delay_lo > 0.0 && delay_hi >= delay_lo)) return std::nullopt;
+
+  data::Database global;
+  if (!data::decode_database(r, &global)) return std::nullopt;
+
+  const std::uint64_t n_resources = r.varint();
+  if (!r.ok() || n_resources > r.remaining()) return std::nullopt;
+
+  GridEnv env{net::Graph::from_adjacency(std::move(adjacency)),
+              net::LinkDelays(delay_seed, delay_lo, delay_hi),
+              std::move(global),
+              {},
+              {}};
+  env.initial.reserve(n_resources);
+  env.arrivals.reserve(n_resources);
+  for (std::uint64_t i = 0; i < n_resources; ++i) {
+    std::vector<data::Transaction> head;
+    std::vector<data::Transaction> tail;
+    if (!data::decode_transaction_refs(r, env.global, &head))
+      return std::nullopt;
+    if (!data::decode_transaction_refs(r, env.global, &tail))
+      return std::nullopt;
+    data::Database initial;
+    for (auto& t : head) initial.append(std::move(t));
+    env.initial.push_back(std::move(initial));
+    env.arrivals.push_back(std::move(tail));
+  }
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return env;
+}
+
+}  // namespace kgrid::core

@@ -1,0 +1,30 @@
+// GridEnv byte codec: the workload half of a recorded trace.
+//
+// A GridEnv is everything the protocol consumes that is not the protocol
+// itself — the spanning-tree overlay (neighbour order preserved: the
+// protocol's slot numbering and the engine's event order both depend on
+// it), the link-delay function (pure in its three parameters), the global
+// synthetic database, and the per-resource initial/arrival splits. A decoded
+// env is bit-identical to the recorded one, so SecureGrid(cfg, env) and
+// BaselineGrid(..., env, ...) runs over it reproduce the recorded run's
+// event schedule exactly — across PRs, machines, and data-generator changes.
+//
+// Per-resource lists are stored as references into the global database
+// (data/trace_codec.hpp), so a trace costs roughly one encoded database plus
+// two or three varints per transaction, not three copies of the data.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/env.hpp"
+
+namespace kgrid::core {
+
+std::string encode_env(const GridEnv& env);
+/// Returns nullopt on truncated or corrupt bytes, an unknown version, or an
+/// overlay/delay block that fails validation (never aborts on bad input).
+std::optional<GridEnv> decode_env(std::string_view bytes);
+
+}  // namespace kgrid::core

@@ -38,6 +38,10 @@ struct SecureGridConfig {
   /// delivers the identical event order; kLegacy exists for differential
   /// testing against the seed's binary-heap structure.
   sim::QueuePolicy queue_policy = sim::QueuePolicy::kCalendar;
+  /// Schedule observer (sim/trace.hpp recorder/hasher), attached before any
+  /// resource starts — construction already pushes bootstrap events, and a
+  /// recorder attached later would miss them. Must outlive the grid's runs.
+  sim::EventTap* trace = nullptr;
 };
 
 /// Secure-Majority-Rule over a simulated data grid.
@@ -51,6 +55,7 @@ class SecureGrid {
   SecureGrid(const SecureGridConfig& config, GridEnv env)
       : config_(config), env_(std::move(env)), monitor_(config.secure.k),
         engine_(config.queue_policy) {
+    if (config.trace != nullptr) engine_.attach_trace(config.trace);
     if (config.executor != nullptr) {
       engine_.attach_executor(config.executor);
     } else {
@@ -238,17 +243,21 @@ class BaselineGrid {
   BaselineGrid(const GridEnvConfig& env_config,
                const majority::MajorityRuleConfig& config,
                std::size_t threads = 0,
-               sim::QueuePolicy queue_policy = sim::QueuePolicy::kCalendar)
+               sim::QueuePolicy queue_policy = sim::QueuePolicy::kCalendar,
+               sim::EventTap* trace = nullptr)
       : BaselineGrid(env_config, config, make_grid_env(env_config), threads,
-                     queue_policy) {}
+                     queue_policy, trace) {}
 
   /// `threads` follows SecureGridConfig::threads semantics (0 = library
   /// default, 1 = inline, N > 1 = worker pool; outcomes thread-invariant).
+  /// `trace` follows SecureGridConfig::trace (attached before any pushes).
   BaselineGrid(const GridEnvConfig& env_config,
                const majority::MajorityRuleConfig& config, GridEnv env,
                std::size_t threads = 0,
-               sim::QueuePolicy queue_policy = sim::QueuePolicy::kCalendar)
+               sim::QueuePolicy queue_policy = sim::QueuePolicy::kCalendar,
+               sim::EventTap* trace = nullptr)
       : env_(std::move(env)), engine_(queue_policy) {
+    if (trace != nullptr) engine_.attach_trace(trace);
     const std::size_t lanes =
         threads == 0 ? sim::Executor::default_threads() : threads;
     if (lanes > 1) {

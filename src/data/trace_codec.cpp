@@ -1,0 +1,112 @@
+#include "data/trace_codec.hpp"
+
+#include <cstdint>
+#include <limits>
+
+namespace kgrid::data {
+
+void encode_transaction(util::ByteWriter& w, const Transaction& t) {
+  w.varint(t.id);
+  w.varint(t.items.size());
+  Item prev = 0;
+  for (std::size_t i = 0; i < t.items.size(); ++i) {
+    // Sorted-unique invariant: first item verbatim, then gap - 1.
+    w.varint(i == 0 ? t.items[0] : t.items[i] - prev - 1);
+    prev = t.items[i];
+  }
+}
+
+bool decode_transaction(util::ByteReader& r, Transaction* out) {
+  Transaction t;
+  t.id = r.varint();
+  const std::uint64_t n = r.varint();
+  if (!r.ok() || n > r.remaining()) return false;
+  t.items.reserve(n);
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t gap = r.varint();
+    const std::uint64_t item = i == 0 ? gap : prev + gap + 1;
+    if (!r.ok() || item > std::numeric_limits<Item>::max()) return false;
+    t.items.push_back(static_cast<Item>(item));
+    prev = item;
+  }
+  if (!r.ok()) return false;
+  *out = std::move(t);
+  return true;
+}
+
+void encode_database(util::ByteWriter& w, const Database& db) {
+  w.varint(db.size());
+  for (const Transaction& t : db.transactions()) encode_transaction(w, t);
+}
+
+bool decode_database(util::ByteReader& r, Database* out) {
+  const std::uint64_t n = r.varint();
+  if (!r.ok() || n > r.remaining()) return false;
+  Database db;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Transaction t;
+    if (!decode_transaction(r, &t)) return false;
+    db.append(std::move(t));
+  }
+  *out = std::move(db);
+  return true;
+}
+
+std::unordered_map<TransactionId, std::uint64_t> index_by_id(
+    const Database& db) {
+  std::unordered_map<TransactionId, std::uint64_t> index;
+  index.reserve(db.size());
+  for (std::uint64_t i = 0; i < db.size(); ++i)
+    index.emplace(db[i].id, i);  // emplace: first occurrence wins
+  return index;
+}
+
+namespace {
+
+bool same_transaction(const Transaction& a, const Transaction& b) {
+  return a.id == b.id && a.items == b.items;
+}
+
+}  // namespace
+
+void encode_transaction_refs(
+    util::ByteWriter& w, const std::vector<Transaction>& list,
+    const Database& global,
+    const std::unordered_map<TransactionId, std::uint64_t>& index) {
+  w.varint(list.size());
+  for (const Transaction& t : list) {
+    const auto it = index.find(t.id);
+    if (it != index.end() && same_transaction(global[it->second], t)) {
+      w.varint(it->second + 1);
+    } else {
+      w.varint(0);
+      encode_transaction(w, t);
+    }
+  }
+}
+
+bool decode_transaction_refs(util::ByteReader& r, const Database& global,
+                             std::vector<Transaction>* out) {
+  const std::uint64_t n = r.varint();
+  if (!r.ok() || n > r.remaining()) return false;
+  std::vector<Transaction> list;
+  list.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t tag = r.varint();
+    if (!r.ok()) return false;
+    if (tag == 0) {
+      Transaction t;
+      if (!decode_transaction(r, &t)) return false;
+      list.push_back(std::move(t));
+    } else {
+      const std::uint64_t idx = tag - 1;
+      if (idx >= global.size()) return false;
+      list.push_back(global[idx]);
+    }
+  }
+  *out = std::move(list);
+  return true;
+}
+
+}  // namespace kgrid::data

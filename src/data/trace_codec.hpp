@@ -1,0 +1,48 @@
+// Byte codec for transactions and databases — the data half of the trace
+// format (sim/trace.hpp holds the container and the schedule half;
+// core/env_trace.hpp composes both into a full GridEnv).
+//
+// Layout choices exploit the invariants transaction.hpp maintains: itemsets
+// are sorted and unique, so items are stored as a first value plus strictly
+// positive gaps minus one — small varints for the dense item domains QUEST
+// generates. Databases additionally expose a reference form: a partition of
+// the global database repeats its transactions verbatim, so per-resource
+// lists are stored as indices into the already-encoded global database (with
+// an inline escape hatch for transactions that are not in it).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "data/transaction.hpp"
+#include "util/bytes.hpp"
+
+namespace kgrid::data {
+
+void encode_transaction(util::ByteWriter& w, const Transaction& t);
+/// Returns false on truncation or an item stream that violates the
+/// sorted-unique invariant (overflow of the gap decoding).
+bool decode_transaction(util::ByteReader& r, Transaction* out);
+
+void encode_database(util::ByteWriter& w, const Database& db);
+bool decode_database(util::ByteReader& r, Database* out);
+
+/// Index of a database by transaction id, for reference encoding. Duplicate
+/// ids keep the first occurrence (partitions never duplicate ids).
+std::unordered_map<TransactionId, std::uint64_t> index_by_id(const Database& db);
+
+/// Encode `list` as references into `global` (via `index`, built by
+/// index_by_id(global)). Per transaction: varint tag — 0 followed by an
+/// inline transaction (not found in the global database, or the referenced
+/// copy differs), or tag >= 1 meaning index `tag - 1` into `global`.
+void encode_transaction_refs(util::ByteWriter& w,
+                             const std::vector<Transaction>& list,
+                             const Database& global,
+                             const std::unordered_map<TransactionId,
+                                                      std::uint64_t>& index);
+bool decode_transaction_refs(util::ByteReader& r, const Database& global,
+                             std::vector<Transaction>* out);
+
+}  // namespace kgrid::data

@@ -15,6 +15,28 @@ bool Graph::has_edge(NodeId u, NodeId v) const {
   return std::find(smaller.begin(), smaller.end(), target) != smaller.end();
 }
 
+Graph Graph::from_adjacency(std::vector<std::vector<NodeId>> adjacency) {
+  const std::size_t n = adjacency.size();
+  std::size_t endpoints = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t i = 0; i < adjacency[u].size(); ++i) {
+      const NodeId v = adjacency[u][i];
+      KGRID_CHECK(v < n, "adjacency references node out of range");
+      KGRID_CHECK(v != u, "adjacency contains a self-loop");
+      for (std::size_t j = 0; j < i; ++j)
+        KGRID_CHECK(adjacency[u][j] != v, "adjacency contains a duplicate edge");
+      KGRID_CHECK(std::find(adjacency[v].begin(), adjacency[v].end(), u) !=
+                      adjacency[v].end(),
+                  "adjacency is not symmetric");
+      ++endpoints;
+    }
+  }
+  Graph g(n);
+  g.adjacency_ = std::move(adjacency);
+  g.edge_count_ = endpoints / 2;
+  return g;
+}
+
 bool Graph::add_edge(NodeId u, NodeId v) {
   KGRID_CHECK(u < size() && v < size(), "node id out of range");
   if (u == v || has_edge(u, v)) return false;

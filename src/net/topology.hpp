@@ -22,6 +22,14 @@ class Graph {
  public:
   explicit Graph(std::size_t n) : adjacency_(n) {}
 
+  /// Rebuild a graph from explicit adjacency lists, preserving neighbour
+  /// *order* (which the protocol's slot numbering and the engine's event
+  /// order both depend on — a structurally equal graph with permuted lists
+  /// is a different workload). Used by the trace codec
+  /// (core/env_trace.hpp). Validates symmetry, no self-loops, no
+  /// duplicates.
+  static Graph from_adjacency(std::vector<std::vector<NodeId>> adjacency);
+
   std::size_t size() const { return adjacency_.size(); }
   std::size_t edge_count() const { return edge_count_; }
 
@@ -73,6 +81,12 @@ class LinkDelays {
   LinkDelays(std::uint64_t seed, double lo, double hi);
 
   double delay(NodeId u, NodeId v) const;
+
+  // The full state (the delay function is pure in these three values), so
+  // the trace codec can round-trip a LinkDelays exactly.
+  std::uint64_t seed() const { return seed_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
 
  private:
   std::uint64_t seed_;

@@ -1,0 +1,446 @@
+// Noise-aware comparison of kgrid.bench.v1 artifacts — the library behind
+// the `bench_diff` tool and the CI perf-regression gate.
+//
+// The comparison is shaped by what the determinism contract does and does
+// not promise. Event/message/protocol *counts* are pure functions of the
+// seeds and the workload, so when benches replay a recorded trace
+// (sim/trace.hpp) any count drift is a real behaviour change and the default
+// tolerance is zero. *Times* and *rates* measure the machine as much as the
+// code, so they get wide percentage tolerances (chosen per caller: tight for
+// A/B on one box, catastrophe-only for shared CI runners — see
+// docs/BENCHMARKS.md) and a median across repeated runs to shed scheduler
+// outliers. Classification is by metric name, so new benches inherit
+// sensible handling without touching this file.
+//
+// Verdict structure: every non-OK comparison becomes a DiffEntry;
+// regressions (slower/lower-throughput beyond tolerance, changed counts,
+// vanished rows or metrics) fail the gate, improvements and additions are
+// informational, args drift is a warning. DiffResult::to_json() emits the
+// machine-readable "kgrid.benchdiff.v1" document CI archives next to the
+// artifacts.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace kgrid::obs {
+
+inline constexpr std::string_view kBenchDiffSchema = "kgrid.benchdiff.v1";
+
+enum class MetricClass { kCount, kTime, kRate, kIgnore };
+
+inline const char* metric_class_name(MetricClass c) {
+  switch (c) {
+    case MetricClass::kCount: return "count";
+    case MetricClass::kTime: return "time";
+    case MetricClass::kRate: return "rate";
+    case MetricClass::kIgnore: return "ignore";
+  }
+  return "?";
+}
+
+/// Classify a metric by its leaf name (the key inside a series row or
+/// section, ignoring the path). Unknown numeric metrics default to kCount —
+/// the strict class — so a new deterministic counter is gated from the PR
+/// that introduces it, and a new noisy timer shows up as a loud failure that
+/// prompts adding it here.
+inline MetricClass classify_metric(std::string_view leaf) {
+  // Machine-dependent by construction; comparing them is pure noise.
+  for (const char* k : {"iterations", "wall_time_s", "repetitions"})
+    if (leaf == k) return MetricClass::kIgnore;
+  // Durations: bigger is worse.
+  for (const char* k : {"real_time", "cpu_time", "wall_s", "busy_s", "wait_s",
+                        "seconds", "ms_per_op"})
+    if (leaf == k) return MetricClass::kTime;
+  // Throughputs: bigger is better.
+  for (const char* k : {"items_per_second", "bytes_per_second", "speedup",
+                        "ops_per_second"})
+    if (leaf == k) return MetricClass::kRate;
+  return MetricClass::kCount;
+}
+
+struct DiffOptions {
+  double time_tol_pct = 25.0;
+  double rate_tol_pct = 25.0;
+  double count_tol_pct = 0.0;
+
+  double tolerance_for(MetricClass c) const {
+    switch (c) {
+      case MetricClass::kTime: return time_tol_pct;
+      case MetricClass::kRate: return rate_tol_pct;
+      default: return count_tol_pct;
+    }
+  }
+};
+
+enum class DiffStatus {
+  kImproved,      // beyond tolerance in the good direction (informational)
+  kRegressed,     // time/rate beyond tolerance in the bad direction
+  kValueChanged,  // count/bool/string differs (beyond count tolerance)
+  kMissingRow,    // baseline row absent from every fresh run
+  kMissingMetric, // baseline metric/section absent from every fresh run
+  kNewRow,        // fresh row/metric/section with no baseline (informational)
+  kArgsDrift,     // fresh run invoked with different args (warning)
+};
+
+inline const char* diff_status_name(DiffStatus s) {
+  switch (s) {
+    case DiffStatus::kImproved: return "improved";
+    case DiffStatus::kRegressed: return "regressed";
+    case DiffStatus::kValueChanged: return "value_changed";
+    case DiffStatus::kMissingRow: return "missing_row";
+    case DiffStatus::kMissingMetric: return "missing_metric";
+    case DiffStatus::kNewRow: return "new_row";
+    case DiffStatus::kArgsDrift: return "args_drift";
+  }
+  return "?";
+}
+
+/// True for the statuses that fail the gate.
+inline bool diff_status_is_regression(DiffStatus s) {
+  return s == DiffStatus::kRegressed || s == DiffStatus::kValueChanged ||
+         s == DiffStatus::kMissingRow || s == DiffStatus::kMissingMetric;
+}
+
+struct DiffEntry {
+  DiffStatus status = DiffStatus::kValueChanged;
+  MetricClass metric_class = MetricClass::kCount;
+  std::string location;  // e.g. "series[name=BM_TimerStorm/1024].cpu_time"
+  double baseline = 0.0;
+  double current = 0.0;  // median across the fresh runs
+  double delta_pct = 0.0;
+  double tolerance_pct = 0.0;
+  std::string note;
+};
+
+struct DiffResult {
+  std::string bench;
+  std::size_t runs = 0;
+  DiffOptions options;
+  std::size_t metrics_compared = 0;  // leaf comparisons, OK entries included
+  std::vector<DiffEntry> entries;    // non-OK outcomes only
+
+  std::size_t regressions() const {
+    std::size_t n = 0;
+    for (const DiffEntry& e : entries) n += diff_status_is_regression(e.status);
+    return n;
+  }
+
+  std::size_t improvements() const {
+    std::size_t n = 0;
+    for (const DiffEntry& e : entries) n += e.status == DiffStatus::kImproved;
+    return n;
+  }
+
+  bool pass() const { return regressions() == 0; }
+
+  Json to_json() const {
+    Json j = Json::object();
+    j.set("schema", kBenchDiffSchema);
+    j.set("bench", bench);
+    j.set("runs", static_cast<std::uint64_t>(runs));
+    Json opt = Json::object();
+    opt.set("time_tol_pct", options.time_tol_pct);
+    opt.set("rate_tol_pct", options.rate_tol_pct);
+    opt.set("count_tol_pct", options.count_tol_pct);
+    j.set("options", std::move(opt));
+    j.set("metrics_compared", static_cast<std::uint64_t>(metrics_compared));
+    j.set("regressions", static_cast<std::uint64_t>(regressions()));
+    j.set("improvements", static_cast<std::uint64_t>(improvements()));
+    j.set("pass", pass());
+    Json entries_json = Json::array();
+    for (const DiffEntry& e : entries) {
+      Json row = Json::object();
+      row.set("status", diff_status_name(e.status));
+      row.set("class", metric_class_name(e.metric_class));
+      row.set("location", e.location);
+      row.set("baseline", e.baseline);
+      row.set("current", e.current);
+      row.set("delta_pct", e.delta_pct);
+      row.set("tolerance_pct", e.tolerance_pct);
+      if (!e.note.empty()) row.set("note", e.note);
+      entries_json.push_back(std::move(row));
+    }
+    j.set("entries", std::move(entries_json));
+    return j;
+  }
+};
+
+/// Identity of a series row: the workload-coordinate fields, joined in a
+/// fixed order, so rows pair up across artifacts regardless of array
+/// position. Fields that are measurements (everything not listed) never
+/// enter the key.
+inline std::string series_row_key(const Json& row) {
+  static constexpr const char* kIdentity[] = {
+      "name", "db", "variant", "behaviour", "policy", "resources",
+      "significance", "scans", "k", "threads", "width"};
+  std::string key;
+  for (const char* field : kIdentity) {
+    const Json* v = row.find(field);
+    if (v == nullptr) continue;
+    if (!key.empty()) key += '/';
+    key += field;
+    key += '=';
+    key += v->is_string() ? v->as_string() : v->dump();
+  }
+  return key.empty() ? "<row>" : key;
+}
+
+namespace detail {
+
+class BenchDiffer {
+ public:
+  BenchDiffer(const Json& baseline, std::vector<const Json*> runs,
+              DiffOptions options)
+      : baseline_(baseline), runs_(std::move(runs)) {
+    result_.options = options;
+  }
+
+  DiffResult run() {
+    const Json* bench = baseline_.find("bench");
+    result_.bench = bench != nullptr && bench->is_string() ? bench->as_string()
+                                                           : "?";
+    result_.runs = runs_.size();
+    diff_args();
+    // Every top-level section except the envelope plumbing and the global
+    // sim/crypto aggregates (those tally whatever google-benchmark's
+    // adaptive iteration counts happened to run — machine state, not
+    // workload results).
+    for (const auto& [key, value] : baseline_.items()) {
+      if (is_skipped_section(key)) continue;
+      std::vector<const Json*> current = collect(runs_, key);
+      if (current.empty()) {
+        add(DiffStatus::kMissingMetric, MetricClass::kCount, key, 0, 0, 0,
+            "section absent from every fresh run");
+        continue;
+      }
+      if (value.is_array()) diff_rows(key, value, current);
+      else if (value.is_object()) diff_object(key, value, current);
+      else diff_leaf(key, key, value, current);
+    }
+    if (!runs_.empty()) {
+      for (const auto& [key, value] : runs_.front()->items()) {
+        if (is_skipped_section(key) || baseline_.find(key) != nullptr)
+          continue;
+        add(DiffStatus::kNewRow, MetricClass::kCount, key, 0, 0, 0,
+            "section not in baseline");
+      }
+    }
+    return std::move(result_);
+  }
+
+ private:
+  static bool is_skipped_section(std::string_view key) {
+    for (const char* k : {"schema", "bench", "args", "wall_time_s", "sim",
+                          "crypto"})
+      if (key == k) return true;
+    return false;
+  }
+
+  static std::vector<const Json*> collect(const std::vector<const Json*>& in,
+                                          std::string_view key) {
+    std::vector<const Json*> out;
+    for (const Json* j : in)
+      if (const Json* v = j->find(key); v != nullptr) out.push_back(v);
+    return out;
+  }
+
+  void add(DiffStatus status, MetricClass cls, std::string location,
+           double baseline, double current, double delta_pct,
+           std::string note = "") {
+    DiffEntry e;
+    e.status = status;
+    e.metric_class = cls;
+    e.location = std::move(location);
+    e.baseline = baseline;
+    e.current = current;
+    e.delta_pct = delta_pct;
+    e.tolerance_pct = result_.options.tolerance_for(cls);
+    e.note = std::move(note);
+    result_.entries.push_back(std::move(e));
+  }
+
+  void diff_args() {
+    const Json* base_args = baseline_.find("args");
+    if (base_args == nullptr) return;
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      const Json* run_args = runs_[i]->find("args");
+      if (run_args != nullptr && *run_args == *base_args) continue;
+      add(DiffStatus::kArgsDrift, MetricClass::kIgnore,
+          "args(run " + std::to_string(i + 1) + ")", 0, 0, 0,
+          "fresh run invoked with different args than the baseline; "
+          "comparison may be apples-to-oranges");
+    }
+  }
+
+  /// The `occurrence`-th row (0-based) of `arr` whose identity key is `key`
+  /// — pairs up repeated cells (a bench emitting two rows per coordinate)
+  /// positionally within each key.
+  static const Json* find_row(const Json& arr, const std::string& key,
+                              std::size_t occurrence) {
+    if (!arr.is_array()) return nullptr;
+    std::size_t seen = 0;
+    for (const Json& row : arr.elements())
+      if (row.is_object() && series_row_key(row) == key)
+        if (seen++ == occurrence) return &row;
+    return nullptr;
+  }
+
+  /// Array section: rows pair by identity key, each pair diffs as an object.
+  void diff_rows(const std::string& section, const Json& base_array,
+                 const std::vector<const Json*>& current_arrays) {
+    std::vector<std::pair<std::string, std::size_t>> seen_keys;
+    for (const Json& base_row : base_array.elements()) {
+      if (!base_row.is_object()) continue;
+      const std::string key = series_row_key(base_row);
+      std::size_t occurrence = 0;
+      for (auto& [k, n] : seen_keys)
+        if (k == key) occurrence = n;
+      std::vector<const Json*> matched;
+      for (const Json* arr : current_arrays)
+        if (const Json* row = find_row(*arr, key, occurrence); row != nullptr)
+          matched.push_back(row);
+      std::string location = section + "[" + key + "]";
+      if (occurrence > 0) location += "#" + std::to_string(occurrence + 1);
+      bool counted = false;
+      for (auto& [k, n] : seen_keys)
+        if (k == key) {
+          ++n;
+          counted = true;
+        }
+      if (!counted) seen_keys.emplace_back(key, 1);
+      if (matched.empty()) {
+        add(DiffStatus::kMissingRow, MetricClass::kCount, location, 0, 0, 0,
+            "row absent from every fresh run");
+        continue;
+      }
+      diff_object(location, base_row, matched);
+    }
+    // Fresh rows with no baseline counterpart (first run is representative).
+    if (!current_arrays.empty() && current_arrays.front()->is_array()) {
+      for (const Json& row : current_arrays.front()->elements()) {
+        if (!row.is_object()) continue;
+        const std::string key = series_row_key(row);
+        bool in_baseline = false;
+        for (const Json& base_row : base_array.elements())
+          if (base_row.is_object() && series_row_key(base_row) == key) {
+            in_baseline = true;
+            break;
+          }
+        if (!in_baseline)
+          add(DiffStatus::kNewRow, MetricClass::kCount,
+              section + "[" + key + "]", 0, 0, 0, "row not in baseline");
+      }
+    }
+  }
+
+  void diff_object(const std::string& path, const Json& base,
+                   const std::vector<const Json*>& current) {
+    for (const auto& [key, value] : base.items()) {
+      const std::string child = path + "." + key;
+      std::vector<const Json*> matched = collect(current, key);
+      if (classify_metric(key) == MetricClass::kIgnore) continue;
+      if (matched.empty()) {
+        add(DiffStatus::kMissingMetric, MetricClass::kCount, child, 0, 0, 0,
+            "metric absent from every fresh run");
+        continue;
+      }
+      if (value.is_object()) diff_object(child, value, matched);
+      else if (value.is_array()) diff_rows(child, value, matched);
+      else diff_leaf(child, key, value, matched);
+    }
+    for (const auto& [key, value] : current.front()->items())
+      if (base.find(key) == nullptr &&
+          classify_metric(key) != MetricClass::kIgnore)
+        add(DiffStatus::kNewRow, MetricClass::kCount, path + "." + key, 0, 0,
+            0, "metric not in baseline");
+  }
+
+  static double median(std::vector<double> values) {
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    return n % 2 == 1 ? values[n / 2]
+                      : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+  }
+
+  void diff_leaf(const std::string& path, std::string_view leaf,
+                 const Json& base, const std::vector<const Json*>& current) {
+    const MetricClass cls = classify_metric(leaf);
+    if (cls == MetricClass::kIgnore) return;
+    ++result_.metrics_compared;
+
+    if (!base.is_number()) {
+      // Bools and strings are exact-match values (e.g. "converged",
+      // "time_unit"); any fresh run disagreeing with the baseline fails.
+      for (const Json* v : current) {
+        if (*v == base) continue;
+        add(DiffStatus::kValueChanged, cls, path, 0, 0, 0,
+            "non-numeric value changed: baseline " + base.dump() + ", got " +
+                v->dump());
+        return;
+      }
+      return;
+    }
+
+    std::vector<double> values;
+    values.reserve(current.size());
+    for (const Json* v : current)
+      if (v->is_number()) values.push_back(v->as_double());
+    if (values.empty()) {
+      add(DiffStatus::kValueChanged, cls, path, base.as_double(), 0, 0,
+          "numeric in baseline, non-numeric in fresh runs");
+      return;
+    }
+    const double b = base.as_double();
+    const double m = median(std::move(values));
+    double delta_pct;
+    if (b == 0.0) {
+      if (m == 0.0) return;  // OK
+      delta_pct = m > 0 ? 1e9 : -1e9;  // any change off a zero baseline
+    } else {
+      delta_pct = (m - b) / b * 100.0;
+    }
+    const double tol = result_.options.tolerance_for(cls);
+    switch (cls) {
+      case MetricClass::kTime:  // bigger is worse
+        if (delta_pct > tol)
+          add(DiffStatus::kRegressed, cls, path, b, m, delta_pct);
+        else if (delta_pct < -tol)
+          add(DiffStatus::kImproved, cls, path, b, m, delta_pct);
+        break;
+      case MetricClass::kRate:  // bigger is better
+        if (delta_pct < -tol)
+          add(DiffStatus::kRegressed, cls, path, b, m, delta_pct);
+        else if (delta_pct > tol)
+          add(DiffStatus::kImproved, cls, path, b, m, delta_pct);
+        break;
+      default:  // counts: deterministic, direction-less
+        if (delta_pct > tol || delta_pct < -tol)
+          add(DiffStatus::kValueChanged, cls, path, b, m, delta_pct);
+        break;
+    }
+  }
+
+  const Json& baseline_;
+  std::vector<const Json*> runs_;
+  DiffResult result_;
+};
+
+}  // namespace detail
+
+/// Compare `baseline` against one or more fresh runs of the same bench
+/// (multiple runs → per-metric median, the median-of-k noise shield).
+/// `runs` must be non-empty; callers validate both sides against
+/// validate_bench_json() first.
+inline DiffResult diff_bench(const Json& baseline,
+                             const std::vector<const Json*>& runs,
+                             const DiffOptions& options = {}) {
+  return detail::BenchDiffer(baseline, runs, options).run();
+}
+
+}  // namespace kgrid::obs

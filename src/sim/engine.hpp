@@ -65,6 +65,33 @@ namespace kgrid::sim {
 
 class Engine;
 
+/// One event of the engine's schedule, as observed by an EventTap: the
+/// payload-free coordinates that the determinism contract pins. Everything
+/// here is reproduced bit for bit by a trace replay (sim/trace.hpp).
+struct EventRecord {
+  Time time = 0.0;     // delivery time
+  Time sent_at = 0.0;  // push time (now() at send/schedule)
+  std::uint64_t seq = 0;
+  std::uint64_t timer_id = 0;
+  EntityId from = 0;
+  EntityId to = 0;
+  EventKind kind = EventKind::kTimer;
+};
+
+/// Observation point for the engine's event schedule. Both hooks run on the
+/// simulation thread (pushes happen from handlers, applies, or the driver;
+/// dispatches from step()), so implementations need no locking.
+/// sim/trace.hpp builds schedule recording and the golden event-order hash
+/// on top of this interface.
+class EventTap {
+ public:
+  virtual ~EventTap() = default;
+  /// An event was pushed (send/schedule/replay_push), after seq assignment.
+  virtual void on_push(const EventRecord& record) { (void)record; }
+  /// An event was popped for dispatch — the (time, seq)-ordered stream.
+  virtual void on_dispatch(const EventRecord& record) { (void)record; }
+};
+
 /// Base class for everything that lives on the simulated grid.
 class Entity {
  public:
@@ -127,6 +154,13 @@ class Engine {
   void attach_executor(Executor* executor) { executor_ = executor; }
   Executor* executor() const { return executor_; }
 
+  /// Attach (or detach, with nullptr) a schedule observer. Detached (the
+  /// default), each hook site is a single null-pointer test. A tap that
+  /// records a schedule for replay must be attached before the first push
+  /// (sequence numbers must start at zero — see Engine::replay_push).
+  void attach_trace(EventTap* tap) { tap_ = tap; }
+  EventTap* trace() const { return tap_; }
+
   Time now() const { return now_; }
   std::uint64_t messages_delivered() const { return messages_delivered_; }
   std::uint64_t messages_sent() const { return messages_sent_; }
@@ -144,8 +178,12 @@ class Engine {
     KGRID_CHECK(to < entities_.size(), "send to unknown entity");
     KGRID_CHECK(delay >= 0.0, "negative delay");
     ++messages_sent_;
-    queue_.push(now_ + delay, next_seq_++, from, to, EventKind::kMessage, 0,
+    const std::uint64_t seq = next_seq_++;
+    queue_.push(now_ + delay, seq, from, to, EventKind::kMessage, 0,
                 std::forward<P>(payload), now_);
+    if (tap_ != nullptr)
+      tap_->on_push(
+          {now_ + delay, now_, seq, 0, from, to, EventKind::kMessage});
     with_metrics([&](EngineMetrics& m) {
       m.on_send(kind_of(from));
       m.on_queue_depth(queue_.size());
@@ -156,9 +194,34 @@ class Engine {
   void schedule(EntityId entity, Time delay, std::uint64_t timer_id) {
     KGRID_CHECK(entity < entities_.size(), "schedule for unknown entity");
     KGRID_CHECK(delay >= 0.0, "negative delay");
-    queue_.push(now_ + delay, next_seq_++, entity, entity, EventKind::kTimer,
+    const std::uint64_t seq = next_seq_++;
+    queue_.push(now_ + delay, seq, entity, entity, EventKind::kTimer,
                 timer_id, Payload(), now_);
+    if (tap_ != nullptr)
+      tap_->on_push({now_ + delay, now_, seq, timer_id, entity, entity,
+                     EventKind::kTimer});
     with_metrics([&](EngineMetrics& m) { m.on_queue_depth(queue_.size()); });
+  }
+
+  /// Re-enqueue one recorded event exactly as originally pushed — the
+  /// trace-replay path (sim/trace.hpp). Unlike send()/schedule(), the
+  /// delivery time and sent_at stamp are taken verbatim from the record, so
+  /// no floating-point round trip through a delay can perturb the schedule.
+  /// Replays drive a fresh engine and inject pushes in recorded order, so
+  /// the record's seq must equal the engine's next; messages carry an empty
+  /// payload (payload bytes are not part of the schedule contract).
+  void replay_push(const EventRecord& record) {
+    KGRID_CHECK(record.to < entities_.size(), "replay to unknown entity");
+    KGRID_CHECK(record.seq == next_seq_, "replayed schedule out of order");
+    KGRID_CHECK(record.time >= now_, "replayed event in the past");
+    if (record.kind == EventKind::kMessage) ++messages_sent_;
+    queue_.push(record.time, next_seq_++, record.from, record.to, record.kind,
+                record.timer_id, Payload(), record.sent_at);
+    if (tap_ != nullptr) tap_->on_push(record);
+    with_metrics([&](EngineMetrics& m) {
+      if (record.kind == EventKind::kMessage) m.on_send(kind_of(record.from));
+      m.on_queue_depth(queue_.size());
+    });
   }
 
   /// Submit a job on `entity`'s behalf. The job body runs on an executor
@@ -197,6 +260,9 @@ class Engine {
     // pool slot; the slot is recycled only after the handler returns (so
     // handlers can push new events without invalidating it).
     const EventQueue::Popped ev = queue_.pop();
+    if (tap_ != nullptr)
+      tap_->on_dispatch({ev.time, ev.sent_at, ev.seq, ev.timer_id, ev.from,
+                         ev.to, ev.kind});
     with_metrics([&](EngineMetrics& m) { m.advance_time(ev.time - now_); });
     now_ = ev.time;
     Entity* target = entities_[ev.to];
@@ -318,6 +384,7 @@ class Engine {
   std::uint64_t messages_sent_ = 0;
   EngineMetrics* metrics_ = nullptr;
   Executor* executor_ = nullptr;
+  EventTap* tap_ = nullptr;
   bool stats_flushed_ = false;    // this engine already counted in "engines"
   QueueStats flushed_queue_;      // snapshot at last flush (delta reporting)
   EventPoolStats flushed_pool_;

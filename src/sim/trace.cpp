@@ -1,0 +1,158 @@
+#include "sim/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace kgrid::sim {
+namespace {
+
+constexpr char kMagic[] = "KGTRACE1";  // 8 bytes, no terminator on disk
+constexpr std::size_t kMagicLen = 8;
+constexpr std::uint8_t kScheduleVersion = 1;
+
+}  // namespace
+
+std::string encode_schedule(const Schedule& schedule) {
+  util::ByteWriter w;
+  w.u8(kScheduleVersion);
+  w.varint(schedule.dispatch_count);
+  w.u64(schedule.dispatch_hash);
+  w.varint(schedule.entity_count);
+  w.varint(schedule.pushes.size());
+  std::uint64_t prev_dispatches = 0;
+  for (const SchedulePush& p : schedule.pushes) {
+    // Pushes are recorded in seq order, so `record.seq` is the index and
+    // `dispatches_before` is non-decreasing: store the delta, omit the seq.
+    w.varint(p.dispatches_before - prev_dispatches);
+    prev_dispatches = p.dispatches_before;
+    w.u8(static_cast<std::uint8_t>(p.record.kind));
+    w.varint(p.record.from);
+    w.varint(p.record.to);
+    w.varint(p.record.timer_id);
+    w.f64(p.record.time);
+    w.f64(p.record.sent_at);
+  }
+  return w.take();
+}
+
+bool decode_schedule(std::string_view bytes, Schedule* out) {
+  util::ByteReader r(bytes);
+  if (r.u8() != kScheduleVersion) return false;
+  Schedule s;
+  s.dispatch_count = r.varint();
+  s.dispatch_hash = r.u64();
+  s.entity_count = r.varint();
+  const std::uint64_t n_pushes = r.varint();
+  if (!r.ok()) return false;
+  // Each push is at least 1 (delta) + 1 (kind) + 3 (varints) + 16 (times)
+  // bytes; reject counts the buffer cannot possibly hold before reserving.
+  if (n_pushes > r.remaining()) return false;
+  s.pushes.reserve(n_pushes);
+  std::uint64_t dispatches = 0;
+  for (std::uint64_t i = 0; i < n_pushes; ++i) {
+    SchedulePush p;
+    dispatches += r.varint();
+    p.dispatches_before = dispatches;
+    p.record.kind = static_cast<EventKind>(r.u8());
+    p.record.from = static_cast<EntityId>(r.varint());
+    p.record.to = static_cast<EntityId>(r.varint());
+    p.record.timer_id = r.varint();
+    p.record.time = r.f64();
+    p.record.sent_at = r.f64();
+    p.record.seq = i;
+    if (!r.ok()) return false;
+    s.pushes.push_back(p);
+  }
+  if (!r.ok() || !r.at_end()) return false;
+  *out = std::move(s);
+  return true;
+}
+
+ReplayResult replay_schedule(Engine& engine, NullEntity& sink,
+                             const Schedule& schedule) {
+  KGRID_CHECK(engine.now() == 0.0 && engine.messages_sent() == 0,
+              "replay_schedule needs a fresh engine");
+  for (std::uint64_t i = 0; i < schedule.entity_count; ++i)
+    engine.add_entity(&sink, "replay");
+  ScheduleHasher hasher;
+  EventTap* previous_tap = engine.trace();
+  engine.attach_trace(&hasher);
+  for (const SchedulePush& p : schedule.pushes) {
+    while (hasher.dispatched() < p.dispatches_before)
+      KGRID_CHECK(engine.step(), "replay starved before a recorded push");
+    engine.replay_push(p.record);
+  }
+  while (hasher.dispatched() < schedule.dispatch_count)
+    KGRID_CHECK(engine.step(), "replay starved before recorded dispatch count");
+  engine.attach_trace(previous_tap);
+  return {hasher.dispatched(), hasher.hash(),
+          hasher.hash() == schedule.dispatch_hash};
+}
+
+void TraceFile::add(std::string key, std::string bytes) {
+  KGRID_CHECK(find(key) == nullptr, "duplicate trace entry key");
+  entries_.emplace_back(std::move(key), std::move(bytes));
+}
+
+const std::string* TraceFile::find(std::string_view key) const {
+  for (const auto& [k, v] : entries_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::vector<std::string> TraceFile::keys() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, v] : entries_) out.push_back(k);
+  return out;
+}
+
+std::string TraceFile::encode() const {
+  util::ByteWriter w;
+  for (std::size_t i = 0; i < kMagicLen; ++i)
+    w.u8(static_cast<std::uint8_t>(kMagic[i]));
+  w.varint(entries_.size());
+  for (const auto& [key, bytes] : entries_) {
+    w.str(key);
+    w.str(bytes);
+  }
+  return w.take();
+}
+
+bool TraceFile::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  const std::string bytes = encode();
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out.flush());
+}
+
+bool TraceFile::decode(std::string_view bytes, TraceFile* out) {
+  out->entries_.clear();
+  util::ByteReader r(bytes);
+  for (std::size_t i = 0; i < kMagicLen; ++i)
+    if (r.u8() != static_cast<std::uint8_t>(kMagic[i])) return false;
+  const std::uint64_t n = r.varint();
+  if (!r.ok() || n > r.remaining()) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string key = r.str();
+    std::string value = r.str();
+    if (!r.ok()) return false;
+    if (out->find(key) != nullptr) return false;
+    out->entries_.emplace_back(std::move(key), std::move(value));
+  }
+  return r.ok() && r.at_end();
+}
+
+bool TraceFile::load(const std::string& path, TraceFile* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return false;
+  return decode(buffer.str(), out);
+}
+
+}  // namespace kgrid::sim

@@ -1,0 +1,123 @@
+// Byte-stream primitives for the trace codecs (sim/trace.hpp,
+// data/trace_codec.hpp, core/env_trace.hpp).
+//
+// The format goals are (a) byte-identical output across platforms — traces
+// are committed artifacts that CI replays on machines different from the one
+// that recorded them — and (b) compactness for the skewed small integers the
+// schedules are full of. Hence: LEB128 varints for unsigned integers,
+// explicit little-endian fixed-width words, and IEEE-754 bit patterns for
+// doubles (times round-trip exactly; no decimal detour).
+//
+// ByteReader never throws or aborts on malformed input: every accessor
+// degrades to returning zero once truncation is detected, and callers check
+// ok() after decoding a block. This keeps the codecs usable on corrupt or
+// version-skewed trace files with a clean error instead of UB.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace kgrid::util {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  /// Fixed-width little-endian 64-bit word (used for hashes, where varint
+  /// encoding would average longer than 8 bytes).
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  /// Unsigned LEB128.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      u8(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    u8(static_cast<std::uint8_t>(v));
+  }
+
+  /// IEEE-754 bit pattern, little-endian. Exact round trip, including -0.0.
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  /// Length-prefixed byte string.
+  void str(std::string_view s) {
+    varint(s.size());
+    out_.append(s.data(), s.size());
+  }
+
+  const std::string& bytes() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8() {
+    if (pos_ >= data_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t byte = u8();
+      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return ok_ ? v : 0;
+    }
+    ok_ = false;  // > 10 continuation bytes: not a valid LEB128 u64
+    return 0;
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return ok_ ? v : 0.0;
+  }
+
+  std::string str() {
+    const std::uint64_t n = varint();
+    if (!ok_ || n > data_.size() - pos_) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  /// False once any read ran past the end of the buffer; all subsequent
+  /// reads return zero values.
+  bool ok() const { return ok_; }
+  bool at_end() const { return pos_ >= data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace kgrid::util

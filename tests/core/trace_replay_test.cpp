@@ -1,0 +1,147 @@
+// The workload half of the trace contract (core/env_trace.hpp): a decoded
+// GridEnv must be bit-identical to the recorded one, and a SecureGrid run
+// over it must reproduce the recorded dispatch-order hash at any executor
+// width — the property the fig3 ctest fixtures check end-to-end and CI
+// gates on (docs/BENCHMARKS.md "Trace record/replay").
+#include "core/env_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/grid.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+
+namespace kgrid::core {
+namespace {
+
+void expect_env_eq(const GridEnv& a, const GridEnv& b) {
+  ASSERT_EQ(a.overlay.size(), b.overlay.size());
+  for (net::NodeId u = 0; u < a.overlay.size(); ++u)
+    EXPECT_EQ(a.overlay.neighbors(u), b.overlay.neighbors(u)) << "node " << u;
+  EXPECT_EQ(a.delays.seed(), b.delays.seed());
+  EXPECT_EQ(a.delays.lo(), b.delays.lo());
+  EXPECT_EQ(a.delays.hi(), b.delays.hi());
+
+  auto expect_txns_eq = [](const std::vector<data::Transaction>& x,
+                           const std::vector<data::Transaction>& y) {
+    ASSERT_EQ(x.size(), y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_EQ(x[i].id, y[i].id);
+      EXPECT_EQ(x[i].items, y[i].items);
+    }
+  };
+  expect_txns_eq(a.global.transactions(), b.global.transactions());
+  ASSERT_EQ(a.initial.size(), b.initial.size());
+  for (std::size_t u = 0; u < a.initial.size(); ++u)
+    expect_txns_eq(a.initial[u].transactions(), b.initial[u].transactions());
+  ASSERT_EQ(a.arrivals.size(), b.arrivals.size());
+  for (std::size_t u = 0; u < a.arrivals.size(); ++u)
+    expect_txns_eq(a.arrivals[u], b.arrivals[u]);
+}
+
+GridEnvConfig small_config() {
+  GridEnvConfig cfg;
+  cfg.n_resources = 8;
+  cfg.seed = 77;
+  cfg.quest.n_transactions = 120;
+  cfg.quest.n_items = 20;
+  cfg.quest.n_patterns = 8;
+  cfg.initial_fraction = 0.5;  // non-empty arrivals exercise the ref codec
+  return cfg;
+}
+
+TEST(EnvCodec, RoundTripsGeneratedEnv) {
+  const GridEnv env = make_grid_env(small_config());
+  const std::string bytes = encode_env(env);
+  const auto decoded = decode_env(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  expect_env_eq(env, *decoded);
+}
+
+TEST(EnvCodec, EncodingIsDeterministic) {
+  EXPECT_EQ(encode_env(make_grid_env(small_config())),
+            encode_env(make_grid_env(small_config())));
+}
+
+TEST(EnvCodec, RejectsCorruptBytes) {
+  const std::string bytes = encode_env(make_grid_env(small_config()));
+  EXPECT_FALSE(decode_env("").has_value());
+  EXPECT_FALSE(decode_env(bytes.substr(0, bytes.size() / 3)).has_value());
+  std::string wrong_version = bytes;
+  wrong_version[0] = 99;
+  EXPECT_FALSE(decode_env(wrong_version).has_value());
+  // Trailing garbage is corruption too, not padding.
+  EXPECT_FALSE(decode_env(bytes + "x").has_value());
+}
+
+/// Tiny single-itemset workload in the fig3 style: every resource votes on
+/// item 0, half the votes stream in as arrivals.
+GridEnv tiny_vote_env(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  GridEnv env{net::spanning_tree(net::path(n), 0),
+              net::LinkDelays(seed ^ 0xabcdef, 0.5, 2.0),
+              data::Database{},
+              {},
+              {}};
+  data::TransactionId id = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    data::Database part;
+    std::vector<data::Transaction> stream;
+    for (std::size_t i = 0; i < 12; ++i) {
+      const bool vote = rng.bernoulli(0.6);
+      const data::Transaction t{id++,
+                                vote ? data::Itemset{0} : data::Itemset{1}};
+      env.global.append(t);
+      if (i < 6) part.append(t);
+      else stream.push_back(t);
+    }
+    env.initial.push_back(std::move(part));
+    env.arrivals.push_back(std::move(stream));
+  }
+  return env;
+}
+
+/// Run a secure grid over `env` at `threads` lanes with a hasher attached;
+/// returns (dispatched, hash).
+std::pair<std::uint64_t, std::uint64_t> run_hashed(GridEnv env,
+                                                   std::size_t threads) {
+  sim::ScheduleHasher hasher;
+  SecureGridConfig cfg;
+  cfg.env.n_resources = env.overlay.size();
+  cfg.env.seed = 4242;
+  cfg.env.quest.n_items = 2;
+  cfg.secure.n_items = 1;
+  cfg.secure.min_freq = 0.5;
+  cfg.secure.k = 4;
+  cfg.secure.candidate_period = 1;
+  cfg.secure.arrivals_per_step = 1;
+  cfg.threads = threads;
+  cfg.trace = &hasher;
+  SecureGrid grid(cfg, std::move(env));
+  grid.run_steps(6);
+  return {hasher.dispatched(), hasher.hash()};
+}
+
+TEST(TraceReplay, DecodedEnvReproducesTheScheduleAtEveryWidth) {
+  const GridEnv env = tiny_vote_env(8, 99);
+  const auto decoded = decode_env(encode_env(env));
+  ASSERT_TRUE(decoded.has_value());
+
+  const auto golden = run_hashed(env, 1);
+  EXPECT_GT(golden.first, 0u);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    const auto live = run_hashed(env, threads);
+    const auto replayed = run_hashed(*decoded, threads);
+    EXPECT_EQ(live, golden) << "live run diverged at threads=" << threads;
+    EXPECT_EQ(replayed, golden)
+        << "decoded-env run diverged at threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace kgrid::core

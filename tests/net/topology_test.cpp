@@ -143,6 +143,43 @@ TEST(LinkDelays, DifferentSeedsDiffer) {
   EXPECT_LT(equal, 3);
 }
 
+TEST(Graph, FromAdjacencyPreservesNeighbourOrder) {
+  // Neighbour order is load-bearing (slot numbering, event order), so the
+  // lists must come back verbatim — including non-sorted orderings a
+  // generator might produce.
+  const std::vector<std::vector<NodeId>> adjacency{
+      {2, 1}, {0}, {0, 3}, {2}};
+  const Graph g = Graph::from_adjacency(adjacency);
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  for (NodeId u = 0; u < g.size(); ++u)
+    EXPECT_EQ(g.neighbors(u), adjacency[u]) << "node " << u;
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(1, 3));
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, FromAdjacencyRoundTripsGeneratedGraphs) {
+  Rng rng(7);
+  const Graph original = barabasi_albert(64, 2, rng);
+  std::vector<std::vector<NodeId>> adjacency;
+  for (NodeId u = 0; u < original.size(); ++u)
+    adjacency.push_back(original.neighbors(u));
+  const Graph copy = Graph::from_adjacency(std::move(adjacency));
+  EXPECT_EQ(copy.size(), original.size());
+  EXPECT_EQ(copy.edge_count(), original.edge_count());
+  for (NodeId u = 0; u < original.size(); ++u)
+    EXPECT_EQ(copy.neighbors(u), original.neighbors(u));
+}
+
+TEST(Graph, FromAdjacencyAcceptsEmptyAndEdgeless) {
+  EXPECT_EQ(Graph::from_adjacency({}).size(), 0u);
+  const Graph g = Graph::from_adjacency({{}, {}});
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
 TEST(LinkDelays, LinksHaveDistinctDelays) {
   const LinkDelays d(9, 0.1, 0.5);
   std::map<double, int> seen;

@@ -1,0 +1,183 @@
+#include "obs/bench_diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kgrid::obs {
+namespace {
+
+/// Minimal kgrid.bench.v1-shaped artifact: one series row whose metrics are
+/// the test's knobs, plus a sim section that the differ must ignore.
+Json artifact(double real_time, double items_per_second,
+              std::uint64_t messages, bool converged,
+              const std::string& threads = "2",
+              const std::string& name = "BM_X/1024") {
+  Json j = Json::object();
+  j.set("schema", "kgrid.bench.v1");
+  j.set("bench", "unit");
+  Json args = Json::object();
+  args.set("threads", threads);
+  j.set("args", std::move(args));
+  j.set("wall_time_s", 1.0);
+  Json row = Json::object();
+  row.set("name", name);
+  row.set("iterations", std::uint64_t{100});  // kIgnore: never compared
+  row.set("real_time", real_time);
+  row.set("items_per_second", items_per_second);
+  row.set("messages_delivered", messages);
+  row.set("converged", converged);
+  Json rows = Json::array();
+  rows.push_back(std::move(row));
+  j.set("series", std::move(rows));
+  Json sim = Json::object();  // machine-dependent: skipped by the differ
+  sim.set("events_processed", std::uint64_t{999});
+  j.set("sim", std::move(sim));
+  return j;
+}
+
+DiffResult diff(const Json& baseline, const Json& run,
+                const DiffOptions& options = {}) {
+  return diff_bench(baseline, {&run}, options);
+}
+
+TEST(ClassifyMetric, ByLeafName) {
+  EXPECT_EQ(classify_metric("iterations"), MetricClass::kIgnore);
+  EXPECT_EQ(classify_metric("wall_time_s"), MetricClass::kIgnore);
+  EXPECT_EQ(classify_metric("real_time"), MetricClass::kTime);
+  EXPECT_EQ(classify_metric("wall_s"), MetricClass::kTime);
+  EXPECT_EQ(classify_metric("items_per_second"), MetricClass::kRate);
+  EXPECT_EQ(classify_metric("speedup"), MetricClass::kRate);
+  // Unknown metrics land in the strict class.
+  EXPECT_EQ(classify_metric("messages_delivered"), MetricClass::kCount);
+  EXPECT_EQ(classify_metric("brand_new_counter"), MetricClass::kCount);
+}
+
+TEST(SeriesRowKey, UsesIdentityFieldsInFixedOrder) {
+  Json row = Json::object();
+  row.set("significance", 0.3);
+  row.set("resources", std::uint64_t{32});
+  row.set("steps_to_recall", std::uint64_t{7});  // measurement: not identity
+  EXPECT_EQ(series_row_key(row), "resources=32/significance=0.3");
+  EXPECT_EQ(series_row_key(Json::object()), "<row>");
+}
+
+TEST(BenchDiff, IdenticalArtifactsPass) {
+  const Json a = artifact(100.0, 1000.0, 64, true);
+  const DiffResult r = diff(a, a);
+  EXPECT_TRUE(r.pass());
+  EXPECT_TRUE(r.entries.empty());
+  EXPECT_GT(r.metrics_compared, 0u);
+  EXPECT_EQ(r.bench, "unit");
+}
+
+TEST(BenchDiff, TimeRegressionBeyondToleranceFails) {
+  const Json base = artifact(100.0, 1000.0, 64, true);
+  const DiffResult r = diff(base, artifact(130.0, 1000.0, 64, true));
+  EXPECT_FALSE(r.pass());
+  ASSERT_EQ(r.regressions(), 1u);
+  const DiffEntry& e = r.entries.front();
+  EXPECT_EQ(e.status, DiffStatus::kRegressed);
+  EXPECT_EQ(e.metric_class, MetricClass::kTime);
+  EXPECT_EQ(e.location, "series[name=BM_X/1024].real_time");
+  EXPECT_DOUBLE_EQ(e.delta_pct, 30.0);
+}
+
+TEST(BenchDiff, TimeExactlyAtToleranceStillPasses) {
+  // The comparison is strict ">": the documented threshold is inclusive.
+  const Json base = artifact(100.0, 1000.0, 64, true);
+  EXPECT_TRUE(diff(base, artifact(125.0, 1000.0, 64, true)).pass());
+  EXPECT_FALSE(diff(base, artifact(125.2, 1000.0, 64, true)).pass());
+}
+
+TEST(BenchDiff, TimeImprovementIsInformational) {
+  const Json base = artifact(100.0, 1000.0, 64, true);
+  const DiffResult r = diff(base, artifact(50.0, 1000.0, 64, true));
+  EXPECT_TRUE(r.pass());
+  EXPECT_EQ(r.improvements(), 1u);
+}
+
+TEST(BenchDiff, RateDropFailsRateGainPasses) {
+  const Json base = artifact(100.0, 1000.0, 64, true);
+  EXPECT_FALSE(diff(base, artifact(100.0, 700.0, 64, true)).pass());
+  const DiffResult up = diff(base, artifact(100.0, 2000.0, 64, true));
+  EXPECT_TRUE(up.pass());
+  EXPECT_EQ(up.improvements(), 1u);
+}
+
+TEST(BenchDiff, CountChangeFailsAtZeroTolerance) {
+  const Json base = artifact(100.0, 1000.0, 64, true);
+  const DiffResult r = diff(base, artifact(100.0, 1000.0, 65, true));
+  EXPECT_FALSE(r.pass());
+  ASSERT_EQ(r.regressions(), 1u);
+  EXPECT_EQ(r.entries.front().status, DiffStatus::kValueChanged);
+
+  DiffOptions loose;
+  loose.count_tol_pct = 5.0;
+  EXPECT_TRUE(diff(base, artifact(100.0, 1000.0, 65, true), loose).pass());
+}
+
+TEST(BenchDiff, NonNumericValueChangeFails) {
+  const Json base = artifact(100.0, 1000.0, 64, true);
+  const DiffResult r = diff(base, artifact(100.0, 1000.0, 64, false));
+  EXPECT_FALSE(r.pass());
+  EXPECT_EQ(r.entries.front().status, DiffStatus::kValueChanged);
+}
+
+TEST(BenchDiff, MedianAcrossRunsShedsOneOutlier) {
+  const Json base = artifact(100.0, 1000.0, 64, true);
+  const Json good1 = artifact(101.0, 1000.0, 64, true);
+  const Json spike = artifact(400.0, 1000.0, 64, true);  // scheduler hiccup
+  const Json good2 = artifact(99.0, 1000.0, 64, true);
+  EXPECT_TRUE(diff_bench(base, {&good1, &spike, &good2}).pass());
+  // The same spike alone is a regression.
+  EXPECT_FALSE(diff_bench(base, {&spike}).pass());
+}
+
+TEST(BenchDiff, MissingRowFailsNewRowInforms) {
+  const Json base = artifact(100.0, 1000.0, 64, true);
+  const Json renamed = artifact(100.0, 1000.0, 64, true, "2", "BM_Y/1024");
+  const DiffResult r = diff(base, renamed);
+  EXPECT_FALSE(r.pass());
+  bool missing = false, fresh = false;
+  for (const DiffEntry& e : r.entries) {
+    missing |= e.status == DiffStatus::kMissingRow;
+    fresh |= e.status == DiffStatus::kNewRow;
+  }
+  EXPECT_TRUE(missing);
+  EXPECT_TRUE(fresh);
+}
+
+TEST(BenchDiff, ArgsDriftWarnsButPasses) {
+  const Json base = artifact(100.0, 1000.0, 64, true, "2");
+  const DiffResult r = diff(base, artifact(100.0, 1000.0, 64, true, "8"));
+  EXPECT_TRUE(r.pass());
+  ASSERT_EQ(r.entries.size(), 1u);
+  EXPECT_EQ(r.entries.front().status, DiffStatus::kArgsDrift);
+}
+
+TEST(BenchDiff, SimSectionIsNeverCompared) {
+  // Identical except sim.events_processed — must not even register.
+  Json base = artifact(100.0, 1000.0, 64, true);
+  Json run = artifact(100.0, 1000.0, 64, true);
+  Json sim = Json::object();
+  sim.set("events_processed", std::uint64_t{1});
+  run.set("sim", std::move(sim));
+  EXPECT_TRUE(diff(base, run).pass());
+  EXPECT_TRUE(diff(base, run).entries.empty());
+}
+
+TEST(BenchDiff, VerdictJsonHasTheSchemaAndEntries) {
+  const Json base = artifact(100.0, 1000.0, 64, true);
+  const Json verdict =
+      diff(base, artifact(130.0, 1000.0, 64, true)).to_json();
+  ASSERT_NE(verdict.find("schema"), nullptr);
+  EXPECT_EQ(verdict.find("schema")->as_string(), "kgrid.benchdiff.v1");
+  EXPECT_FALSE(verdict.find("pass")->as_bool());
+  EXPECT_EQ(verdict.find("entries")->elements().size(), 1u);
+}
+
+}  // namespace
+}  // namespace kgrid::obs
