@@ -29,6 +29,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -41,6 +42,7 @@
 #include "crypto/randomizer_pool.hpp"
 #include "obs/bench_report.hpp"
 #include "sim/executor.hpp"
+#include "wide/fixword/fixword.hpp"
 #include "wide/modular.hpp"
 #include "wide/prime.hpp"
 
@@ -286,6 +288,31 @@ sim::Executor& executor_for(std::size_t threads) {
 
 constexpr std::size_t kHomBatch = 16;  // ~one broker aggregation's worth
 
+void BM_BatchEncrypt(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const auto& ctx = hom_context_for(bits);
+  const auto enc = ctx->encrypt_key();
+  Rng rng(11);
+  std::vector<std::vector<std::uint64_t>> items;
+  for (std::size_t i = 0; i < kHomBatch; ++i)
+    items.push_back({1000 + i});
+  ctx->prefill_randomizers(kHomBatch * state.max_iterations);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        enc.encrypt_batch(items, rng, &executor_for(threads)));
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kHomBatch));
+}
+BENCHMARK(BM_BatchEncrypt)
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->Args({1024, 1})
+    ->Args({1024, 4})
+    ->Iterations(16)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_BatchRerandomize(benchmark::State& state) {
   const auto bits = static_cast<std::size_t>(state.range(0));
   const auto threads = static_cast<std::size_t>(state.range(1));
@@ -339,6 +366,94 @@ BENCHMARK(BM_BatchDecrypt)
     ->Args({1024, 1})
     ->Args({1024, 4})
     ->Unit(benchmark::kMicrosecond);
+
+// -- Per-kernel series: the fixed-width backend kernels themselves --
+//
+// Registered at runtime (benchmark::RegisterBenchmark) once per *available*
+// backend, so the artifact records exactly what this CPU can run:
+//
+//   BM_CiosMul<backend>/BITS        — batch Montgomery multiplication
+//   BM_InterleavedPow<backend>/kK/BITS — K-wide interleaved exponentiation
+//
+// KGRID_BENCH_PORTABLE=1 makes the whole artifact machine-portable: the
+// kernel series is restricted to the scalar backend AND dispatch is pinned
+// to scalar for every batch bench, so committed baselines are comparable
+// across machines with different SIMD capabilities. Against such a baseline
+// a SIMD-capable runner only ever *improves* the batch rows, and its extra
+// kernel rows surface in bench_diff as informational new rows.
+
+const wide::Montgomery& fixed_width_mont(std::size_t bits) {
+  static std::map<std::size_t, std::unique_ptr<wide::Montgomery>> cache;
+  auto it = cache.find(bits);
+  if (it == cache.end()) {
+    Rng rng(bits + 3);
+    // Top bit set: the modulus lands on exactly bits/64 limbs.
+    BigInt m = BigInt::random_bits(rng, bits - 1) + (BigInt(1) << (bits - 1));
+    if (m.is_even()) m += BigInt(1);
+    it = cache.emplace(bits, std::make_unique<wide::Montgomery>(m)).first;
+  }
+  return *it->second;
+}
+
+void kernel_cios_mul(benchmark::State& state, const wide::fixword::Backend* b) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const wide::Montgomery& mont = fixed_width_mont(bits);
+  Rng rng(17);
+  constexpr std::size_t kMuls = 64;
+  std::vector<wide::Montgomery::Form> xs, ys;
+  for (std::size_t i = 0; i < kMuls; ++i) {
+    xs.push_back(mont.to_form(BigInt::random_below(rng, mont.modulus())));
+    ys.push_back(mont.to_form(BigInt::random_below(rng, mont.modulus())));
+  }
+  wide::fixword::force_backend(b);
+  for (auto _ : state) benchmark::DoNotOptimize(mont.mul_form_batch(xs, ys));
+  wide::fixword::force_backend(nullptr);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kMuls));
+}
+
+void kernel_interleaved_pow(benchmark::State& state,
+                            const wide::fixword::Backend* b, std::size_t k) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const wide::Montgomery& mont = fixed_width_mont(bits);
+  Rng rng(18);
+  std::vector<wide::Montgomery::Form> bases;
+  for (std::size_t i = 0; i < k; ++i)
+    bases.push_back(mont.to_form(BigInt::random_below(rng, mont.modulus())));
+  const BigInt exp = BigInt::random_bits(rng, bits);
+  wide::fixword::force_backend(b);
+  for (auto _ : state) benchmark::DoNotOptimize(mont.pow_form_batch(bases, exp));
+  wide::fixword::force_backend(nullptr);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * k));
+}
+
+bool bench_portable() {
+  const char* portable = std::getenv("KGRID_BENCH_PORTABLE");
+  return portable != nullptr && portable[0] != '\0' &&
+         std::string_view(portable) != "0";
+}
+
+void register_kernel_benches() {
+  const bool scalar_only = bench_portable();
+  for (const wide::fixword::Backend* b : wide::fixword::all_backends()) {
+    if (!b->available()) continue;
+    if (scalar_only && b->name() != "scalar") continue;
+    const std::string bn(b->name());
+    benchmark::RegisterBenchmark(
+        ("BM_CiosMul<" + bn + ">").c_str(),
+        [b](benchmark::State& s) { kernel_cios_mul(s, b); })
+        ->Arg(1024)
+        ->Arg(2048);
+    for (std::size_t k : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+      benchmark::RegisterBenchmark(
+          ("BM_InterleavedPow<" + bn + ">/k" + std::to_string(k)).c_str(),
+          [b, k](benchmark::State& s) { kernel_interleaved_pow(s, b, k); })
+          ->Arg(1024)
+          ->Iterations(4)
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
 
 /// Console reporter that additionally captures every run as a series row
 /// ({name, iterations, real_time, cpu_time, time_unit}).
@@ -400,6 +515,9 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&bench_argc, bench_argv.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data()))
     return 1;
+  register_kernel_benches();
+  if (bench_portable())
+    wide::fixword::force_backend(wide::fixword::find_backend("scalar"));
   CaptureReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();

@@ -11,8 +11,17 @@
 namespace kgrid::hom {
 
 using wide::BigInt;
+using Form = wide::Montgomery::Form;
 
 namespace {
+
+/// Items per batch-kernel call on the Paillier paths: one AVX-512 IFMA
+/// lane-group, and a multiple of the AVX2 (4) and NEON (2) lane counts —
+/// executor threads parallelize across chunks while SIMD lanes fill within
+/// one. Chunking is fixed (not thread-count-dependent) so the work
+/// decomposition, and with it every plaintext, is identical at any thread
+/// count.
+constexpr std::size_t kBatchChunk = 8;
 
 /// Shared batch driver: spread the indices across executor lanes when a
 /// multi-lane executor was supplied, plain index-order loop otherwise. The
@@ -55,6 +64,16 @@ void set_cipher_form(Cipher& c, wide::Montgomery::Form f,
                      const PaillierPublicKey& pk) {
   Cipher::Body& b = c.own();
   b.paillier = pk.from_form(f);
+  b.paillier_form = std::move(f);
+}
+
+/// Batch-path variant of set_cipher_form: the canonical value was already
+/// materialized by a from_form_batch over the whole chunk, so install both
+/// views without a per-item conversion.
+void set_cipher_form_value(Cipher& c, wide::Montgomery::Form f,
+                           wide::BigInt value) {
+  Cipher::Body& b = c.own();
+  b.paillier = std::move(value);
   b.paillier_form = std::move(f);
 }
 
@@ -104,8 +123,36 @@ std::vector<Cipher> EncryptKey::encrypt_batch(
     sim::Executor* executor) const {
   std::vector<Rng> rngs = split_per_item(rng, items.size());
   std::vector<Cipher> out(items.size());
-  batch_for(executor, items.size(),
-            [&](std::size_t i) { out[i] = encrypt(items[i], rngs[i]); });
+  if (ctx_->backend() == Backend::kPlain) {
+    batch_for(executor, items.size(),
+              [&](std::size_t i) { out[i] = encrypt(items[i], rngs[i]); });
+    return out;
+  }
+  // Paillier: pack every plaintext up front, then push chunks through the
+  // interleaved batch kernels (encrypt_form_batch + one from_form_batch for
+  // the canonical values).
+  const std::size_t n = items.size();
+  const PaillierPublicKey& pk = ctx_->key_.pub;
+  obs::crypto_counters().hom_encrypts.inc(n);
+  std::vector<BigInt> ms(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    KGRID_CHECK(items[i].size() <= ctx_->max_fields(),
+                "packed plaintext exceeds Paillier capacity");
+    ms[i] = pack_fields(items[i]);
+  }
+  const std::size_t chunks = (n + kBatchChunk - 1) / kBatchChunk;
+  batch_for(executor, chunks, [&](std::size_t ci) {
+    const std::size_t lo = ci * kBatchChunk;
+    const std::size_t len = std::min(kBatchChunk, n - lo);
+    std::vector<Form> forms = pk.encrypt_form_batch(
+        std::span(ms).subspan(lo, len), std::span(rngs).subspan(lo, len));
+    std::vector<BigInt> values = pk.mont_n2->from_form_batch(forms);
+    for (std::size_t i = 0; i < len; ++i) {
+      out[lo + i].own().backend = Backend::kPaillier;
+      set_cipher_form_value(out[lo + i], std::move(forms[i]),
+                            std::move(values[i]));
+    }
+  });
   return out;
 }
 
@@ -192,16 +239,35 @@ std::vector<Cipher> EvalHandle::rerandomize_batch(
     std::span<const Cipher* const> items, Rng& rng,
     sim::Executor* executor) const {
   std::vector<Rng> rngs = split_per_item(rng, items.size());
-  if (ctx_->backend() == Backend::kPaillier) {
-    // Warm the lazy Montgomery-form caches before going parallel: the batch
-    // may list the same cipher more than once (a double-counting broker
-    // does), and cipher_form's first-use population is not synchronized.
-    const PaillierPublicKey& pk = ctx_->key_.pub;
-    for (const Cipher* c : items) cipher_form(*c, pk);
-  }
   std::vector<Cipher> out(items.size());
-  batch_for(executor, items.size(),
-            [&](std::size_t i) { out[i] = rerandomize(*items[i], rngs[i]); });
+  if (ctx_->backend() == Backend::kPlain) {
+    batch_for(executor, items.size(),
+              [&](std::size_t i) { out[i] = rerandomize(*items[i], rngs[i]); });
+    return out;
+  }
+  // Warm the lazy Montgomery-form caches before going parallel: the batch
+  // may list the same cipher more than once (a double-counting broker
+  // does), and cipher_form's first-use population is not synchronized.
+  const PaillierPublicKey& pk = ctx_->key_.pub;
+  for (const Cipher* c : items) cipher_form(*c, pk);
+  const std::size_t n = items.size();
+  obs::crypto_counters().hom_rerandomizes.inc(n);
+  const std::size_t chunks = (n + kBatchChunk - 1) / kBatchChunk;
+  batch_for(executor, chunks, [&](std::size_t ci) {
+    const std::size_t lo = ci * kBatchChunk;
+    const std::size_t len = std::min(kBatchChunk, n - lo);
+    std::vector<Form> cas(len);
+    for (std::size_t i = 0; i < len; ++i)
+      cas[i] = cipher_form(*items[lo + i], pk);
+    std::vector<Form> forms =
+        pk.rerandomize_form_batch(cas, std::span(rngs).subspan(lo, len));
+    std::vector<BigInt> values = pk.mont_n2->from_form_batch(forms);
+    for (std::size_t i = 0; i < len; ++i) {
+      out[lo + i] = *items[lo + i];  // COW alias; cloned inside own() below
+      set_cipher_form_value(out[lo + i], std::move(forms[i]),
+                            std::move(values[i]));
+    }
+  });
   return out;
 }
 
@@ -238,8 +304,27 @@ std::vector<std::vector<std::uint64_t>> DecryptKey::decrypt_batch(
     std::span<const Cipher* const> items, std::size_t n_fields,
     sim::Executor* executor) const {
   std::vector<std::vector<std::uint64_t>> out(items.size());
-  batch_for(executor, items.size(),
-            [&](std::size_t i) { out[i] = decrypt(*items[i], n_fields); });
+  if (ctx_->backend() == Backend::kPlain) {
+    batch_for(executor, items.size(),
+              [&](std::size_t i) { out[i] = decrypt(*items[i], n_fields); });
+    return out;
+  }
+  const std::size_t n = items.size();
+  obs::crypto_counters().hom_decrypts.inc(n);
+  const std::size_t chunks = (n + kBatchChunk - 1) / kBatchChunk;
+  batch_for(executor, chunks, [&](std::size_t ci) {
+    const std::size_t lo = ci * kBatchChunk;
+    const std::size_t len = std::min(kBatchChunk, n - lo);
+    std::vector<BigInt> cs(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      KGRID_CHECK(items[lo + i]->backend() == ctx_->backend(),
+                  "cipher backend mismatch");
+      cs[i] = items[lo + i]->body().paillier;
+    }
+    const std::vector<BigInt> ms = ctx_->key_.decrypt_batch(cs);
+    for (std::size_t i = 0; i < len; ++i)
+      out[lo + i] = unpack_fields(ms[i], n_fields);
+  });
   return out;
 }
 

@@ -93,6 +93,8 @@ class Cipher {
                                                    const PaillierPublicKey& pk);
   friend void set_cipher_form(Cipher& c, wide::Montgomery::Form f,
                               const PaillierPublicKey& pk);
+  friend void set_cipher_form_value(Cipher& c, wide::Montgomery::Form f,
+                                    wide::BigInt value);
 
   struct Body {
     Backend backend = Backend::kPlain;

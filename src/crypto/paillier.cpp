@@ -35,10 +35,49 @@ BigInt PaillierPublicKey::from_form(const Form& c) const {
 Form PaillierPublicKey::encrypt_form(const BigInt& m, Rng& rng) const {
   KGRID_CHECK(!m.is_negative() && m < n, "Paillier plaintext out of range");
   obs::crypto_counters().paillier_encrypts.inc();
-  // (1 + m n) mod n^2 multiplied by r^n mod n^2; with a stocked pool this is
-  // two Montgomery multiplications and no modexp.
-  const BigInt gm = (BigInt(1) + m * n) % n2;
+  // (1 + m n) multiplied by r^n mod n^2; with m < n the product is already
+  // below n^2 (1 + mn <= n^2 - n + 1), so no reduction is needed. With a
+  // stocked pool this is two Montgomery multiplications and no modexp.
+  const BigInt gm = BigInt(1) + m * n;
   return mont_n2->mul_form(mont_n2->to_form(gm), randomizer_form(rng));
+}
+
+std::vector<Form> PaillierPublicKey::randomizer_forms(std::size_t n_items,
+                                                      std::span<Rng> rngs) const {
+  std::vector<Form> out;
+  out.reserve(n_items);
+  if (pool) {
+    for (std::size_t i = 0; i < n_items; ++i) out.push_back(pool->take());
+    return out;
+  }
+  std::vector<Form> bases;
+  bases.reserve(n_items);
+  for (std::size_t i = 0; i < n_items; ++i)
+    bases.push_back(mont_n2->to_form(random_unit(rngs[i])));
+  return mont_n2->pow_form_batch(bases, n);
+}
+
+std::vector<Form> PaillierPublicKey::encrypt_form_batch(
+    std::span<const BigInt> ms, std::span<Rng> rngs) const {
+  KGRID_CHECK(ms.size() == rngs.size(),
+              "encrypt_form_batch: ms/rngs size mismatch");
+  const std::size_t count = ms.size();
+  obs::crypto_counters().paillier_encrypts.inc(count);
+  std::vector<Form> gms;
+  gms.reserve(count);
+  for (const BigInt& m : ms) {
+    KGRID_CHECK(!m.is_negative() && m < n, "Paillier plaintext out of range");
+    gms.push_back(mont_n2->to_form(BigInt(1) + m * n));
+  }
+  return mont_n2->mul_form_batch(gms, randomizer_forms(count, rngs));
+}
+
+std::vector<Form> PaillierPublicKey::rerandomize_form_batch(
+    std::span<const Form> cas, std::span<Rng> rngs) const {
+  KGRID_CHECK(cas.size() == rngs.size(),
+              "rerandomize_form_batch: cas/rngs size mismatch");
+  obs::crypto_counters().paillier_rerandomizes.inc(cas.size());
+  return mont_n2->mul_form_batch(cas, randomizer_forms(cas.size(), rngs));
 }
 
 BigInt PaillierPublicKey::encrypt(const BigInt& m, Rng& rng) const {
@@ -111,6 +150,37 @@ BigInt PaillierPrivateKey::decrypt(const BigInt& c) const {
   // Garner: m = m_q + q·((m_p − m_q)·q^-1 mod p).
   const BigInt diff = (mp - mq).mod_floor(p);
   return mq + q * ((diff * q_inv_p) % p);
+}
+
+std::vector<BigInt> PaillierPrivateKey::decrypt_batch(
+    std::span<const BigInt> cs) const {
+  const std::size_t count = cs.size();
+  obs::crypto_counters().paillier_decrypts.inc(count);
+  const BigInt p2 = mont_p2->modulus();
+  const BigInt q2 = mont_q2->modulus();
+  std::vector<Form> bp, bq;
+  bp.reserve(count);
+  bq.reserve(count);
+  for (const BigInt& c : cs) {
+    KGRID_CHECK(!c.is_negative() && c < pub.n2,
+                "Paillier ciphertext out of range");
+    bp.push_back(mont_p2->to_form(c % p2));
+    bq.push_back(mont_q2->to_form(c % q2));
+  }
+  // The two half-width exponentiations of every item, interleaved: one
+  // shared-exponent batch mod p^2 and one mod q^2.
+  const std::vector<BigInt> ups =
+      mont_p2->from_form_batch(mont_p2->pow_form_batch(bp, p - BigInt(1)));
+  const std::vector<BigInt> uqs =
+      mont_q2->from_form_batch(mont_q2->pow_form_batch(bq, q - BigInt(1)));
+  std::vector<BigInt> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const BigInt mp = (((ups[i] - BigInt(1)) / p) * hp) % p;
+    const BigInt mq = (((uqs[i] - BigInt(1)) / q) * hq) % q;
+    const BigInt diff = (mp - mq).mod_floor(p);
+    out[i] = mq + q * ((diff * q_inv_p) % p);
+  }
+  return out;
 }
 
 BigInt PaillierPrivateKey::decrypt_signed(const BigInt& c) const {

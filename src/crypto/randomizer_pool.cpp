@@ -39,10 +39,26 @@ wide::Montgomery::Form RandomizerPool::take() {
 
 void RandomizerPool::prefill(std::size_t count) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (count == 0) return;
+  // Draw every r in index order first — the rng consumes exactly the same
+  // draw sequence as `count` serial generate() calls, so the factor stream
+  // stays seed-deterministic — then raise them all to n through one
+  // interleaved batch exponentiation.
+  std::vector<wide::Montgomery::Form> bases;
+  bases.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     obs::crypto_counters().pool_prefills.inc();
-    stock_.push_back(generate());
+    for (;;) {
+      const BigInt r = BigInt(1) + BigInt::random_below(rng_, n_ - BigInt(1));
+      if (wide::gcd(r, n_) != BigInt(1)) continue;
+      bases.push_back(mont_n2_->to_form(r));
+      break;
+    }
   }
+  obs::crypto_counters().pool_batch_refills.inc();
+  std::vector<wide::Montgomery::Form> factors =
+      mont_n2_->pow_form_batch(bases, n_);
+  for (wide::Montgomery::Form& f : factors) stock_.push_back(std::move(f));
 }
 
 }  // namespace kgrid::hom

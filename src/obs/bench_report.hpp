@@ -223,7 +223,7 @@ inline std::string validate_bench_json(const Json& j) {
     return "missing crypto.paillier";
   for (const char* key : {"encryptions", "decryptions", "rerandomizations",
                           "keygens", "modexps", "windowed_modexps",
-                          "mont_muls"}) {
+                          "batch_modexps", "mont_muls"}) {
     const Json* v = paillier->find(key);
     if (v == nullptr || !v->is_number())
       return std::string("crypto.paillier.") + key +
@@ -231,7 +231,7 @@ inline std::string validate_bench_json(const Json& j) {
   }
   const Json* pool = crypto->find("pool");
   if (pool == nullptr || !pool->is_object()) return "missing crypto.pool";
-  for (const char* key : {"hits", "misses", "prefilled"}) {
+  for (const char* key : {"hits", "misses", "prefilled", "batch_refills"}) {
     const Json* v = pool->find(key);
     if (v == nullptr || !v->is_number())
       return std::string("crypto.pool.") + key + " missing or not a number";

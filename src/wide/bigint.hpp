@@ -112,6 +112,15 @@ class BigInt {
   /// kept public for the cross-check tests and the multiplication benches.
   static BigInt mul_schoolbook(const BigInt& a, const BigInt& b);
 
+  /// Non-negative value from a little-endian limb span (most-significant
+  /// zero limbs allowed) — O(n), the exit path of fixed-width kernels.
+  static BigInt from_limb_span(const Limb* limbs, std::size_t n) {
+    BigInt out;
+    out.limbs_.assign(limbs, limbs + n);
+    out.trim();
+    return out;
+  }
+
  private:
   static int compare_magnitude(const BigInt& lhs, const BigInt& rhs);
   static void add_magnitude(std::vector<Limb>& acc, const std::vector<Limb>& rhs);

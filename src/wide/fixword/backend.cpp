@@ -1,0 +1,86 @@
+// Runtime backend registry and dispatch for the fixed-width kernels.
+//
+// Selection precedence: force_backend() (tests) > KGRID_BACKEND environment
+// variable (CI's forced-scalar leg; latched on first use) > fastest
+// available backend on the running CPU. The registry holds every backend
+// compiled into the binary, fastest-first; availability is a runtime CPU
+// check, so a binary built with the SIMD TUs still degrades cleanly to the
+// scalar kernels on older hardware.
+#include "wide/fixword/fixword.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace kgrid::wide::fixword {
+
+const Backend* scalar_backend_instance();
+#if defined(__x86_64__)
+const Backend* ifma_backend_instance();
+const Backend* avx2_backend_instance();
+#endif
+#if defined(__aarch64__)
+const Backend* neon_backend_instance();
+#endif
+
+namespace {
+
+std::atomic<const Backend*> g_forced{nullptr};
+
+/// Resolve KGRID_BACKEND once; nullptr means automatic dispatch.
+const Backend* env_backend() {
+  static const Backend* latched = [] {
+    const char* name = std::getenv("KGRID_BACKEND");
+    if (name == nullptr || name[0] == '\0' ||
+        std::string_view(name) == "auto")
+      return static_cast<const Backend*>(nullptr);
+    const Backend* b = find_backend(name);
+    KGRID_CHECK(b != nullptr, "KGRID_BACKEND names an unknown backend");
+    KGRID_CHECK(b->available(),
+                "KGRID_BACKEND names a backend this CPU cannot run");
+    return b;
+  }();
+  return latched;
+}
+
+}  // namespace
+
+const std::vector<const Backend*>& all_backends() {
+  static const std::vector<const Backend*> registry = [] {
+    std::vector<const Backend*> r;
+#if defined(__x86_64__)
+    r.push_back(ifma_backend_instance());
+    r.push_back(avx2_backend_instance());
+#endif
+#if defined(__aarch64__)
+    r.push_back(neon_backend_instance());
+#endif
+    r.push_back(scalar_backend_instance());
+    return r;
+  }();
+  return registry;
+}
+
+const Backend* find_backend(std::string_view name) {
+  for (const Backend* b : all_backends())
+    if (b->name() == name) return b;
+  return nullptr;
+}
+
+const Backend& active_backend() {
+  if (const Backend* forced = g_forced.load(std::memory_order_acquire))
+    return *forced;
+  if (const Backend* env = env_backend()) return *env;
+  for (const Backend* b : all_backends())
+    if (b->available()) return *b;
+  return *scalar_backend_instance();  // unreachable: scalar is always available
+}
+
+void force_backend(const Backend* b) {
+  KGRID_CHECK(b == nullptr || b->available(),
+              "force_backend: backend not available on this CPU");
+  g_forced.store(b, std::memory_order_release);
+}
+
+}  // namespace kgrid::wide::fixword

@@ -1,0 +1,230 @@
+// AVX-512 IFMA backend: 8 lanes of radix-2^52 CIOS Montgomery arithmetic.
+//
+// vpmadd52{lo,hi} multiply 52-bit limbs with a 64-bit accumulator add, which
+// leaves 12 bits of headroom per limb — enough to defer every carry inside
+// the CIOS pass (each accumulator absorbs at most 4 products per outer
+// iteration, < 2^54·K total, well under 2^64 for K <= 79) and normalize once
+// at the end. That, plus 8 independent operand sets per register, is where
+// the batch speedup comes from.
+//
+// The radix-52 domain has R' = 2^(52·k52) != R64, so values entering or
+// leaving this backend pass through the MontCtx correction constants:
+//   mont52(x, to52)                  : x·R64-domain -> x·R'-domain (pow entry)
+//   mont52(x, from52)                : R' -> R64 (pow exit)
+//   mont52(mont52(a, b), to52)       : exact a·b·R64^-1 (mont_mul_batch)
+//   mont52(x, unconv52)              : exact x·R64^-1 (from_mont_batch)
+// Every result is the fully reduced representative, so outputs are
+// bit-identical to the scalar backend's.
+//
+// Constant-time: branchless masked final subtract, fixed-window walk with a
+// full-table masked scan (the window value selects via compare masks, never
+// via an address), lockstep schedule fixed by the exponent capacity.
+#include "wide/fixword/fixword.hpp"
+
+#if defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <cstring>
+#include <vector>
+
+namespace kgrid::wide::fixword {
+
+namespace {
+
+constexpr std::size_t kLanes = 8;
+constexpr std::size_t kMax52 = 79;  // limbs52(64): 4096-bit operands
+
+/// out = a*b*2^(-52*K) mod m over 8 lanes, limb-major (out[j] holds limb j
+/// of all lanes). Inputs canonical (52-bit limbs, fully reduced); output
+/// likewise. Safe for out aliasing a or b (inputs are consumed before the
+/// final select writes).
+void mont52(const __m512i* m, __m512i mp, std::size_t K, const __m512i* a,
+            const __m512i* b, __m512i* out) {
+  const __m512i zero = _mm512_setzero_si512();
+  const __m512i mask52 = _mm512_set1_epi64(static_cast<long long>(kMask52));
+  __m512i t[kMax52 + 1];
+  for (std::size_t j = 0; j <= K; ++j) t[j] = zero;
+  for (std::size_t i = 0; i < K; ++i) {
+    const __m512i ai = a[i];
+    for (std::size_t j = 0; j < K; ++j)
+      t[j] = _mm512_madd52lo_epu64(t[j], ai, b[j]);
+    const __m512i u = _mm512_and_si512(
+        _mm512_madd52lo_epu64(zero, _mm512_and_si512(t[0], mask52), mp),
+        mask52);
+    for (std::size_t j = 0; j < K; ++j)
+      t[j] = _mm512_madd52lo_epu64(t[j], u, m[j]);
+    // t[0] = 0 mod 2^52 now; its upper bits carry into the next limb while
+    // the whole array shifts down one limb, absorbing the high halves.
+    const __m512i carry = _mm512_srli_epi64(t[0], 52);
+    for (std::size_t j = 0; j + 1 < K; ++j) {
+      t[j] = _mm512_madd52hi_epu64(t[j + 1], ai, b[j]);
+      t[j] = _mm512_madd52hi_epu64(t[j], u, m[j]);
+    }
+    t[K - 1] = _mm512_madd52hi_epu64(t[K], ai, b[K - 1]);
+    t[K - 1] = _mm512_madd52hi_epu64(t[K - 1], u, m[K - 1]);
+    t[0] = _mm512_add_epi64(t[0], carry);
+    t[K] = zero;
+  }
+  // One carry-normalization pass, then a branchless conditional subtract.
+  __m512i carry = zero;
+  for (std::size_t j = 0; j < K; ++j) {
+    const __m512i v = _mm512_add_epi64(t[j], carry);
+    t[j] = _mm512_and_si512(v, mask52);
+    carry = _mm512_srli_epi64(v, 52);
+  }
+  __m512i borrow = zero;
+  __m512i s[kMax52];
+  for (std::size_t j = 0; j < K; ++j) {
+    const __m512i d =
+        _mm512_sub_epi64(_mm512_sub_epi64(t[j], m[j]), borrow);
+    s[j] = _mm512_and_si512(d, mask52);
+    borrow = _mm512_srli_epi64(d, 63);
+  }
+  const __mmask8 keep_sub = _mm512_cmpeq_epu64_mask(borrow, zero) |
+                            _mm512_cmpneq_epu64_mask(carry, zero);
+  for (std::size_t j = 0; j < K; ++j)
+    out[j] = _mm512_mask_blend_epi64(keep_sub, t[j], s[j]);
+}
+
+/// Broadcast a k52-limb constant into limb-major vector form.
+void splat(const std::vector<u64>& limbs, std::size_t K, __m512i* out) {
+  for (std::size_t j = 0; j < K; ++j)
+    out[j] = _mm512_set1_epi64(static_cast<long long>(limbs[j]));
+}
+
+/// Gather up to 8 radix-64 operands into limb-major radix-52 lanes; rows
+/// past n replicate the last operand (their outputs are discarded).
+void load_lanes(const MontCtx& c, const u64* const* ptrs, std::size_t n,
+                __m512i* out) {
+  u64 conv[kLanes][kMax52];
+  for (std::size_t l = 0; l < kLanes; ++l)
+    to_radix52(ptrs[l < n ? l : n - 1], c.k, conv[l], c.k52);
+  alignas(64) u64 row[kLanes];
+  for (std::size_t j = 0; j < c.k52; ++j) {
+    for (std::size_t l = 0; l < kLanes; ++l) row[l] = conv[l][j];
+    out[j] = _mm512_load_si512(row);
+  }
+}
+
+/// Scatter the first n lanes back to radix-64 buffers.
+void store_lanes(const MontCtx& c, const __m512i* in, u64* const* ptrs,
+                 std::size_t n) {
+  alignas(64) u64 row[kLanes];
+  u64 conv[kLanes][kMax52];
+  for (std::size_t j = 0; j < c.k52; ++j) {
+    _mm512_store_si512(row, in[j]);
+    for (std::size_t l = 0; l < n; ++l) conv[l][j] = row[l];
+  }
+  for (std::size_t l = 0; l < n; ++l)
+    from_radix52(conv[l], c.k52, ptrs[l], c.k);
+}
+
+class IfmaBackend final : public Backend {
+ public:
+  std::string_view name() const override { return "ifma"; }
+  std::size_t lanes() const override { return kLanes; }
+  bool available() const override {
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512ifma");
+  }
+
+  void mont_mul_batch(const MontCtx& c, const u64* const* a,
+                      const u64* const* b, u64* const* out,
+                      std::size_t n) const override {
+    const std::size_t K = c.k52;
+    __m512i vm[kMax52], vto[kMax52];
+    splat(c.m52, K, vm);
+    splat(c.to52, K, vto);
+    const __m512i mp = _mm512_set1_epi64(static_cast<long long>(c.m_prime52));
+    __m512i va[kMax52], vb[kMax52];
+    for (std::size_t base = 0; base < n; base += kLanes) {
+      const std::size_t cnt = n - base < kLanes ? n - base : kLanes;
+      load_lanes(c, a + base, cnt, va);
+      load_lanes(c, b + base, cnt, vb);
+      mont52(vm, mp, K, va, vb, va);    // a·b·R'^-1
+      mont52(vm, mp, K, va, vto, va);   // ... ·to52·R'^-1 = a·b·R64^-1
+      store_lanes(c, va, out + base, cnt);
+    }
+  }
+
+  void from_mont_batch(const MontCtx& c, const u64* const* in,
+                       u64* const* out, std::size_t n) const override {
+    const std::size_t K = c.k52;
+    __m512i vm[kMax52], vun[kMax52];
+    splat(c.m52, K, vm);
+    splat(c.unconv52, K, vun);
+    const __m512i mp = _mm512_set1_epi64(static_cast<long long>(c.m_prime52));
+    __m512i vx[kMax52];
+    for (std::size_t base = 0; base < n; base += kLanes) {
+      const std::size_t cnt = n - base < kLanes ? n - base : kLanes;
+      load_lanes(c, in + base, cnt, vx);
+      mont52(vm, mp, K, vx, vun, vx);   // x·R64^-1: out of Montgomery form
+      store_lanes(c, vx, out + base, cnt);
+    }
+  }
+
+  void pow_batch(const MontCtx& c, const u64* const* bases, const u64* exps,
+                 std::size_t exp_limbs, u64* const* out,
+                 std::size_t n) const override {
+    const std::size_t K = c.k52;
+    __m512i vm[kMax52], vto[kMax52], vfrom[kMax52];
+    splat(c.m52, K, vm);
+    splat(c.to52, K, vto);
+    splat(c.from52, K, vfrom);
+    const __m512i mp = _mm512_set1_epi64(static_cast<long long>(c.m_prime52));
+    constexpr std::size_t kTable = std::size_t{1} << kWindowBits;
+    // Window table for 8 interleaved exponentiations: kTable entries of K
+    // limb-major vectors. Heap-allocated — 16·79 vectors at the widest.
+    std::vector<__m512i> table(kTable * K);
+    std::vector<__m512i> acc(K), sel(K);
+
+    for (std::size_t first = 0; first < n; first += kLanes) {
+      const std::size_t cnt = n - first < kLanes ? n - first : kLanes;
+      __m512i* t0 = table.data();
+      splat(c.one52, K, t0);  // T[0] = identity of the R' domain
+      load_lanes(c, bases + first, cnt, t0 + K);
+      mont52(vm, mp, K, t0 + K, vto, t0 + K);  // T[1] = base·R' (domain hop)
+      for (std::size_t e = 2; e < kTable; ++e)
+        mont52(vm, mp, K, t0 + (e - 1) * K, t0 + K, t0 + e * K);
+
+      for (std::size_t j = 0; j < K; ++j) acc[j] = t0[j];
+      const std::size_t windows = exp_limbs * (64 / kWindowBits);
+      alignas(64) u64 wrow[kLanes];
+      for (std::size_t wi = windows; wi-- > 0;) {
+        for (int s = 0; s < kWindowBits; ++s)
+          mont52(vm, mp, K, acc.data(), acc.data(), acc.data());
+        const std::size_t limb = wi / 16;
+        const unsigned shift = (wi * kWindowBits) & 63;
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          const std::size_t row = l < cnt ? l : cnt - 1;
+          wrow[l] = (exps[(first + row) * exp_limbs + limb] >> shift) & 0xF;
+        }
+        const __m512i wv = _mm512_load_si512(wrow);
+        // Full-table masked scan: every entry is read, the match selected
+        // by compare mask — no secret-indexed load.
+        for (std::size_t j = 0; j < K; ++j) sel[j] = t0[j];
+        for (std::size_t e = 1; e < kTable; ++e) {
+          const __mmask8 hit = _mm512_cmpeq_epu64_mask(
+              wv, _mm512_set1_epi64(static_cast<long long>(e)));
+          for (std::size_t j = 0; j < K; ++j)
+            sel[j] = _mm512_mask_blend_epi64(hit, sel[j], t0[e * K + j]);
+        }
+        mont52(vm, mp, K, acc.data(), sel.data(), acc.data());
+      }
+      mont52(vm, mp, K, acc.data(), vfrom, acc.data());  // back to R64 domain
+      store_lanes(c, acc.data(), out + first, cnt);
+    }
+  }
+};
+
+}  // namespace
+
+const Backend* ifma_backend_instance() {
+  static const IfmaBackend instance;
+  return &instance;
+}
+
+}  // namespace kgrid::wide::fixword
+
+#endif  // __x86_64__

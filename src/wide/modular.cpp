@@ -128,6 +128,40 @@ Montgomery::Montgomery(const BigInt& modulus) : m_(modulus) {
   BigInt r = BigInt(1);
   r <<= 64 * k_;
   one_ = to_limbs(r % m_);
+
+  // Fixed-width kernel tables. Every constant is a power of two mod m, so
+  // setup stays a handful of big divisions; the radix-52 bridge constants
+  // make the IFMA backend's R' = 2^(52·k52) domain invisible from outside
+  // (see fixword.hpp for the identities each one satisfies).
+  if (fixword::width_supported(k_)) {
+    fw_.k = k_;
+    fw_.m_prime = m_prime_;
+    fw_.m = m_limbs_;
+    fw_.one = one_;
+    fw_.m_prime32 = static_cast<std::uint32_t>(m_prime_);
+    fw_.m32.resize(2 * k_);
+    for (std::size_t i = 0; i < k_; ++i) {
+      fw_.m32[2 * i] = static_cast<std::uint32_t>(m_limbs_[i]);
+      fw_.m32[2 * i + 1] = static_cast<std::uint32_t>(m_limbs_[i] >> 32);
+    }
+    fw_.k52 = fixword::limbs52(k_);
+    fw_.m_prime52 = m_prime_ & fixword::kMask52;
+    fw_.m52.resize(fw_.k52);
+    fixword::to_radix52(m_limbs_.data(), k_, fw_.m52.data(), fw_.k52);
+    const auto pow2_mod52 = [&](std::size_t e) {
+      BigInt x = BigInt(1);
+      x <<= e;
+      const std::vector<Limb> l64 = to_limbs(x % m_);
+      std::vector<Limb> out(fw_.k52);
+      fixword::to_radix52(l64.data(), k_, out.data(), fw_.k52);
+      return out;
+    };
+    fw_.one52 = pow2_mod52(52 * fw_.k52);
+    fw_.to52 = pow2_mod52(104 * fw_.k52 - 64 * k_);
+    fw_.from52 = pow2_mod52(64 * k_);
+    fw_.unconv52 = pow2_mod52(52 * fw_.k52 - 64 * k_);
+    fw_ok_ = true;
+  }
 }
 
 std::vector<Montgomery::Limb> Montgomery::to_limbs(const BigInt& x) const {
@@ -139,16 +173,18 @@ std::vector<Montgomery::Limb> Montgomery::to_limbs(const BigInt& x) const {
 
 BigInt Montgomery::from_limbs(const std::vector<Limb>& x) const {
   // Rebuild a BigInt from a fixed-width limb vector (may carry high zeros).
-  BigInt out;
-  for (std::size_t i = x.size(); i-- > 0;) {
-    out <<= 64;
-    out += BigInt(x[i]);
-  }
-  return out;
+  return BigInt::from_limb_span(x.data(), x.size());
 }
 
 void Montgomery::mont_mul_into(const Limb* a, const Limb* b, Limb* out,
                                Limb* t) const {
+  // Supported widths take the fixed-width constant-time kernel (fully
+  // unrolled carry chains, branchless final subtract); the generic loop
+  // below remains for odd limb counts.
+  if (fw_ok_) {
+    fixword::ct_mont_mul(fw_, a, b, out);
+    return;
+  }
   // CIOS (coarsely integrated operand scanning), Koc et al.
   // t has k+2 limbs: accumulates a*b interleaved with Montgomery reduction.
   std::fill(t, t + k_ + 2, 0);
@@ -223,6 +259,18 @@ BigInt Montgomery::mul(const BigInt& a, const BigInt& b) const {
 
 std::vector<Montgomery::Limb> Montgomery::pow_limbs(
     const std::vector<Limb>& base_m, const BigInt& exp) const {
+  // Fixed widths take the constant-time fixed-window kernel: the walk
+  // covers the exponent's full limb capacity regardless of its value, so
+  // timing reveals only the capacity. Always windowed (w = kWindowBits).
+  if (fw_ok_) {
+    obs::crypto_counters().windowed_modexps.inc();
+    const std::size_t el = std::max<std::size_t>(1, exp.limb_count());
+    std::vector<Limb> exp_words(el);
+    for (std::size_t i = 0; i < el; ++i) exp_words[i] = exp.limb(i);
+    std::vector<Limb> out(k_);
+    fixword::ct_pow(fw_, base_m.data(), exp_words.data(), el, out.data());
+    return out;
+  }
   const std::size_t bits = exp.bit_length();
   if (bits == 0) return one_;
   const int w = pow_window_bits(bits);
@@ -377,6 +425,136 @@ Montgomery::Form Montgomery::pow_form(const Form& base, const BigInt& exp) const
   Form out;
   out.ctx_ = this;
   out.limbs_ = pow_limbs(base.limbs_, exp);
+  return out;
+}
+
+std::vector<Montgomery::Form> Montgomery::pow_form_batch(
+    std::span<const Form> bases, const BigInt& exp) const {
+  KGRID_CHECK(!exp.is_negative(),
+              "pow_form_batch needs non-negative exponent");
+  const std::size_t n = bases.size();
+  std::vector<Form> out(n);
+  if (n == 0) return out;
+  for (const Form& b : bases) check_form(b);
+  obs::crypto_counters().modexps.inc(n);
+  if (!fw_ok_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i].ctx_ = this;
+      out[i].limbs_ = pow_limbs(bases[i].limbs_, exp);
+    }
+    return out;
+  }
+  obs::crypto_counters().windowed_modexps.inc(n);
+  obs::crypto_counters().batch_modexps.inc(n);
+  const std::size_t el = std::max<std::size_t>(1, exp.limb_count());
+  std::vector<Limb> exps(n * el);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < el; ++j) exps[i * el + j] = exp.limb(j);
+  std::vector<const Limb*> bp(n);
+  std::vector<Limb*> op(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].ctx_ = this;
+    out[i].limbs_.resize(k_);
+    bp[i] = bases[i].limbs_.data();
+    op[i] = out[i].limbs_.data();
+  }
+  fixword::active_backend().pow_batch(fw_, bp.data(), exps.data(), el,
+                                      op.data(), n);
+  return out;
+}
+
+std::vector<Montgomery::Form> Montgomery::pow_form_batch(
+    std::span<const Form> bases, std::span<const BigInt> exps) const {
+  KGRID_CHECK(bases.size() == exps.size(),
+              "pow_form_batch: bases/exps size mismatch");
+  const std::size_t n = bases.size();
+  std::vector<Form> out(n);
+  if (n == 0) return out;
+  for (const Form& b : bases) check_form(b);
+  for (const BigInt& e : exps)
+    KGRID_CHECK(!e.is_negative(), "pow_form_batch needs non-negative exponents");
+  obs::crypto_counters().modexps.inc(n);
+  if (!fw_ok_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i].ctx_ = this;
+      out[i].limbs_ = pow_limbs(bases[i].limbs_, exps[i]);
+    }
+    return out;
+  }
+  obs::crypto_counters().windowed_modexps.inc(n);
+  obs::crypto_counters().batch_modexps.inc(n);
+  // Every lane walks the widest exponent's capacity so the interleaved
+  // window schedule stays lockstep; narrower rows are zero-padded.
+  std::size_t el = 1;
+  for (const BigInt& e : exps) el = std::max(el, e.limb_count());
+  std::vector<Limb> exp_rows(n * el, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < exps[i].limb_count(); ++j)
+      exp_rows[i * el + j] = exps[i].limb(j);
+  std::vector<const Limb*> bp(n);
+  std::vector<Limb*> op(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].ctx_ = this;
+    out[i].limbs_.resize(k_);
+    bp[i] = bases[i].limbs_.data();
+    op[i] = out[i].limbs_.data();
+  }
+  fixword::active_backend().pow_batch(fw_, bp.data(), exp_rows.data(), el,
+                                      op.data(), n);
+  return out;
+}
+
+std::vector<Montgomery::Form> Montgomery::mul_form_batch(
+    std::span<const Form> a, std::span<const Form> b) const {
+  KGRID_CHECK(a.size() == b.size(), "mul_form_batch: size mismatch");
+  const std::size_t n = a.size();
+  std::vector<Form> out(n);
+  if (n == 0) return out;
+  for (std::size_t i = 0; i < n; ++i) {
+    check_form(a[i]);
+    check_form(b[i]);
+    out[i].ctx_ = this;
+    out[i].limbs_.resize(k_);
+  }
+  obs::crypto_counters().mont_muls.inc(n);
+  if (!fw_ok_) {
+    std::vector<Limb> t(k_ + 2);
+    for (std::size_t i = 0; i < n; ++i)
+      mont_mul_into(a[i].limbs_.data(), b[i].limbs_.data(),
+                    out[i].limbs_.data(), t.data());
+    return out;
+  }
+  std::vector<const Limb*> ap(n), bp(n);
+  std::vector<Limb*> op(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ap[i] = a[i].limbs_.data();
+    bp[i] = b[i].limbs_.data();
+    op[i] = out[i].limbs_.data();
+  }
+  fixword::active_backend().mont_mul_batch(fw_, ap.data(), bp.data(),
+                                           op.data(), n);
+  return out;
+}
+
+std::vector<BigInt> Montgomery::from_form_batch(
+    std::span<const Form> xs) const {
+  const std::size_t n = xs.size();
+  std::vector<BigInt> out(n);
+  if (n == 0) return out;
+  for (const Form& x : xs) check_form(x);
+  if (!fw_ok_) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = from_form(xs[i]);
+    return out;
+  }
+  std::vector<std::vector<Limb>> vals(n, std::vector<Limb>(k_));
+  std::vector<const Limb*> ip(n);
+  std::vector<Limb*> op(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ip[i] = xs[i].limbs_.data();
+    op[i] = vals[i].data();
+  }
+  fixword::active_backend().from_mont_batch(fw_, ip.data(), op.data(), n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = from_limbs(vals[i]);
   return out;
 }
 

@@ -17,9 +17,11 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "wide/bigint.hpp"
+#include "wide/fixword/fixword.hpp"
 
 namespace kgrid::wide {
 
@@ -95,6 +97,33 @@ class Montgomery {
   /// base^exp for a Form base; result stays in Montgomery form.
   Form pow_form(const Form& base, const BigInt& exp) const;
 
+  /// True when this modulus lands on a fixed-width kernel (k in {8,16,32,64}
+  /// limbs) — single ops run the constant-time kernels and the batch APIs
+  /// below dispatch to the active SIMD backend. Odd widths fall back to the
+  /// generic CIOS loops (and batch APIs degrade to per-item calls).
+  bool fixed_width() const { return fw_ok_; }
+
+  // -- Batch APIs (multi-exponent interleaving) --
+  //
+  // Each processes n independent operand sets through
+  // fixword::active_backend(), which runs backend.lanes() of them in
+  // lockstep per hardware pass. Results are bit-identical to the per-item
+  // calls for every backend.
+
+  /// out[i] = bases[i]^exp (shared exponent — Paillier encrypt/rerandomize
+  /// batches raise per-item randomizers to the fixed public exponent n).
+  std::vector<Form> pow_form_batch(std::span<const Form> bases,
+                                   const BigInt& exp) const;
+  /// out[i] = bases[i]^exps[i]; all lanes walk the capacity of the widest
+  /// exponent so the schedule stays lockstep.
+  std::vector<Form> pow_form_batch(std::span<const Form> bases,
+                                   std::span<const BigInt> exps) const;
+  /// out[i] = a[i]*b[i].
+  std::vector<Form> mul_form_batch(std::span<const Form> a,
+                                   std::span<const Form> b) const;
+  /// out[i] = value of Form xs[i].
+  std::vector<BigInt> from_form_batch(std::span<const Form> xs) const;
+
  private:
   using Limb = BigInt::Limb;
 
@@ -118,6 +147,8 @@ class Montgomery {
   Limb m_prime_ = 0;         // -m^-1 mod 2^64
   std::vector<Limb> r2_;     // R^2 mod m (R = 2^(64k))
   std::vector<Limb> one_;    // R mod m (Montgomery form of 1)
+  bool fw_ok_ = false;       // width_supported(k_): fixed-width kernels live
+  fixword::MontCtx fw_;      // constant tables for the fixed-width kernels
 };
 
 }  // namespace kgrid::wide

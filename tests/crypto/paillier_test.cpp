@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "util/rng.hpp"
+#include "wide/fixword/fixword.hpp"
 #include "wide/prime.hpp"
 
 namespace kgrid::hom {
@@ -123,6 +124,113 @@ TEST_P(PaillierTest, CrtDecryptionOnHomomorphicResults) {
 TEST(PaillierKeygen, DistinctKeysFromDistinctSeeds) {
   Rng r1(1), r2(2);
   EXPECT_NE(paillier_keygen(128, r1).pub.n, paillier_keygen(128, r2).pub.n);
+}
+
+// -- Batch kernels --
+
+std::vector<const wide::fixword::Backend*> usable_backends() {
+  std::vector<const wide::fixword::Backend*> out;
+  for (const wide::fixword::Backend* b : wide::fixword::all_backends())
+    if (b->available()) out.push_back(b);
+  return out;
+}
+
+struct ForcedBackend {
+  explicit ForcedBackend(const wide::fixword::Backend* b) {
+    wide::fixword::force_backend(b);
+  }
+  ~ForcedBackend() { wide::fixword::force_backend(nullptr); }
+};
+
+// The satellite cross-check: decrypt_batch (two interleaved shared-exponent
+// CRT batches) against decrypt_no_crt (the non-CRT lambda reference) on
+// random ciphertexts, across multiple key seeds and every available backend.
+TEST(PaillierBatch, DecryptBatchMatchesNoCrtReference) {
+  for (std::uint64_t seed : {11u, 47u, 90001u}) {
+    Rng rng(seed);
+    const PaillierPrivateKey key = paillier_keygen(512, rng);
+    std::vector<BigInt> ms, cs;
+    for (int i = 0; i < 9; ++i) {
+      ms.push_back(BigInt::random_below(rng, key.pub.n));
+      cs.push_back(key.pub.encrypt(ms.back(), rng));
+    }
+    for (const wide::fixword::Backend* b : usable_backends()) {
+      ForcedBackend forced(b);
+      const std::vector<BigInt> got = key.decrypt_batch(cs);
+      ASSERT_EQ(got.size(), ms.size());
+      for (std::size_t i = 0; i < ms.size(); ++i) {
+        EXPECT_EQ(got[i], ms[i]) << b->name() << " seed " << seed;
+        EXPECT_EQ(got[i], key.decrypt_no_crt(cs[i])) << b->name();
+        EXPECT_EQ(got[i], key.decrypt(cs[i])) << b->name();
+      }
+    }
+  }
+}
+
+// Small keys (n^2 below the fixed-width grid) must take the fallback path of
+// the batch API and still agree with the reference.
+TEST(PaillierBatch, DecryptBatchFallsBackForSmallKeys) {
+  Rng rng(77);
+  const PaillierPrivateKey key = paillier_keygen(128, rng);
+  std::vector<BigInt> ms, cs;
+  for (int i = 0; i < 5; ++i) {
+    ms.push_back(BigInt::random_below(rng, key.pub.n));
+    cs.push_back(key.pub.encrypt(ms.back(), rng));
+  }
+  const std::vector<BigInt> got = key.decrypt_batch(cs);
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    EXPECT_EQ(got[i], ms[i]);
+    EXPECT_EQ(got[i], key.decrypt_no_crt(cs[i]));
+  }
+}
+
+// encrypt_form_batch must be bit-identical to per-item encrypt_form fed the
+// same randomizer stream: drain the pool first so both sides draw inline
+// r's from per-item rngs with matched seeds.
+TEST(PaillierBatch, EncryptFormBatchMatchesPerItem) {
+  Rng rng(4242);
+  PaillierPrivateKey key = paillier_keygen(512, rng);
+  key.pub.pool = nullptr;  // inline randomizers: determinism comes from rngs
+  const std::size_t n = 6;
+  std::vector<BigInt> ms;
+  std::vector<Rng> batch_rngs, item_rngs;
+  for (std::size_t i = 0; i < n; ++i) {
+    ms.push_back(BigInt::random_below(rng, key.pub.n));
+    batch_rngs.emplace_back(1000 + i);
+    item_rngs.emplace_back(1000 + i);
+  }
+  for (const wide::fixword::Backend* b : usable_backends()) {
+    ForcedBackend forced(b);
+    std::vector<Rng> brs = batch_rngs, irs = item_rngs;
+    const auto forms = key.pub.encrypt_form_batch(ms, brs);
+    ASSERT_EQ(forms.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const BigInt c = key.pub.from_form(forms[i]);
+      EXPECT_EQ(c, key.pub.from_form(key.pub.encrypt_form(ms[i], irs[i])))
+          << b->name();
+      EXPECT_EQ(key.decrypt(c), ms[i]) << b->name();
+    }
+  }
+}
+
+TEST(PaillierBatch, RerandomizeFormBatchPreservesPlaintexts) {
+  Rng rng(909);
+  const PaillierPrivateKey key = paillier_keygen(512, rng);
+  const std::size_t n = 5;
+  std::vector<BigInt> ms;
+  std::vector<wide::Montgomery::Form> cas;
+  std::vector<Rng> rngs;
+  for (std::size_t i = 0; i < n; ++i) {
+    ms.push_back(BigInt::random_below(rng, key.pub.n));
+    cas.push_back(key.pub.encrypt_form(ms.back(), rng));
+    rngs.emplace_back(50 + i);
+  }
+  const auto fresh = key.pub.rerandomize_form_batch(cas, rngs);
+  ASSERT_EQ(fresh.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NE(key.pub.from_form(fresh[i]), key.pub.from_form(cas[i]));
+    EXPECT_EQ(key.decrypt(key.pub.from_form(fresh[i])), ms[i]);
+  }
 }
 
 }  // namespace

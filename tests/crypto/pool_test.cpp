@@ -76,6 +76,28 @@ TEST(RandomizerPool, HitMissAccountingIsExact) {
   EXPECT_EQ(c.pool_misses.value(), misses0 + 1);
 }
 
+TEST(RandomizerPool, PrefillRunsAsOneBatchRefill) {
+  // prefill() routes its r^n modexps through the interleaved batch kernel:
+  // still one pool_prefills per factor, plus one pool_batch_refills per
+  // non-empty prefill() call regardless of count.
+  Rng rng(13);
+  const PaillierPrivateKey key = paillier_keygen(256, rng);
+  auto& c = obs::crypto_counters();
+  const auto prefills0 = c.pool_prefills.value();
+  const auto batches0 = c.pool_batch_refills.value();
+
+  key.pub.pool->prefill(5);
+  EXPECT_EQ(c.pool_prefills.value(), prefills0 + 5);
+  EXPECT_EQ(c.pool_batch_refills.value(), batches0 + 1);
+
+  key.pub.pool->prefill(1);
+  EXPECT_EQ(c.pool_prefills.value(), prefills0 + 6);
+  EXPECT_EQ(c.pool_batch_refills.value(), batches0 + 2);
+
+  key.pub.pool->prefill(0);  // empty refill is a no-op, not a batch
+  EXPECT_EQ(c.pool_batch_refills.value(), batches0 + 2);
+}
+
 TEST(PaillierForms, FormOpsMatchBigIntOps) {
   for (const std::uint64_t seed : kSeeds) {
     Rng rng(seed);

@@ -1,0 +1,257 @@
+// Fixed-width kernel backend tests: the constant-time scalar kernels against
+// schoolbook BigInt references, every compiled-in-and-available SIMD backend
+// against the scalar results (bit identity), and the Montgomery batch APIs
+// against their per-item counterparts.
+#include "wide/fixword/fixword.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "wide/bigint.hpp"
+#include "wide/modular.hpp"
+
+namespace kgrid::wide {
+namespace {
+
+using Form = Montgomery::Form;
+
+// A random odd modulus of exactly `bits` bits (top and low bit set), so the
+// Montgomery context lands on bits/64 limbs.
+BigInt random_odd_modulus(Rng& rng, std::size_t bits) {
+  BigInt m = BigInt::random_bits(rng, bits - 1) + (BigInt(1) << (bits - 1));
+  if (m.is_even()) m += BigInt(1);
+  return m;
+}
+
+// RAII restore of automatic dispatch around force_backend tests.
+struct ForcedBackend {
+  explicit ForcedBackend(const fixword::Backend* b) { fixword::force_backend(b); }
+  ~ForcedBackend() { fixword::force_backend(nullptr); }
+};
+
+std::vector<const fixword::Backend*> usable_backends() {
+  std::vector<const fixword::Backend*> out;
+  for (const fixword::Backend* b : fixword::all_backends())
+    if (b->available()) out.push_back(b);
+  return out;
+}
+
+constexpr std::array<std::size_t, 4> kWidths = {512, 1024, 2048, 4096};
+
+TEST(Fixword, WidthSupport) {
+  EXPECT_TRUE(fixword::width_supported(8));
+  EXPECT_TRUE(fixword::width_supported(16));
+  EXPECT_TRUE(fixword::width_supported(32));
+  EXPECT_TRUE(fixword::width_supported(64));
+  EXPECT_FALSE(fixword::width_supported(9));
+  EXPECT_FALSE(fixword::width_supported(1));
+  for (std::size_t bits : kWidths) {
+    Rng rng(bits);
+    Montgomery mont(random_odd_modulus(rng, bits));
+    EXPECT_TRUE(mont.fixed_width()) << bits;
+  }
+  // Odd widths fall back to the generic loops.
+  Rng rng(99);
+  Montgomery odd(random_odd_modulus(rng, 576));
+  EXPECT_FALSE(odd.fixed_width());
+}
+
+TEST(Fixword, Radix52RoundTrip) {
+  Rng rng(52);
+  for (std::size_t k : {8u, 16u, 32u, 64u}) {
+    const std::size_t k52 = fixword::limbs52(k);
+    EXPECT_EQ(k52, (64 * k + 51) / 52);
+    for (int iter = 0; iter < 20; ++iter) {
+      std::vector<std::uint64_t> in(k), mid(k52), out(k);
+      for (auto& w : in) w = rng();
+      fixword::to_radix52(in.data(), k, mid.data(), k52);
+      for (std::uint64_t limb : mid) EXPECT_LE(limb, fixword::kMask52);
+      fixword::from_radix52(mid.data(), k52, out.data(), k);
+      EXPECT_EQ(in, out);
+    }
+  }
+}
+
+TEST(Fixword, BackendRegistry) {
+  const auto& all = fixword::all_backends();
+  ASSERT_FALSE(all.empty());
+  // Scalar is always present, always available, and always last (slowest).
+  EXPECT_EQ(all.back()->name(), "scalar");
+  EXPECT_TRUE(all.back()->available());
+  EXPECT_EQ(all.back()->lanes(), 1u);
+  for (const fixword::Backend* b : all)
+    EXPECT_EQ(fixword::find_backend(b->name()), b);
+  EXPECT_EQ(fixword::find_backend("no-such-backend"), nullptr);
+  // active_backend() honors force_backend and restores automatic dispatch.
+  const fixword::Backend* scalar = fixword::find_backend("scalar");
+  {
+    ForcedBackend forced(scalar);
+    EXPECT_EQ(&fixword::active_backend(), scalar);
+  }
+  EXPECT_TRUE(fixword::active_backend().available());
+}
+
+// Montgomery::mul at every pinned width against schoolbook multiply-reduce —
+// this exercises ct_mont_mul end to end (including the branchless final
+// subtract) against arithmetic that shares no code with the kernels.
+TEST(Fixword, CtMontMulMatchesSchoolbook) {
+  for (std::size_t bits : kWidths) {
+    Rng rng(1000 + bits);
+    const BigInt m = random_odd_modulus(rng, bits);
+    Montgomery mont(m);
+    ASSERT_TRUE(mont.fixed_width());
+    for (int iter = 0; iter < 8; ++iter) {
+      const BigInt a = BigInt::random_below(rng, m);
+      const BigInt b = BigInt::random_below(rng, m);
+      EXPECT_EQ(mont.mul(a, b), (a * b) % m) << bits;
+    }
+  }
+}
+
+// Montgomery::pow (now the constant-time fixed-window kernel for supported
+// widths) against a naive BigInt square-and-multiply loop.
+TEST(Fixword, CtPowMatchesNaiveLadder) {
+  for (std::size_t bits : {512u, 1024u}) {
+    Rng rng(2000 + bits);
+    const BigInt m = random_odd_modulus(rng, bits);
+    Montgomery mont(m);
+    ASSERT_TRUE(mont.fixed_width());
+    const BigInt base = BigInt::random_below(rng, m);
+    const BigInt exp = BigInt::random_bits(rng, 96);
+    BigInt want(1);
+    for (std::size_t i = exp.bit_length(); i-- > 0;) {
+      want = (want * want) % m;
+      if (exp.bit(i)) want = (want * base) % m;
+    }
+    EXPECT_EQ(mont.pow(base, exp), want) << bits;
+  }
+}
+
+// Edge exponents through the fixed-window walk: zero, one, and a value whose
+// limbs contain all-zero and all-one windows.
+TEST(Fixword, CtPowEdgeExponents) {
+  Rng rng(3003);
+  const BigInt m = random_odd_modulus(rng, 512);
+  Montgomery mont(m);
+  const BigInt base = BigInt::random_below(rng, m);
+  EXPECT_EQ(mont.pow(base, BigInt(0)).to_dec(), "1");
+  EXPECT_EQ(mont.pow(base, BigInt(1)), base);
+  const BigInt e = BigInt::from_hex("f0f0000f00ff0000000000000001");
+  EXPECT_EQ(mont.pow(base, e), mont.pow_binary(base, e));
+}
+
+// Every available backend must produce bit-identical batch results — same
+// fully reduced representatives the scalar kernels compute.
+TEST(Fixword, BackendsBitIdenticalOnBatchOps) {
+  for (std::size_t bits : kWidths) {
+    Rng rng(4000 + bits);
+    const BigInt m = random_odd_modulus(rng, bits);
+    Montgomery mont(m);
+    const std::size_t n = 11;  // deliberately not a multiple of any lane count
+    std::vector<Form> bases;
+    std::vector<BigInt> plain;
+    for (std::size_t i = 0; i < n; ++i) {
+      plain.push_back(BigInt::random_below(rng, m));
+      bases.push_back(mont.to_form(plain.back()));
+    }
+    const BigInt exp = BigInt::random_bits(rng, 128);
+
+    std::vector<std::vector<BigInt>> per_backend;
+    for (const fixword::Backend* b : usable_backends()) {
+      ForcedBackend forced(b);
+      per_backend.push_back(
+          mont.from_form_batch(mont.pow_form_batch(bases, exp)));
+      EXPECT_EQ(per_backend.back().size(), n);
+    }
+    ASSERT_FALSE(per_backend.empty());
+    for (std::size_t bi = 1; bi < per_backend.size(); ++bi)
+      EXPECT_EQ(per_backend[bi], per_backend[0])
+          << usable_backends()[bi]->name() << " vs scalar-ordered peer at "
+          << bits << " bits";
+    // And the batch agrees with the per-item constant-time path.
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(per_backend[0][i], mont.from_form(mont.pow_form(bases[i], exp)));
+  }
+}
+
+TEST(Fixword, MulAndFromFormBatchesMatchPerItem) {
+  Rng rng(5005);
+  const BigInt m = random_odd_modulus(rng, 1024);
+  Montgomery mont(m);
+  const std::size_t n = 7;
+  std::vector<Form> a, b;
+  for (std::size_t i = 0; i < n; ++i) {
+    a.push_back(mont.to_form(BigInt::random_below(rng, m)));
+    b.push_back(mont.to_form(BigInt::random_below(rng, m)));
+  }
+  for (const fixword::Backend* backend : usable_backends()) {
+    ForcedBackend forced(backend);
+    const std::vector<Form> prod = mont.mul_form_batch(a, b);
+    const std::vector<BigInt> vals = mont.from_form_batch(prod);
+    ASSERT_EQ(prod.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(vals[i], mont.from_form(mont.mul_form(a[i], b[i])))
+          << backend->name();
+      EXPECT_EQ(mont.from_form(a[i]),
+                mont.from_form_batch(std::span(&a[i], 1))[0]);
+    }
+  }
+}
+
+// Per-item-exponent interleaving: mixed exponent widths walk the widest
+// capacity in lockstep and still match per-item pow_form.
+TEST(Fixword, PerItemExponentBatchMatchesPerItem) {
+  Rng rng(6006);
+  const BigInt m = random_odd_modulus(rng, 1024);
+  Montgomery mont(m);
+  std::vector<Form> bases;
+  std::vector<BigInt> exps;
+  const std::size_t exp_bits[] = {1, 13, 64, 65, 200, 512, 1024};
+  for (std::size_t eb : exp_bits) {
+    bases.push_back(mont.to_form(BigInt::random_below(rng, m)));
+    exps.push_back(BigInt::random_bits(rng, eb));
+  }
+  bases.push_back(mont.to_form(BigInt::random_below(rng, m)));
+  exps.push_back(BigInt(0));  // zero exponent rides along in a mixed batch
+  for (const fixword::Backend* backend : usable_backends()) {
+    ForcedBackend forced(backend);
+    const std::vector<Form> got = mont.pow_form_batch(bases, exps);
+    ASSERT_EQ(got.size(), bases.size());
+    for (std::size_t i = 0; i < bases.size(); ++i)
+      EXPECT_EQ(mont.from_form(got[i]),
+                mont.from_form(mont.pow_form(bases[i], exps[i])))
+          << backend->name() << " item " << i;
+  }
+}
+
+// Batch APIs on a modulus with no fixed-width kernel (odd limb count) must
+// fall back to per-item calls with identical results.
+TEST(Fixword, OddWidthBatchFallback) {
+  Rng rng(7007);
+  const BigInt m = random_odd_modulus(rng, 576);
+  Montgomery mont(m);
+  ASSERT_FALSE(mont.fixed_width());
+  std::vector<Form> bases;
+  for (int i = 0; i < 3; ++i)
+    bases.push_back(mont.to_form(BigInt::random_below(rng, m)));
+  const BigInt exp = BigInt::random_bits(rng, 80);
+  const std::vector<Form> got = mont.pow_form_batch(bases, exp);
+  for (std::size_t i = 0; i < bases.size(); ++i)
+    EXPECT_EQ(mont.from_form(got[i]),
+              mont.from_form(mont.pow_form(bases[i], exp)));
+}
+
+TEST(Fixword, EmptyBatchesAreNoOps) {
+  Rng rng(8008);
+  Montgomery mont(random_odd_modulus(rng, 512));
+  EXPECT_TRUE(mont.pow_form_batch({}, BigInt(3)).empty());
+  EXPECT_TRUE(mont.mul_form_batch({}, {}).empty());
+  EXPECT_TRUE(mont.from_form_batch({}).empty());
+}
+
+}  // namespace
+}  // namespace kgrid::wide
