@@ -2,8 +2,9 @@
 // steps after the takeover the grid quarantines the culprit, and the final
 // recall of the honest resources.
 //
-//   ./ablation_malicious [--resources=16] [--threads=N] [--json[=PATH]]
-//                        [--trace_record=PATH] [--trace_replay=PATH]
+//   ./ablation_malicious [--resources=16] [--threads=N] [--shards=N]
+//                        [--json[=PATH]] [--trace_record=PATH]
+//                        [--trace_replay=PATH]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -15,11 +16,13 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("resources", 16));
   const std::size_t attack_step = 15;
   const std::size_t threads = bench::threads_arg(cli);
+  const int shards = bench::shards_arg(cli);
   sim::Executor pool(threads);
   bench::JsonSink sink(cli, "ablation_malicious");
   sink.arg("resources", obs::Json(resources));
   sink.arg("attack_step", obs::Json(attack_step));
   sink.arg("threads", obs::Json(threads));
+  sink.arg("shards", obs::Json(static_cast<std::int64_t>(shards)));
   sink.set_executor(&pool);
   bench::TraceSource trace(cli, "ablation_malicious");
 
@@ -58,6 +61,7 @@ int main(int argc, char** argv) {
     cfg.attacks[0] = {behaviour, core::ControllerBehavior::kHonest,
                       attack_step};
     cfg.executor = &pool;
+    cfg.shards = shards;
 
     // Every behaviour mines the same workload; the env is recorded once
     // and the per-behaviour schedules diverge only after the takeover.

@@ -7,7 +7,7 @@
 // cost of the k-gate itself.
 //
 //   ./ablation_secure_overhead [--resources=32] [--local=500]
-//                               [--threads=N] [--json[=PATH]]
+//                               [--threads=N] [--shards=N] [--json[=PATH]]
 //                               [--trace_record=PATH] [--trace_replay=PATH]
 #include <cstdio>
 
@@ -20,11 +20,13 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("resources", 32));
   const auto local = static_cast<std::size_t>(cli.get_int("local", 500));
   const std::size_t threads = bench::threads_arg(cli);
+  const int shards = bench::shards_arg(cli);
   sim::Executor pool(threads);
   bench::JsonSink sink(cli, "ablation_secure_overhead");
   sink.arg("resources", obs::Json(resources));
   sink.arg("local", obs::Json(local));
   sink.arg("threads", obs::Json(threads));
+  sink.arg("shards", obs::Json(static_cast<std::int64_t>(shards)));
   sink.set_executor(&pool);
   bench::TraceSource trace(cli, "ablation_secure_overhead");
 
@@ -54,7 +56,7 @@ int main(int argc, char** argv) {
                               return core::make_grid_env(env_cfg);
                             }),
                             threads, sim::QueuePolicy::kCalendar,
-                            trace.begin("variant=majority-rule"));
+                            trace.begin("variant=majority-rule"), shards);
     sink.attach(grid.engine());
     const auto reference = grid.env().reference(thresholds);
     auto recall = [&] { return grid.average_recall(reference); };
@@ -81,6 +83,7 @@ int main(int argc, char** argv) {
     cfg.secure.arrivals_per_step = 0;
     cfg.attach_monitor = true;
     cfg.executor = &pool;
+    cfg.shards = shards;
     cfg.trace = trace.begin("variant=secure/k=" + std::to_string(k));
     core::SecureGrid grid(cfg, trace.env("workload", [&] {
       return core::make_grid_env(cfg.env);

@@ -24,6 +24,16 @@ inline std::size_t threads_arg(const Cli& cli) {
                 : static_cast<std::size_t>(t);
 }
 
+/// Parse `--shards=N` for a figure bench (docs/SHARDING.md). Follows
+/// SecureGridConfig::shards semantics: unset (-1) defers to the KGRID_SHARDS
+/// environment override, `--shards=0` forces the plain single-queue engine,
+/// N >= 1 runs N shards with the topology's minimum link delay as the
+/// conservative lookahead. The merged schedule is shard-count-invariant, so
+/// trace hashes recorded at one shard count verify at every other.
+inline int shards_arg(const Cli& cli) {
+  return static_cast<int>(cli.get_int("shards", -1));
+}
+
 /// Glue between a bench binary's Cli and its BENCH_*.json artifact
 /// (docs/METRICS.md). Constructed first thing in main() so the wall clock
 /// covers the whole run; `--json` (default path BENCH_<name>.json) or

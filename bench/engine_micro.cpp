@@ -34,11 +34,20 @@
 // the synthetic workloads above, the replay pushes the *exact* event stream
 // a real protocol run produced, so queue-policy comparisons run on a pinned,
 // PR-invariant workload (docs/BENCHMARKS.md "Trace replay").
+//
+// `--shards=N` restricts the BM_ShardedMesh sweep (docs/SHARDING.md) to one
+// shard count; by default the sweep runs shards in {1, 2, 4, 8} plus a
+// synthetic `speedup` row (shards=4 vs shards=1 items/s, a rate-class leaf
+// for bench_diff). Unlike the single-queue workloads, the sharded mesh pays
+// per-hop homomorphic work against private per-entity ciphers, so lanes
+// have real cycles to overlap when the executor has more than one thread.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -49,6 +58,7 @@
 #include "crypto/hom.hpp"
 #include "obs/bench_report.hpp"
 #include "sim/engine.hpp"
+#include "sim/executor.hpp"
 #include "sim/trace.hpp"
 #include "util/rng.hpp"
 
@@ -254,6 +264,103 @@ BENCHMARK(BM_OffloadHeavy)->Arg(256)->Arg(1024);
 BENCHMARK(BM_OffloadHeavyDary4)->Arg(256)->Arg(1024);
 BENCHMARK(BM_OffloadHeavyLegacy)->Arg(256)->Arg(1024);
 
+/// The sharded mesh's crypto context — separate from mesh_message()'s so
+/// the two workloads stay independently reproducible.
+const hom::ContextPtr& shard_mesh_context() {
+  static const hom::ContextPtr ctx = [] {
+    Rng rng(4321);
+    return hom::Context::make_paillier(1024, rng);
+  }();
+  return ctx;
+}
+
+constexpr std::size_t kShardMeshEntities = 256;
+constexpr int kShardMeshAddsPerHop = 4;
+
+/// Ring forwarder for the sharded engine (docs/SHARDING.md): each delivery
+/// folds a few homomorphic adds into a *private* accumulator (acc and term
+/// are detached at construction, so no cipher body is shared across lanes)
+/// and forwards the rule message one hop — which under `lane = id % shards`
+/// is always a cross-shard hop, the mailbox worst case. The 0.5 send delay
+/// floor is the workload's minimum link delay and hence the lookahead.
+class ShardMeshEntity : public sim::Entity {
+ public:
+  ShardMeshEntity(sim::EntityId self, sim::EntityId next, std::uint64_t seed,
+                  hom::EvalHandle eval, hom::Cipher acc, hom::Cipher term)
+      : self_(self), next_(next), s_(seed), eval_(std::move(eval)),
+        acc_(std::move(acc)), term_(std::move(term)) {
+    acc_.detach();
+    term_.detach();
+  }
+  void on_message(sim::Engine& engine, sim::EntityId,
+                  sim::Payload& payload) override {
+    for (int i = 0; i < kShardMeshAddsPerHop; ++i)
+      acc_ = eval_.add(acc_, term_);
+    engine.send(self_, next_, 0.5 + jitter(s_),
+                payload.get<core::SecureRuleMessage>());
+  }
+
+ private:
+  sim::EntityId self_;
+  sim::EntityId next_;
+  std::uint64_t s_;
+  hom::EvalHandle eval_;
+  hom::Cipher acc_;
+  hom::Cipher term_;
+};
+
+void seed_sharded_mesh(sim::Engine& engine, std::size_t n,
+                       std::vector<std::unique_ptr<ShardMeshEntity>>& entities) {
+  const hom::ContextPtr& ctx = shard_mesh_context();
+  Rng rng(777);
+  const hom::Cipher acc0 = ctx->encrypt_key().encrypt_value(0, rng);
+  const hom::Cipher term0 = ctx->encrypt_key().encrypt_value(1, rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<sim::EntityId>(i);
+    const auto next = static_cast<sim::EntityId>((i + 1) % n);
+    entities.push_back(std::make_unique<ShardMeshEntity>(
+        id, next, i, ctx->eval_handle(), acc0, term0));
+    engine.add_entity(entities.back().get(), "shard_mesh");
+  }
+  const std::size_t in_flight = std::max<std::size_t>(64, n / 4);
+  std::uint64_t s = 42;
+  for (std::size_t m = 0; m < in_flight; ++m) {
+    const auto from = static_cast<sim::EntityId>(m % n);
+    const auto to = static_cast<sim::EntityId>((m + 1) % n);
+    engine.send(from, to, jitter(s), mesh_message());
+  }
+}
+
+/// One benchmark per shard count; the merged schedule is identical at every
+/// count (sim/engine.hpp determinism contract), so items/s ratios read as
+/// pure parallel speedup. Time advances by a fixed horizon per iteration
+/// and items count delivered messages, so every shard count meters the
+/// same simulated workload.
+void sharded_mesh(benchmark::State& state, std::size_t shards) {
+  // An explicit hardware-width pool: lane work runs on pool threads, so the
+  // benchmark uses manual (wall) timing — cpu_time would only meter the
+  // driver thread and overstate items/s at every width.
+  sim::Executor pool(sim::Executor::hardware_threads());
+  sim::Engine engine(sim::QueuePolicy::kCalendar);
+  engine.enable_sharding(shards, 0.5);
+  engine.attach_executor(&pool);
+  std::vector<std::unique_ptr<ShardMeshEntity>> entities;
+  seed_sharded_mesh(engine, kShardMeshEntities, entities);
+  sim::Time deadline = 0.0;
+  std::uint64_t processed = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t before = engine.messages_delivered();
+    deadline += 16.0;
+    engine.run_until(deadline);
+    processed += engine.messages_delivered() - before;
+    state.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(processed));
+}
+
 /// Console reporter that additionally captures every run as a series row
 /// ({name, iterations, real_time, cpu_time, time_unit, items_per_second}).
 class CaptureReporter : public benchmark::ConsoleReporter {
@@ -373,6 +480,18 @@ obs::Json instrumented_sim_section() {
     seed_mesh(engine, 1024, entities);
     for (int i = 0; i < 1 << 15; ++i) engine.step();
   }  // ~Engine flushes the queue/pool counters into `metrics`
+  // A short sharded mesh into the same accumulator so the artifact's
+  // sim.shard block (docs/METRICS.md) carries real window/mailbox counts.
+  {
+    sim::Executor pool(sim::Executor::hardware_threads());
+    sim::Engine engine(sim::QueuePolicy::kCalendar);
+    engine.enable_sharding(4, 0.5);
+    engine.attach_executor(&pool);
+    engine.attach_metrics(&metrics);
+    std::vector<std::unique_ptr<ShardMeshEntity>> entities;
+    seed_sharded_mesh(engine, kShardMeshEntities, entities);
+    engine.run_until(64.0);
+  }
   return metrics.to_json();
 }
 
@@ -383,6 +502,7 @@ int main(int argc, char** argv) {
   // --trace_key) before google-benchmark sees (and rejects) them.
   std::string json_path;
   std::string threads_flag;
+  std::string shards_flag;
   std::string trace_path;
   std::string trace_key;
   std::vector<char*> bench_argv;
@@ -402,6 +522,11 @@ int main(int argc, char** argv) {
                          : std::string(arg.substr(eq + 1));
       continue;
     }
+    if (i > 0 && arg.rfind("--shards", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq != std::string_view::npos) shards_flag = arg.substr(eq + 1);
+      continue;
+    }
     if (i > 0 && arg.rfind("--trace_key", 0) == 0) {
       const auto eq = arg.find('=');
       if (eq != std::string_view::npos) trace_key = arg.substr(eq + 1);
@@ -419,6 +544,7 @@ int main(int argc, char** argv) {
 
   kgrid::obs::BenchReport report("engine_micro");
   if (!threads_flag.empty()) report.set_arg("threads", threads_flag);
+  if (!shards_flag.empty()) report.set_arg("shards", shards_flag);
   if (!trace_path.empty()) report.set_arg("trace", trace_path);
   for (int i = 1; i < bench_argc; ++i)
     report.set_arg("argv" + std::to_string(i), bench_argv[i]);
@@ -428,6 +554,20 @@ int main(int argc, char** argv) {
   if (!trace_path.empty())
     report.set_arg("trace_key", replay_schedule_key);
 
+  // The shard sweep registers late so --shards can narrow it to one count
+  // (static BENCHMARK() registration cannot see the flag).
+  std::vector<std::size_t> shard_sweep = {1, 2, 4, 8};
+  if (!shards_flag.empty()) {
+    const long v = std::strtol(shards_flag.c_str(), nullptr, 10);
+    if (v >= 1) shard_sweep.assign(1, static_cast<std::size_t>(v));
+  }
+  for (const std::size_t s : shard_sweep)
+    benchmark::RegisterBenchmark(("BM_ShardedMesh/" + std::to_string(s)).c_str(),
+                                 [s](benchmark::State& st) {
+                                   sharded_mesh(st, s);
+                                 })
+        ->UseManualTime();
+
   benchmark::Initialize(&bench_argc, bench_argv.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data()))
     return 1;
@@ -436,6 +576,25 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
 
   if (json_enabled) {
+    // Synthetic shard-speedup row: items/s at shards=4 over shards=1 (both
+    // manual-timed, so the ratio is wall-clock parallel speedup). `speedup`
+    // is a rate-class leaf for bench_diff — bigger is better, noisy-metric
+    // tolerance.
+    double ips1 = 0.0, ips4 = 0.0;
+    for (const auto& row : reporter.rows) {
+      const kgrid::obs::Json* name = row.find("name");
+      const kgrid::obs::Json* ips = row.find("items_per_second");
+      if (name == nullptr || ips == nullptr || !name->is_string()) continue;
+      const std::string& n = name->as_string();
+      if (n.rfind("BM_ShardedMesh/1/", 0) == 0) ips1 = ips->as_double();
+      if (n.rfind("BM_ShardedMesh/4/", 0) == 0) ips4 = ips->as_double();
+    }
+    if (ips1 > 0.0 && ips4 > 0.0) {
+      kgrid::obs::Json row = kgrid::obs::Json::object();
+      row.set("name", "BM_ShardedMesh/speedup_4v1");
+      row.set("speedup", ips4 / ips1);
+      reporter.rows.push_back(std::move(row));
+    }
     for (auto& row : reporter.rows) report.add_row(std::move(row));
     report.set_sim(instrumented_sim_section());
     if (!report.write(json_path)) return 1;

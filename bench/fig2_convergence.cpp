@@ -10,7 +10,7 @@
 // Default here: 32 x 500 (one core); --paper raises it.
 //
 //   ./fig2_convergence [--resources=32] [--local=500] [--k=10] [--scans=5]
-//                      [--threads=N] [--paper] [--json[=PATH]]
+//                      [--threads=N] [--shards=N] [--paper] [--json[=PATH]]
 //                      [--trace_record=PATH] [--trace_replay=PATH]
 #include <cstdio>
 
@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   const auto k = cli.get_int("k", 10);
   const auto scans = static_cast<std::size_t>(cli.get_int("scans", 4));
   const std::size_t threads = bench::threads_arg(cli);
+  const int shards = bench::shards_arg(cli);
   sim::Executor pool(threads);
   bench::JsonSink sink(cli, "fig2_convergence");
   sink.arg("resources", obs::Json(resources));
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
   sink.arg("k", obs::Json(k));
   sink.arg("scans", obs::Json(scans));
   sink.arg("threads", obs::Json(threads));
+  sink.arg("shards", obs::Json(static_cast<std::int64_t>(shards)));
   sink.arg("paper", obs::Json(paper));
   sink.set_executor(&pool);
   bench::TraceSource trace(cli, "fig2_convergence");
@@ -78,6 +80,7 @@ int main(int argc, char** argv) {
     base.arrivals_per_step = cfg.secure.arrivals_per_step;
 
     cfg.executor = &pool;
+    cfg.shards = shards;
     // One environment for both grids; on replay it comes from the trace.
     // The secure engine carries the schedule hash (the baseline runs the
     // same workload but is a different protocol, hence a different trace).
@@ -88,7 +91,8 @@ int main(int argc, char** argv) {
     core::GridEnv base_env = env;
     cfg.trace = trace.begin(cell_key);
     core::SecureGrid secure(cfg, std::move(env));
-    core::BaselineGrid baseline(cfg.env, base, std::move(base_env), threads);
+    core::BaselineGrid baseline(cfg.env, base, std::move(base_env), threads,
+                                sim::QueuePolicy::kCalendar, nullptr, shards);
     sink.attach(secure.engine());
     sink.attach(baseline.engine());
 

@@ -15,8 +15,8 @@
 // parallel-executor speedup figure (EXPERIMENTS.md).
 //
 //   ./fig3_scalability [--max_resources=512] [--local=1000] [--k=10]
-//                      [--threads=N] [--sweep_steps=10] [--paper]
-//                      [--json[=PATH]] [--trace_record=PATH]
+//                      [--threads=N] [--shards=N] [--sweep_steps=10]
+//                      [--paper] [--json[=PATH]] [--trace_record=PATH]
 //                      [--trace_replay=PATH] [--trace_schedule=KEY]
 #include <cstdio>
 
@@ -81,6 +81,7 @@ int main(int argc, char** argv) {
   const auto k = cli.get_int("k", 10);
   const double lambda = 0.5;
   const std::size_t threads = kgrid::bench::threads_arg(cli);
+  const int shards = kgrid::bench::shards_arg(cli);
   sim::Executor pool(threads);
   kgrid::bench::JsonSink sink(cli, "fig3_scalability");
   sink.arg("max_resources", kgrid::obs::Json(max_resources));
@@ -88,6 +89,7 @@ int main(int argc, char** argv) {
   sink.arg("k", kgrid::obs::Json(k));
   sink.arg("lambda", kgrid::obs::Json(lambda));
   sink.arg("threads", kgrid::obs::Json(threads));
+  sink.arg("shards", kgrid::obs::Json(static_cast<std::int64_t>(shards)));
   sink.arg("paper", kgrid::obs::Json(paper));
   sink.set_executor(&pool);
   kgrid::bench::TraceSource trace(cli, "fig3_scalability");
@@ -114,6 +116,7 @@ int main(int argc, char** argv) {
       cfg.secure.candidate_period = 1;  // sample the output every step
       cfg.secure.arrivals_per_step = 1;  // the paper's dynamic trickle
       cfg.executor = &pool;  // one pool shared by every grid in the series
+      cfg.shards = shards;
 
       char cell_key[32];
       std::snprintf(cell_key, sizeof cell_key, "n=%zu/sig=%.2f", n, sig);
@@ -182,6 +185,7 @@ int main(int argc, char** argv) {
       cfg.backend = hom::Backend::kPaillier;
       cfg.paillier_bits = 512;
       cfg.threads = t;
+      cfg.shards = shards;
       const std::string cell_key = "sweep/t" + std::to_string(t);
       cfg.trace = trace.begin(cell_key);
       kgrid::obs::Stopwatch wall;

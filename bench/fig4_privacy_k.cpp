@@ -6,7 +6,7 @@
 // 64 x 400 (one core); --paper raises it.
 //
 //   ./fig4_privacy_k [--resources=64] [--local=400] [--max_steps=400]
-//                    [--threads=N] [--paper] [--json[=PATH]]
+//                    [--threads=N] [--shards=N] [--paper] [--json[=PATH]]
 //                    [--trace_record=PATH] [--trace_replay=PATH]
 #include <cstdio>
 
@@ -23,12 +23,14 @@ int main(int argc, char** argv) {
   const auto max_steps =
       static_cast<std::size_t>(cli.get_int("max_steps", 400));
   const std::size_t threads = bench::threads_arg(cli);
+  const int shards = bench::shards_arg(cli);
   sim::Executor pool(threads);
   bench::JsonSink sink(cli, "fig4_privacy_k");
   sink.arg("resources", obs::Json(resources));
   sink.arg("local", obs::Json(local));
   sink.arg("max_steps", obs::Json(max_steps));
   sink.arg("threads", obs::Json(threads));
+  sink.arg("shards", obs::Json(static_cast<std::int64_t>(shards)));
   sink.arg("paper", obs::Json(paper));
   sink.set_executor(&pool);
   bench::TraceSource trace(cli, "fig4_privacy_k");
@@ -57,6 +59,7 @@ int main(int argc, char** argv) {
     cfg.secure.arrivals_per_step = 0;
     cfg.attach_monitor = true;
     cfg.executor = &pool;
+    cfg.shards = shards;
 
     const std::string cell_key = "k=" + std::to_string(k);
     cfg.trace = trace.begin(cell_key);

@@ -42,7 +42,32 @@ struct SecureGridConfig {
   /// resource starts — construction already pushes bootstrap events, and a
   /// recorder attached later would miss them. Must outlive the grid's runs.
   sim::EventTap* trace = nullptr;
+  /// Sharded parallel event processing (docs/SHARDING.md): -1 = library
+  /// default (KGRID_SHARDS env override, else plain), 0 = force the plain
+  /// single-queue engine, N >= 1 = that many shards with the topology's
+  /// minimum link delay as the conservative lookahead. Requesting shards
+  /// explicitly with a zero minimum delay is a hard error; the env default
+  /// falls back to plain instead. The schedule is shard-count-invariant,
+  /// but sharded grids resolve offloaded crypto inline (sim/engine.hpp), so
+  /// their schedule family differs from the plain engine's.
+  int shards = -1;
 };
+
+/// Resolve a grid's shard knob against its delay model and switch the
+/// engine into sharded mode when asked to (see SecureGridConfig::shards).
+inline void maybe_enable_sharding(sim::Engine& engine, int shards,
+                                  const net::LinkDelays& delays) {
+  const std::size_t n = shards > 0 ? static_cast<std::size_t>(shards)
+                                   : (shards < 0 ? sim::default_shards() : 0);
+  if (n == 0) return;
+  const double lookahead = delays.min_delay();
+  if (shards > 0)
+    KGRID_CHECK(lookahead > 0.0,
+                "sharded grid needs a positive minimum link delay");
+  else if (lookahead <= 0.0)
+    return;  // environment default on a zero-delay env: stay plain
+  engine.enable_sharding(n, lookahead);
+}
 
 /// Secure-Majority-Rule over a simulated data grid.
 class SecureGrid {
@@ -55,6 +80,7 @@ class SecureGrid {
   SecureGrid(const SecureGridConfig& config, GridEnv env)
       : config_(config), env_(std::move(env)), monitor_(config.secure.k),
         engine_(config.queue_policy) {
+    maybe_enable_sharding(engine_, config.shards, env_.delays);
     if (config.trace != nullptr) engine_.attach_trace(config.trace);
     if (config.executor != nullptr) {
       engine_.attach_executor(config.executor);
@@ -244,19 +270,21 @@ class BaselineGrid {
                const majority::MajorityRuleConfig& config,
                std::size_t threads = 0,
                sim::QueuePolicy queue_policy = sim::QueuePolicy::kCalendar,
-               sim::EventTap* trace = nullptr)
+               sim::EventTap* trace = nullptr, int shards = -1)
       : BaselineGrid(env_config, config, make_grid_env(env_config), threads,
-                     queue_policy, trace) {}
+                     queue_policy, trace, shards) {}
 
   /// `threads` follows SecureGridConfig::threads semantics (0 = library
   /// default, 1 = inline, N > 1 = worker pool; outcomes thread-invariant).
-  /// `trace` follows SecureGridConfig::trace (attached before any pushes).
+  /// `trace` follows SecureGridConfig::trace (attached before any pushes);
+  /// `shards` follows SecureGridConfig::shards.
   BaselineGrid(const GridEnvConfig& env_config,
                const majority::MajorityRuleConfig& config, GridEnv env,
                std::size_t threads = 0,
                sim::QueuePolicy queue_policy = sim::QueuePolicy::kCalendar,
-               sim::EventTap* trace = nullptr)
+               sim::EventTap* trace = nullptr, int shards = -1)
       : env_(std::move(env)), engine_(queue_policy) {
+    maybe_enable_sharding(engine_, shards, env_.delays);
     if (trace != nullptr) engine_.attach_trace(trace);
     const std::size_t lanes =
         threads == 0 ? sim::Executor::default_threads() : threads;

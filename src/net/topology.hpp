@@ -88,6 +88,13 @@ class LinkDelays {
   double lo() const { return lo_; }
   double hi() const { return hi_; }
 
+  /// Lower bound on every link's propagation delay — no message delivered
+  /// over this delay model can arrive sooner than min_delay() after it was
+  /// sent. The sharded engine (sim/engine.hpp, docs/SHARDING.md) uses this
+  /// as its conservative lookahead: within a window of this length, shards
+  /// cannot causally affect each other.
+  double min_delay() const { return lo_; }
+
  private:
   std::uint64_t seed_;
   double lo_;

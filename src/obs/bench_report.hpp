@@ -206,6 +206,18 @@ inline std::string validate_bench_json(const Json& j) {
         return std::string("sim.executor.") + key + " missing or not a number";
     }
   }
+  // sim.shard is optional (absent unless a sharded engine reported — see
+  // sim::EngineMetrics::on_shard_stats), but when present it must carry the
+  // full sharded-mode counter set (docs/METRICS.md, docs/SHARDING.md).
+  if (const Json* shard = sim->find("shard"); shard != nullptr) {
+    if (!shard->is_object()) return "sim.shard is not an object";
+    for (const char* key :
+         {"shards", "windows", "mailbox_events", "max_skew"}) {
+      const Json* v = shard->find(key);
+      if (v == nullptr || !v->is_number())
+        return std::string("sim.shard.") + key + " missing or not a number";
+    }
+  }
 
   const Json* crypto = require("crypto");
   if (crypto == nullptr || !crypto->is_object())

@@ -41,6 +41,29 @@
 //     offload() and only the apply is deferred, which is the exact same
 //     schedule.
 //
+// Sharded parallel mode (docs/SHARDING.md for the full model and proof
+// sketch): enable_sharding(N, lookahead) partitions entities across N
+// per-shard event queues (lane_of(id) == id % N, each lane a full
+// EventQueue under the engine's QueuePolicy) and advances the shards in
+// bounded time windows. Each window starts at the globally earliest
+// pending event time W and runs every shard — in parallel on the attached
+// executor — up to but not including W + lookahead. Because the lookahead
+// is at most the topology's minimum link delay (net::LinkDelays::
+// min_delay()), no shard can causally affect another inside a window:
+// cross-shard sends always land at or beyond the horizon and are routed
+// through per-shard-pair mailboxes, drained into the destination queues at
+// the window barrier. At that barrier the per-shard dispatch logs are
+// k-way merged in (time, seq) order on the driving thread, which assigns
+// the final sequence numbers, emits the EventTap stream, and replays the
+// metrics hooks — so the merged schedule, the ScheduleHasher value, and a
+// recorded trace are bit-identical at every shard count (and every thread
+// count). For workloads without offload() the sharded schedule equals the
+// plain engine's; with offload() the job body and its Apply run inline on
+// the shard (there is no global barrier a lane could defer to), which is a
+// different — but internally consistent and shard-count-invariant —
+// deterministic family. The default (no enable_sharding call) leaves the
+// plain single-queue engine untouched.
+//
 // Instrumentation is opt-in: attach_metrics() hooks an EngineMetrics
 // (sim/metrics.hpp) into the event loop for per-entity-class and
 // per-message-type accounting; detached (the default), every hook is a
@@ -52,13 +75,16 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
+#include <typeinfo>
 #include <vector>
 
 #include "sim/event_queue.hpp"
 #include "sim/executor.hpp"
 #include "sim/metrics.hpp"
 #include "sim/payload.hpp"
+#include "sim/shard.hpp"
 #include "util/check.hpp"
 
 namespace kgrid::sim {
@@ -161,10 +187,51 @@ class Engine {
   void attach_trace(EventTap* tap) { tap_ = tap; }
   EventTap* trace() const { return tap_; }
 
-  Time now() const { return now_; }
+  /// Switch this engine into sharded parallel mode (header comment and
+  /// docs/SHARDING.md): `shards` per-shard event queues advanced in
+  /// conservative-lookahead windows, merged at window barriers. `lookahead`
+  /// must be positive and no larger than the minimum cross-entity delivery
+  /// delay of the workload (for a grid: net::LinkDelays::min_delay());
+  /// cross-shard events under that horizon fail a KGRID_CHECK. Must be
+  /// called on a fresh engine — before any send/schedule/replay_push — so
+  /// sequence numbering starts at zero in sharded custody; entities may be
+  /// registered before or after. Windows run in parallel when a multi-lane
+  /// executor is attached, sequentially (same schedule) otherwise.
+  void enable_sharding(std::size_t shards, Time lookahead) {
+    KGRID_CHECK(shards >= 1, "shard count must be at least 1");
+    KGRID_CHECK(lookahead > 0.0, "sharded mode needs a positive lookahead");
+    KGRID_CHECK(lanes_.empty(), "sharding already enabled");
+    KGRID_CHECK(next_seq_ == 0 && queue_.empty() && pending_.empty(),
+                "enable_sharding requires a fresh engine");
+    lookahead_ = lookahead;
+    lanes_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      lanes_.push_back(std::make_unique<Lane>(queue_.policy(), i));
+      lanes_.back()->outbox.resize(shards);
+    }
+  }
+
+  bool sharded() const { return !lanes_.empty(); }
+  std::size_t shards() const { return lanes_.size(); }
+  Time lookahead() const { return lookahead_; }
+  const ShardStats& shard_stats() const { return shard_stats_; }
+
+  Time now() const {
+    if (const Lane* lane = current_lane()) return lane->now;
+    return now_;
+  }
   std::uint64_t messages_delivered() const { return messages_delivered_; }
   std::uint64_t messages_sent() const { return messages_sent_; }
-  bool idle() const { return queue_.empty() && pending_.empty(); }
+  bool idle() const {
+    if (sharded()) {
+      // Outboxes drain at every window barrier, so between runs the lanes'
+      // queues are the entire pending set.
+      for (const auto& lane : lanes_)
+        if (!lane->queue.empty()) return false;
+      return true;
+    }
+    return queue_.empty() && pending_.empty();
+  }
 
   QueuePolicy queue_policy() const { return queue_.policy(); }
   const QueueStats& queue_stats() const { return queue_.stats(); }
@@ -177,16 +244,24 @@ class Engine {
   void send(EntityId from, EntityId to, Time delay, P&& payload = Payload()) {
     KGRID_CHECK(to < entities_.size(), "send to unknown entity");
     KGRID_CHECK(delay >= 0.0, "negative delay");
+    if (Lane* lane = current_lane()) {
+      lane_push(*lane,
+                EventRecord{lane->now + delay, lane->now, 0, 0, from, to,
+                            EventKind::kMessage},
+                std::forward<P>(payload));
+      return;
+    }
     ++messages_sent_;
     const std::uint64_t seq = next_seq_++;
-    queue_.push(now_ + delay, seq, from, to, EventKind::kMessage, 0,
-                std::forward<P>(payload), now_);
+    target_queue(to).push(now_ + delay, seq, from, to, EventKind::kMessage, 0,
+                          std::forward<P>(payload), now_);
+    if (sharded()) ++live_events_;
     if (tap_ != nullptr)
       tap_->on_push(
           {now_ + delay, now_, seq, 0, from, to, EventKind::kMessage});
     with_metrics([&](EngineMetrics& m) {
       m.on_send(kind_of(from));
-      m.on_queue_depth(queue_.size());
+      m.on_queue_depth(pending_events());
     });
   }
 
@@ -194,13 +269,21 @@ class Engine {
   void schedule(EntityId entity, Time delay, std::uint64_t timer_id) {
     KGRID_CHECK(entity < entities_.size(), "schedule for unknown entity");
     KGRID_CHECK(delay >= 0.0, "negative delay");
+    if (Lane* lane = current_lane()) {
+      lane_push(*lane,
+                EventRecord{lane->now + delay, lane->now, 0, timer_id, entity,
+                            entity, EventKind::kTimer},
+                Payload());
+      return;
+    }
     const std::uint64_t seq = next_seq_++;
-    queue_.push(now_ + delay, seq, entity, entity, EventKind::kTimer,
-                timer_id, Payload(), now_);
+    target_queue(entity).push(now_ + delay, seq, entity, entity,
+                              EventKind::kTimer, timer_id, Payload(), now_);
+    if (sharded()) ++live_events_;
     if (tap_ != nullptr)
       tap_->on_push({now_ + delay, now_, seq, timer_id, entity, entity,
                      EventKind::kTimer});
-    with_metrics([&](EngineMetrics& m) { m.on_queue_depth(queue_.size()); });
+    with_metrics([&](EngineMetrics& m) { m.on_queue_depth(pending_events()); });
   }
 
   /// Re-enqueue one recorded event exactly as originally pushed — the
@@ -212,15 +295,19 @@ class Engine {
   /// payload (payload bytes are not part of the schedule contract).
   void replay_push(const EventRecord& record) {
     KGRID_CHECK(record.to < entities_.size(), "replay to unknown entity");
+    KGRID_CHECK(current_lane() == nullptr,
+                "replay_push is a driver-side interface");
     KGRID_CHECK(record.seq == next_seq_, "replayed schedule out of order");
     KGRID_CHECK(record.time >= now_, "replayed event in the past");
     if (record.kind == EventKind::kMessage) ++messages_sent_;
-    queue_.push(record.time, next_seq_++, record.from, record.to, record.kind,
-                record.timer_id, Payload(), record.sent_at);
+    target_queue(record.to).push(record.time, next_seq_++, record.from,
+                                 record.to, record.kind, record.timer_id,
+                                 Payload(), record.sent_at);
+    if (sharded()) ++live_events_;
     if (tap_ != nullptr) tap_->on_push(record);
     with_metrics([&](EngineMetrics& m) {
       if (record.kind == EventKind::kMessage) m.on_send(kind_of(record.from));
-      m.on_queue_depth(queue_.size());
+      m.on_queue_depth(pending_events());
     });
   }
 
@@ -231,6 +318,23 @@ class Engine {
   /// no event is delivered to it while its job is in flight.
   void offload(EntityId entity, Job job) {
     KGRID_CHECK(entity < entities_.size(), "offload for unknown entity");
+    if (sharded()) {
+      // Sharded mode: the job body and its Apply run inline, right here.
+      // Shards cannot share the plain engine's global barrier (its triggers
+      // read the whole queue), so deferring applies would make the schedule
+      // depend on per-shard queue state — i.e. on the shard count. Inline
+      // resolution keeps the schedule a pure function of the merged event
+      // order at every shard and thread count; it is a different family
+      // than the plain engine's deferred-apply schedule (header comment).
+      if (Lane* lane = current_lane()) {
+        lane->offload_log.push_back(entity);
+      } else {
+        with_metrics([&](EngineMetrics& m) { m.on_offload(kind_of(entity)); });
+      }
+      Apply apply = job();
+      if (apply) apply(*this);
+      return;
+    }
     Pending p;
     p.entity = entity;
     if (executor_ != nullptr && executor_->threads() > 1) {
@@ -247,7 +351,10 @@ class Engine {
   }
 
   /// Process a single event. Returns false if nothing is left to do.
+  /// Plain mode only: sharded mode advances whole windows, not events —
+  /// use run_until / run_to_quiescence.
   bool step() {
+    KGRID_CHECK(!sharded(), "step() is unavailable in sharded mode");
     // Barrier triggers (a)-(c): next event would advance time past the
     // submission tick, or targets a busy entity, or the queue is empty.
     // resolve_pending() may enqueue events and further jobs, so re-check.
@@ -285,10 +392,18 @@ class Engine {
   /// (d): every pending job is resolved before this returns, so callers
   /// always observe quiesced entity state.
   void run_until(Time deadline) {
-    for (;;) {
-      while (!queue_.empty() && queue_.top_time() <= deadline) step();
-      if (pending_.empty()) break;
-      resolve_pending();  // may enqueue events inside the deadline
+    if (sharded()) {
+      for (;;) {
+        const Time start = earliest_pending();
+        if (!(start <= deadline)) break;  // also breaks on no pending (inf)
+        run_window(start, deadline);
+      }
+    } else {
+      for (;;) {
+        while (!queue_.empty() && queue_.top_time() <= deadline) step();
+        if (pending_.empty()) break;
+        resolve_pending();  // may enqueue events inside the deadline
+      }
     }
     with_metrics([&](EngineMetrics& m) {
       if (deadline > now_) m.advance_time(deadline - now_);
@@ -300,6 +415,16 @@ class Engine {
   /// `max_events` guards against livelock in tests.
   std::uint64_t run_to_quiescence(std::uint64_t max_events) {
     std::uint64_t processed = 0;
+    if (sharded()) {
+      for (;;) {
+        const Time start = earliest_pending();
+        if (start == std::numeric_limits<Time>::infinity()) break;
+        KGRID_CHECK(processed < max_events,
+                    "run_to_quiescence exceeded budget");
+        processed += run_window(start, std::numeric_limits<Time>::infinity());
+      }
+      return processed;
+    }
     while (!idle()) {
       KGRID_CHECK(processed < max_events, "run_to_quiescence exceeded budget");
       if (!step()) break;
@@ -315,6 +440,40 @@ class Engine {
   /// engine is alive call this directly.
   void flush_stats() {
     if (metrics_ == nullptr) return;
+    if (sharded()) {
+      // Lane counters aggregate: pushes/pops/resizes and pool traffic sum
+      // across shards (so the totals match a plain run of the same
+      // schedule); depth high-water marks are per-shard maxima, not a
+      // global queue depth (docs/METRICS.md, sharded note).
+      QueueStats dq;
+      EventPoolStats dp;
+      for (const auto& lp : lanes_) {
+        Lane& lane = *lp;
+        const QueueStats& q = lane.queue.stats();
+        const EventPoolStats& p = lane.queue.pool_stats();
+        dq.pushes += q.pushes - lane.flushed_queue.pushes;
+        dq.pops += q.pops - lane.flushed_queue.pops;
+        dq.resizes += q.resizes - lane.flushed_queue.resizes;
+        dq.max_depth = std::max(dq.max_depth, q.max_depth);
+        dp.acquired += p.acquired - lane.flushed_pool.acquired;
+        dp.released += p.released - lane.flushed_pool.released;
+        dp.overflow += p.overflow - lane.flushed_pool.overflow;
+        dp.max_in_use = std::max(dp.max_in_use, p.max_in_use);
+        dp.slots += p.slots;
+        lane.flushed_queue = q;
+        lane.flushed_pool = p;
+      }
+      metrics_->on_engine_stats(queue_policy_name(queue_.policy()), dq, dp,
+                                !stats_flushed_);
+      metrics_->on_shard_stats(
+          lanes_.size(),
+          ShardStats{shard_stats_.windows - flushed_shard_.windows,
+                     shard_stats_.mailbox_events - flushed_shard_.mailbox_events,
+                     shard_stats_.max_skew});
+      stats_flushed_ = true;
+      flushed_shard_ = shard_stats_;
+      return;
+    }
     const QueueStats& q = queue_.stats();
     const EventPoolStats& p = queue_.pool_stats();
     QueueStats dq{q.pushes - flushed_queue_.pushes, q.pops - flushed_queue_.pops,
@@ -360,6 +519,288 @@ class Engine {
     pending_.clear();
   }
 
+  // ---- Sharded mode (docs/SHARDING.md) ----------------------------------
+  //
+  // Per-shard state. During a window, a lane is touched only by the one
+  // thread executing it (entities_/kinds_ and the window bounds are
+  // read-only then); between windows, only the driving thread touches
+  // anything. That ownership discipline is the whole synchronization story
+  // — no locks, no atomics, TSan-clean by construction.
+
+  /// A deferred event parked in a per-shard-pair mailbox until the window
+  /// barrier: everything at or beyond the lookahead horizon, plus every
+  /// cross-shard delivery. `rec.seq` is stamped with the final sequence
+  /// number during the barrier merge, before the mailbox drains.
+  struct OutboxEntry {
+    EventRecord rec;
+    Payload payload;
+  };
+
+  /// One push issued during a lane's window, in handler order. Local pushes
+  /// under the horizon carry a provisional seq (>= seq_base_) and already
+  /// sit in the lane's queue; deferred pushes reference their mailbox slot.
+  struct LanePush {
+    EventRecord rec;
+    std::uint32_t dst = 0;   // destination lane (deferred only)
+    std::uint32_t slot = 0;  // index into outbox[dst] (deferred only)
+    bool deferred = false;
+  };
+
+  /// One dispatch of a lane's window: the record as popped (seq possibly
+  /// provisional), the payload's dynamic type for the metrics replay, and
+  /// the half-open ranges of pushes/offloads its handler issued.
+  struct LaneDispatch {
+    EventRecord rec;
+    const std::type_info* payload_type = nullptr;  // messages only
+    std::uint32_t push_begin = 0;
+    std::uint32_t push_end = 0;
+    std::uint32_t offload_begin = 0;
+    std::uint32_t offload_end = 0;
+  };
+
+  struct Lane {
+    Lane(QueuePolicy policy, std::size_t idx) : queue(policy), index(idx) {}
+    EventQueue queue;
+    std::size_t index;
+    Time now = 0.0;
+    std::uint64_t provisionals = 0;  // provisional seqs handed out this window
+    std::vector<LaneDispatch> dispatch_log;
+    std::vector<LanePush> push_log;
+    std::vector<EntityId> offload_log;
+    std::vector<std::vector<OutboxEntry>> outbox;  // per destination lane
+    std::vector<std::uint64_t> concrete;  // provisional -> final seq (merge)
+    std::size_t merge_next = 0;           // merge cursor into dispatch_log
+    QueueStats flushed_queue;             // flush_stats delta snapshots
+    EventPoolStats flushed_pool;
+  };
+
+  static constexpr std::uint64_t kUnresolved = ~std::uint64_t{0};
+
+  /// The lane this thread is currently executing a window for, or null on
+  /// the driver side (between windows, or plain mode). Keyed by engine so
+  /// an entity driving a second engine from a handler cannot cross wires.
+  Lane* current_lane() const {
+    return tl_engine_ == this ? tl_lane_ : nullptr;
+  }
+
+  std::size_t lane_of(EntityId id) const { return id % lanes_.size(); }
+
+  EventQueue& target_queue(EntityId to) {
+    return sharded() ? lanes_[lane_of(to)]->queue : queue_;
+  }
+
+  /// The pending-event count on_queue_depth reports: the single queue's
+  /// size in plain mode, the merge-maintained live-event count in sharded
+  /// mode (identical trajectory — see merge_entry).
+  std::size_t pending_events() const {
+    return sharded() ? static_cast<std::size_t>(live_events_) : queue_.size();
+  }
+
+  Time earliest_pending() const {
+    Time start = std::numeric_limits<Time>::infinity();
+    for (const auto& lane : lanes_)
+      if (!lane->queue.empty())
+        start = std::min(start, lane->queue.top_time());
+    return start;
+  }
+
+  /// A push issued from inside a lane's window. Local pushes under the
+  /// horizon go straight into the lane's queue under a provisional seq
+  /// (seq_base_ + n: above every final seq assigned so far, and resolved to
+  /// ascending final seqs in this order, so the queue's (time, seq) order
+  /// already equals the final order). Everything else is deferred to a
+  /// mailbox; cross-shard deliveries must sit at or beyond the horizon —
+  /// that is exactly the conservative-lookahead contract.
+  template <class P>
+  void lane_push(Lane& lane, EventRecord rec, P&& payload) {
+    const std::size_t dst = lane_of(rec.to);
+    if (dst == lane.index && rec.time < window_end_) {
+      rec.seq = seq_base_ + lane.provisionals++;
+      lane.queue.push(rec.time, rec.seq, rec.from, rec.to, rec.kind,
+                      rec.timer_id, std::forward<P>(payload), rec.sent_at);
+      lane.push_log.push_back(LanePush{rec, 0, 0, false});
+    } else {
+      KGRID_CHECK(dst == lane.index || rec.time >= window_end_,
+                  "cross-shard event under the lookahead horizon");
+      auto& box = lane.outbox[dst];
+      lane.push_log.push_back(LanePush{rec, static_cast<std::uint32_t>(dst),
+                                       static_cast<std::uint32_t>(box.size()),
+                                       true});
+      box.push_back(OutboxEntry{rec, Payload(std::forward<P>(payload))});
+      // Cross-shard handoff re-materializes value semantics: the receiving
+      // shard must never share a copy-on-write message body with the
+      // sender's shard (the body's lazily cached Paillier form is mutated
+      // without synchronization — crypto/hom.hpp).
+      if (dst != lane.index) box.back().payload.detach();
+    }
+  }
+
+  /// One event of a lane's window: pop, log, advance lane time, dispatch.
+  /// No tap, no metrics, no shared counters — all of that is replayed in
+  /// merged order at the barrier.
+  void lane_step(Lane& lane) {
+    const EventQueue::Popped ev = lane.queue.pop();
+    lane.dispatch_log.push_back(LaneDispatch{
+        {ev.time, ev.sent_at, ev.seq, ev.timer_id, ev.from, ev.to, ev.kind},
+        ev.kind == EventKind::kMessage ? &ev.payload->type() : nullptr,
+        static_cast<std::uint32_t>(lane.push_log.size()), 0,
+        static_cast<std::uint32_t>(lane.offload_log.size()), 0});
+    const std::size_t entry = lane.dispatch_log.size() - 1;
+    lane.now = ev.time;
+    Entity* target = entities_[ev.to];
+    if (ev.kind == EventKind::kMessage)
+      target->on_message(*this, ev.from, *ev.payload);
+    else
+      target->on_timer(*this, ev.timer_id);
+    lane.dispatch_log[entry].push_end =
+        static_cast<std::uint32_t>(lane.push_log.size());
+    lane.dispatch_log[entry].offload_end =
+        static_cast<std::uint32_t>(lane.offload_log.size());
+    lane.queue.finish(ev);
+  }
+
+  /// One lookahead window: every shard runs [start, start + lookahead_) —
+  /// in parallel when a multi-lane executor is attached — then the driver
+  /// merges the logs at the barrier. Returns the events dispatched.
+  std::uint64_t run_window(Time start, Time deadline) {
+    window_end_ = start + lookahead_;
+    seq_base_ = next_seq_;
+    const auto body = [this, deadline](std::size_t li) {
+      Lane& lane = *lanes_[li];
+      // Nested crypto batches from this lane must not enqueue helper tasks
+      // behind the other lanes' window tasks.
+      Executor::ScopedWorker nested_inline;
+      tl_engine_ = this;
+      tl_lane_ = &lane;
+      while (!lane.queue.empty() && lane.queue.top_time() < window_end_ &&
+             lane.queue.top_time() <= deadline)
+        lane_step(lane);
+      tl_lane_ = nullptr;
+      tl_engine_ = nullptr;
+    };
+    if (executor_ != nullptr && executor_->threads() > 1 && lanes_.size() > 1)
+      executor_->parallel_for(lanes_.size(), body);
+    else
+      for (std::size_t i = 0; i < lanes_.size(); ++i) body(i);
+    std::uint64_t dispatched = 0;
+    for (const auto& lane : lanes_) dispatched += lane->dispatch_log.size();
+    merge_window();
+    return dispatched;
+  }
+
+  /// A provisional seq resolves through its lane's merge-time table; final
+  /// seqs pass through. A lane head is always resolvable: the event's
+  /// parent dispatch is earlier in the *same* lane's log, hence already
+  /// merged and its pushes already numbered.
+  std::uint64_t resolved_seq(const Lane& lane, std::uint64_t seq) const {
+    if (seq < seq_base_) return seq;
+    const std::uint64_t i = seq - seq_base_;
+    KGRID_CHECK(i < lane.concrete.size() && lane.concrete[i] != kUnresolved,
+                "provisional seq resolved before its parent merged");
+    return lane.concrete[i];
+  }
+
+  /// The window barrier: k-way merge of the per-lane dispatch logs in
+  /// (time, final seq) order, replaying the tap and metrics stream and
+  /// assigning final sequence numbers push by push — exactly the sequence a
+  /// single-queue engine executing the merged schedule would have produced.
+  /// Then the mailboxes (every entry now carrying its final seq) drain into
+  /// their destination queues, invisible to the tap (their on_push fired
+  /// during the merge, at its in-handler position).
+  void merge_window() {
+    std::uint64_t min_d = ~std::uint64_t{0};
+    std::uint64_t max_d = 0;
+    for (const auto& lp : lanes_) {
+      Lane& lane = *lp;
+      lane.merge_next = 0;
+      lane.concrete.assign(lane.provisionals, kUnresolved);
+      const auto d = static_cast<std::uint64_t>(lane.dispatch_log.size());
+      min_d = std::min(min_d, d);
+      max_d = std::max(max_d, d);
+    }
+    for (;;) {
+      Lane* best = nullptr;
+      Time best_time = 0.0;
+      std::uint64_t best_seq = 0;
+      for (const auto& lp : lanes_) {
+        Lane& lane = *lp;
+        if (lane.merge_next >= lane.dispatch_log.size()) continue;
+        const EventRecord& r = lane.dispatch_log[lane.merge_next].rec;
+        const std::uint64_t rs = resolved_seq(lane, r.seq);
+        if (best == nullptr || r.time < best_time ||
+            (r.time == best_time && rs < best_seq)) {
+          best = &lane;
+          best_time = r.time;
+          best_seq = rs;
+        }
+      }
+      if (best == nullptr) break;
+      merge_entry(*best, best_seq);
+      ++best->merge_next;
+    }
+    for (const auto& src : lanes_) {
+      for (std::size_t d = 0; d < lanes_.size(); ++d) {
+        for (OutboxEntry& e : src->outbox[d])
+          lanes_[d]->queue.push(e.rec.time, e.rec.seq, e.rec.from, e.rec.to,
+                                e.rec.kind, e.rec.timer_id,
+                                std::move(e.payload), e.rec.sent_at);
+        src->outbox[d].clear();
+      }
+    }
+    ++shard_stats_.windows;
+    shard_stats_.max_skew = std::max(shard_stats_.max_skew, max_d - min_d);
+    for (const auto& lp : lanes_) {
+      Lane& lane = *lp;
+      lane.dispatch_log.clear();
+      lane.push_log.clear();
+      lane.offload_log.clear();
+      lane.provisionals = 0;
+    }
+  }
+
+  /// Replay one merged dispatch on the driver: tap + metrics exactly as the
+  /// plain engine's step() would have emitted them, then its handler's
+  /// pushes in call order (assigning final seqs, which is what makes the
+  /// merged order shard-count-invariant), then its offload tallies.
+  void merge_entry(Lane& lane, std::uint64_t seq) {
+    const LaneDispatch& d = lane.dispatch_log[lane.merge_next];
+    EventRecord rec = d.rec;
+    rec.seq = seq;
+    if (tap_ != nullptr) tap_->on_dispatch(rec);
+    with_metrics([&](EngineMetrics& m) { m.advance_time(rec.time - now_); });
+    now_ = rec.time;  // merged dispatch times are nondecreasing
+    --live_events_;
+    if (rec.kind == EventKind::kMessage) {
+      ++messages_delivered_;
+      with_metrics([&](EngineMetrics& m) {
+        m.on_deliver(kinds_[rec.to], *d.payload_type, rec.time - rec.sent_at);
+      });
+    } else {
+      with_metrics([&](EngineMetrics& m) { m.on_timer_fired(kinds_[rec.to]); });
+    }
+    for (std::uint32_t i = d.push_begin; i < d.push_end; ++i) {
+      LanePush& p = lane.push_log[i];
+      const std::uint64_t final_seq = next_seq_++;
+      if (p.deferred)
+        lane.outbox[p.dst][p.slot].rec.seq = final_seq;
+      else
+        lane.concrete[p.rec.seq - seq_base_] = final_seq;
+      p.rec.seq = final_seq;
+      if (p.rec.kind == EventKind::kMessage) ++messages_sent_;
+      ++live_events_;
+      if (p.deferred && p.dst != lane.index) ++shard_stats_.mailbox_events;
+      if (tap_ != nullptr) tap_->on_push(p.rec);
+      with_metrics([&](EngineMetrics& m) {
+        if (p.rec.kind == EventKind::kMessage) m.on_send(kind_of(p.rec.from));
+        m.on_queue_depth(pending_events());
+      });
+    }
+    for (std::uint32_t i = d.offload_begin; i < d.offload_end; ++i)
+      with_metrics([&](EngineMetrics& m) {
+        m.on_offload(kind_of(lane.offload_log[i]));
+      });
+  }
+
   /// The attached-metrics guard: every instrumentation hook funnels through
   /// here so the detached cost stays one null test.
   template <class Fn>
@@ -388,6 +829,18 @@ class Engine {
   bool stats_flushed_ = false;    // this engine already counted in "engines"
   QueueStats flushed_queue_;      // snapshot at last flush (delta reporting)
   EventPoolStats flushed_pool_;
+
+  // Sharded mode (empty lanes_ == plain single-queue engine).
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  Time lookahead_ = 0.0;
+  Time window_end_ = 0.0;     // current window's horizon (driver-written)
+  std::uint64_t seq_base_ = 0;  // final seqs < this; provisionals >= this
+  std::uint64_t live_events_ = 0;  // merge-maintained pending-event count
+  ShardStats shard_stats_;
+  ShardStats flushed_shard_;  // snapshot at last flush (delta reporting)
+  // Which lane (of which engine) this thread is currently executing.
+  inline static thread_local Engine* tl_engine_ = nullptr;
+  inline static thread_local Lane* tl_lane_ = nullptr;
 };
 
 }  // namespace kgrid::sim

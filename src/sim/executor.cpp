@@ -53,6 +53,20 @@ Executor::~Executor() {
 
 bool Executor::on_worker_thread() { return tl_on_worker; }
 
+Executor::ScopedWorker::ScopedWorker() : prev_(tl_on_worker) {
+  tl_on_worker = true;
+}
+
+Executor::ScopedWorker::~ScopedWorker() { tl_on_worker = prev_; }
+
+std::size_t default_shards() {
+  if (const char* env = std::getenv("KGRID_SHARDS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  return 0;
+}
+
 void Executor::worker_loop() {
   tl_on_worker = true;
   for (;;) {

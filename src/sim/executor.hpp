@@ -101,6 +101,23 @@ class Executor {
   /// True on a pool worker thread (where parallel_for degrades to inline).
   static bool on_worker_thread();
 
+  /// RAII: treat the current thread as a pool lane for the scope, so nested
+  /// parallel_for calls degrade to inline loops. The sharded engine
+  /// (docs/SHARDING.md) runs one shard's window on the simulation thread
+  /// while the pool runs the rest; without this mark, a crypto batch issued
+  /// from that shard would enqueue helper tasks behind the other shards'
+  /// window tasks and stall on them.
+  class ScopedWorker {
+   public:
+    ScopedWorker();
+    ~ScopedWorker();
+    ScopedWorker(const ScopedWorker&) = delete;
+    ScopedWorker& operator=(const ScopedWorker&) = delete;
+
+   private:
+    bool prev_;
+  };
+
   /// Pool metrics for the bench artifact's sim.executor section
   /// (docs/METRICS.md): lane count, job/batch counters, queue high-water
   /// mark, and wall-clock busy/wait seconds. Deterministic except the two
@@ -127,5 +144,12 @@ class Executor {
   std::atomic<std::uint64_t> busy_ns_{0};      // worker time inside tasks
   std::atomic<std::uint64_t> wait_ns_{0};      // caller time blocked on results
 };
+
+/// The library-wide default shard count for Engine::enable_sharding
+/// (docs/SHARDING.md): the KGRID_SHARDS environment override when set
+/// (>= 1 enables sharded mode with that many shards), otherwise 0 — the
+/// plain single-queue engine. Mirrors Executor::default_threads for the
+/// executor-lane knob; benches expose the same value as --shards.
+std::size_t default_shards();
 
 }  // namespace kgrid::sim

@@ -31,6 +31,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/shard.hpp"
 
 namespace kgrid::sim {
 
@@ -91,6 +92,17 @@ class EngineMetrics {
     pool_.slots = std::max(pool_.slots, pool.slots);
   }
 
+  /// Engine::flush_stats() pushes sharded-mode counters here the same way:
+  /// window and mailbox counts as deltas, the skew high-water by max. The
+  /// shard count merges by max (a sweep over shard counts reports the
+  /// largest); zero calls leave the sim.shard JSON section absent entirely.
+  void on_shard_stats(std::uint64_t shards, const ShardStats& delta) {
+    shards_ = std::max(shards_, shards);
+    shard_.windows += delta.windows;
+    shard_.mailbox_events += delta.mailbox_events;
+    shard_.max_skew = std::max(shard_.max_skew, delta.max_skew);
+  }
+
   void advance_time(double dt) { sim_time_ += dt; }
 
   // -- Read side --
@@ -101,6 +113,8 @@ class EngineMetrics {
   const QueueStats& queue_stats() const { return queue_; }
   const EventPoolStats& event_pool_stats() const { return pool_; }
   const std::string& queue_kind() const { return queue_kind_; }
+  std::uint64_t shards() const { return shards_; }
+  const ShardStats& shard_stats() const { return shard_; }
   const std::map<std::string, KindStats, std::less<>>& by_kind() const {
     return kinds_;
   }
@@ -158,6 +172,14 @@ class EngineMetrics {
     pool.set("max_in_use", pool_.max_in_use);
     pool.set("slots", pool_.slots);
     j.set("event_pool", std::move(pool));
+    if (shards_ > 0) {
+      obs::Json shard = obs::Json::object();
+      shard.set("shards", shards_);
+      shard.set("windows", shard_.windows);
+      shard.set("mailbox_events", shard_.mailbox_events);
+      shard.set("max_skew", shard_.max_skew);
+      j.set("shard", std::move(shard));
+    }
     obs::Json types = obs::Json::object();
     for (const auto& [name, stats] : types_) {
       obs::Json t = obs::Json::object();
@@ -209,6 +231,8 @@ class EngineMetrics {
   EventPoolStats pool_;
   std::uint64_t queue_engines_ = 0;
   std::string queue_kind_;
+  std::uint64_t shards_ = 0;  // 0: no sharded engine ever reported
+  ShardStats shard_;
 };
 
 }  // namespace kgrid::sim

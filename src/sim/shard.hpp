@@ -1,0 +1,28 @@
+// Sharded-mode accounting for sim::Engine (docs/SHARDING.md).
+//
+// In sharded mode the engine partitions entities across N per-shard event
+// queues and advances them in bounded time windows derived from the
+// topology's minimum link delay (the conservative lookahead). These are the
+// always-on counters of that machinery; Engine::flush_stats delta-flushes
+// them into the attached EngineMetrics, where they surface as the bench
+// artifact's sim.shard section (docs/METRICS.md).
+#pragma once
+
+#include <cstdint>
+
+namespace kgrid::sim {
+
+struct ShardStats {
+  /// Lookahead windows executed (window count is a pure function of the
+  /// merged event schedule, so it is identical at every shard count).
+  std::uint64_t windows = 0;
+  /// Events routed through a cross-shard mailbox (sender and receiver on
+  /// different shards); same-shard deferrals past the window horizon are
+  /// not cross-shard traffic and are not counted.
+  std::uint64_t mailbox_events = 0;
+  /// Load-imbalance high-water mark: the largest per-window gap between the
+  /// busiest and the idlest shard, in dispatched events.
+  std::uint64_t max_skew = 0;
+};
+
+}  // namespace kgrid::sim

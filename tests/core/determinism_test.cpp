@@ -4,9 +4,12 @@
 // counters and message traces).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
+#include <utility>
 
 #include "golden_fingerprint.hpp"
+#include "sim/trace.hpp"
 
 namespace kgrid {
 namespace {
@@ -91,6 +94,46 @@ TEST(Determinism, AttackDetectionInvariantAcrossThreadCounts) {
   for (const std::size_t threads : {2u, 8u})
     EXPECT_EQ(run_fingerprint(cfg, threads, 25), reference)
         << "threads=" << threads;
+}
+
+TEST(Determinism, ShardedGridInvariantAcrossShardCounts) {
+  // Sharded parallel mode (docs/SHARDING.md): the merged event schedule and
+  // the protocol outcome must be bit-identical at every shard count, and
+  // the protocol outcome must also match the plain engine's (sharded runs
+  // resolve offloaded crypto inline — a different schedule family — but
+  // protocol-visible state is schedule-family-invariant).
+  core::SecureGridConfig cfg;
+  cfg.env.n_resources = 8;
+  cfg.env.seed = 21;
+  cfg.env.quest.n_items = 6;
+  cfg.env.quest.n_transactions = 160;
+  cfg.secure.k = 3;
+  cfg.secure.event_driven = true;
+  cfg.threads = 2;
+  core::ResourceAttack attack;
+  attack.broker = core::BrokerBehavior::kDoubleCount;
+  attack.active_from_step = 5;
+  cfg.attacks[2] = attack;
+
+  const auto run = [&cfg](int shards) {
+    sim::ScheduleHasher hasher;
+    core::SecureGridConfig c = cfg;
+    c.shards = shards;
+    c.trace = &hasher;
+    core::SecureGrid grid(c);
+    grid.run_steps(20);
+    return std::pair<std::uint64_t, std::string>(
+        hasher.hash(), test::grid_fingerprint(grid));
+  };
+  const auto [hash_ref, fingerprint_ref] = run(1);
+  for (const int shards : {2, 4}) {
+    const auto [hash, fingerprint] = run(shards);
+    EXPECT_EQ(hash, hash_ref) << "shards=" << shards;
+    EXPECT_EQ(fingerprint, fingerprint_ref) << "shards=" << shards;
+  }
+  const auto [plain_hash, plain_fingerprint] = run(0);
+  (void)plain_hash;  // different schedule family — only the outcome matches
+  EXPECT_EQ(plain_fingerprint, fingerprint_ref);
 }
 
 TEST(Determinism, SharedExecutorMatchesOwnedExecutor) {

@@ -108,6 +108,10 @@ TEST(GoldenTrace, MaxQueueDepthAgreesAcrossQueuePolicies) {
   const auto run = [](sim::QueuePolicy policy) -> Depths {
     core::SecureGridConfig cfg = event_driven_config();
     cfg.threads = 1;
+    // Pin the plain engine: this test reads the single queue's own depth
+    // counter, which a sharded grid (e.g. under KGRID_SHARDS) leaves empty
+    // in favour of per-shard stats (Engine::flush_stats).
+    cfg.shards = 0;
     cfg.queue_policy = policy;
     core::SecureGrid grid(cfg);
     sim::EngineMetrics metrics;

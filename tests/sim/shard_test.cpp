@@ -1,0 +1,332 @@
+// Sharded parallel event processing (docs/SHARDING.md).
+//
+// The contract under test: a sharded engine's merged dispatch schedule —
+// the ScheduleHasher value, the EventTap stream, the metrics — is
+// bit-identical at every shard count and every thread count, and (for
+// workloads without offload) identical to the plain single-queue engine's.
+// The workloads here keep every cross-entity delay at or above the
+// lookahead, mirroring the grid invariant that sharding relies on (all
+// protocol messages travel over net::LinkDelays, whose min_delay() is the
+// lookahead).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/executor.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+
+namespace kgrid::sim {
+namespace {
+
+enum class Shape { kRing, kStar, kScatter };
+
+/// Fuzz entity: forwards a bounded number of messages along a shape-chosen
+/// edge with a random delay in [1, 2), and keeps a self-timer alive for a
+/// few rounds. Each entity owns an independent Rng stream, so its draws are
+/// a pure function of its own event sequence.
+class Hop : public Entity {
+ public:
+  Hop(EntityId id, std::size_t n, Shape shape, int budget, int timers,
+      Rng rng)
+      : id_(id), n_(n), shape_(shape), budget_(budget), timers_(timers),
+        rng_(rng) {}
+
+  void on_message(Engine& engine, EntityId from, Payload& payload) override {
+    (void)from;
+    (void)payload;
+    forward(engine);
+  }
+
+  void on_timer(Engine& engine, std::uint64_t timer_id) override {
+    forward(engine);
+    if (timers_-- > 0) engine.schedule(id_, 0.75, timer_id);
+  }
+
+ private:
+  void forward(Engine& engine) {
+    if (budget_-- <= 0) return;
+    EntityId target = 0;
+    switch (shape_) {
+      case Shape::kRing:
+        target = static_cast<EntityId>((id_ + 1) % n_);
+        break;
+      case Shape::kStar:
+        target = id_ == 0 ? static_cast<EntityId>(rng_.below(n_)) : 0;
+        break;
+      case Shape::kScatter:
+        target = static_cast<EntityId>(rng_.below(n_));
+        break;
+    }
+    engine.send(id_, target, 1.0 + rng_.uniform(), std::string("hop"));
+  }
+
+  EntityId id_;
+  std::size_t n_;
+  Shape shape_;
+  int budget_;
+  int timers_;
+  Rng rng_;
+};
+
+struct RunResult {
+  std::uint64_t hash = 0;
+  std::uint64_t dispatched = 0;
+  ShardStats shard;
+  std::uint64_t events_processed = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t max_queue_depth = 0;
+  double sim_time = 0.0;
+};
+
+/// One fuzz run: `shards` == 0 is the plain engine. The lookahead is 1.0,
+/// matching the minimum cross-entity delay the Hop entities use.
+RunResult run_fuzz(std::uint64_t seed, Shape shape, std::size_t shards,
+                   std::size_t threads, std::size_t n = 13, int budget = 6,
+                   int timers = 3) {
+  Executor exec(threads);
+  Engine engine;
+  if (shards > 0) engine.enable_sharding(shards, 1.0);
+  if (threads > 1) engine.attach_executor(&exec);
+  ScheduleHasher hasher;
+  engine.attach_trace(&hasher);
+  EngineMetrics metrics;
+  engine.attach_metrics(&metrics);
+
+  Rng root(seed);
+  std::vector<std::unique_ptr<Hop>> hops;
+  for (std::size_t i = 0; i < n; ++i) {
+    hops.push_back(std::make_unique<Hop>(static_cast<EntityId>(i), n, shape,
+                                         budget, timers, root.split()));
+    engine.add_entity(hops.back().get(), "hop");
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    engine.schedule(static_cast<EntityId>(i), 0.25 * static_cast<double>(i),
+                    1);
+  engine.run_to_quiescence(1u << 20);
+
+  RunResult r;
+  r.hash = hasher.hash();
+  r.dispatched = hasher.dispatched();
+  r.shard = engine.shard_stats();
+  engine.flush_stats();
+  r.events_processed = metrics.events_processed();
+  r.messages_sent = metrics.total_sent();
+  r.messages_delivered = metrics.total_delivered();
+  r.max_queue_depth = metrics.max_queue_depth();
+  r.sim_time = metrics.sim_time();
+  return r;
+}
+
+TEST(Shard, MatchesPlainScheduleAtEveryShardAndThreadCount) {
+  const RunResult plain = run_fuzz(42, Shape::kScatter, 0, 1);
+  ASSERT_GT(plain.dispatched, 0u);
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    for (const std::size_t threads : {1u, 2u}) {
+      const RunResult r = run_fuzz(42, Shape::kScatter, shards, threads);
+      EXPECT_EQ(r.hash, plain.hash) << "shards=" << shards
+                                    << " threads=" << threads;
+      EXPECT_EQ(r.dispatched, plain.dispatched);
+    }
+  }
+}
+
+// Golden pin: freezes the merged schedule itself, not just its internal
+// consistency — a change to seq assignment, merge order, or the hash mix
+// shows up here even if it is self-consistent across shard counts. The
+// constant is the plain engine's hash for this workload (asserted), so the
+// pin simultaneously witnesses sharded == plain.
+TEST(Shard, GoldenScheduleHash) {
+  constexpr std::uint64_t kGolden = 0x534b260c9e90c6d7ull;
+  const RunResult plain = run_fuzz(7, Shape::kRing, 0, 1);
+  EXPECT_EQ(plain.hash, kGolden);
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    for (const std::size_t threads : {1u, 2u}) {
+      EXPECT_EQ(run_fuzz(7, Shape::kRing, shards, threads).hash, kGolden)
+          << "shards=" << shards << " threads=" << threads;
+    }
+  }
+}
+
+TEST(Shard, DifferentialFuzzAcrossSeedsAndShapes) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    for (const Shape shape : {Shape::kRing, Shape::kStar, Shape::kScatter}) {
+      const RunResult plain = run_fuzz(seed, shape, 0, 1);
+      ASSERT_GT(plain.dispatched, 0u);
+      for (const std::size_t shards : {2u, 4u}) {
+        const RunResult r = run_fuzz(seed, shape, shards, 2);
+        EXPECT_EQ(r.hash, plain.hash)
+            << "seed=" << seed << " shape=" << static_cast<int>(shape)
+            << " shards=" << shards;
+      }
+    }
+  }
+}
+
+TEST(Shard, MetricsAreShardCountInvariant) {
+  const RunResult plain = run_fuzz(11, Shape::kScatter, 0, 1);
+  for (const std::size_t shards : {1u, 4u}) {
+    const RunResult r = run_fuzz(11, Shape::kScatter, shards, 2);
+    EXPECT_EQ(r.events_processed, plain.events_processed);
+    EXPECT_EQ(r.messages_sent, plain.messages_sent);
+    EXPECT_EQ(r.messages_delivered, plain.messages_delivered);
+    EXPECT_EQ(r.max_queue_depth, plain.max_queue_depth);
+    EXPECT_DOUBLE_EQ(r.sim_time, plain.sim_time);
+  }
+}
+
+TEST(Shard, WindowCountIsShardCountInvariant) {
+  const RunResult one = run_fuzz(5, Shape::kScatter, 1, 1);
+  ASSERT_GT(one.shard.windows, 0u);
+  EXPECT_EQ(one.shard.mailbox_events, 0u);  // one shard: nothing crosses
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    const RunResult r = run_fuzz(5, Shape::kScatter, shards, 2);
+    EXPECT_EQ(r.shard.windows, one.shard.windows) << "shards=" << shards;
+    EXPECT_GT(r.shard.mailbox_events, 0u);  // multi-shard scatter crosses
+  }
+}
+
+// A schedule recorded from a sharded run is a plain (time, seq)-sorted
+// stream with ascending seq assignment — it must replay through the
+// single-queue replay machinery and reproduce the recorded hash.
+TEST(Shard, ShardedRecordingReplaysThroughPlainEngine) {
+  Executor exec(2);
+  Engine engine;
+  engine.enable_sharding(4, 1.0);
+  engine.attach_executor(&exec);
+  ScheduleRecorder recorder;
+  engine.attach_trace(&recorder);
+
+  Rng root(21);
+  std::vector<std::unique_ptr<Hop>> hops;
+  const std::size_t n = 13;
+  for (std::size_t i = 0; i < n; ++i) {
+    hops.push_back(std::make_unique<Hop>(static_cast<EntityId>(i), n,
+                                         Shape::kScatter, 6, 3,
+                                         root.split()));
+    engine.add_entity(hops.back().get(), "hop");
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    engine.schedule(static_cast<EntityId>(i), 0.25 * static_cast<double>(i),
+                    1);
+  engine.run_to_quiescence(1u << 20);
+  const Schedule schedule = recorder.finish();
+  ASSERT_GT(schedule.dispatch_count, 0u);
+
+  Engine replayer;
+  NullEntity sink;
+  const ReplayResult replayed = replay_schedule(replayer, sink, schedule);
+  EXPECT_TRUE(replayed.hash_matches);
+  EXPECT_EQ(replayed.dispatched, schedule.dispatch_count);
+}
+
+/// Entity that offloads a square computation and applies it by forwarding a
+/// message — exercises the sharded inline-offload family.
+class Offloader : public Entity {
+ public:
+  Offloader(EntityId id, std::size_t n, int budget)
+      : id_(id), n_(n), budget_(budget) {}
+
+  void on_message(Engine& engine, EntityId from, Payload& payload) override {
+    (void)from;
+    (void)payload;
+    if (budget_-- <= 0) return;
+    const EntityId target = static_cast<EntityId>((id_ + 3) % n_);
+    engine.offload(id_, [this, target]() -> Engine::Apply {
+      std::uint64_t acc = 1;
+      for (int i = 0; i < 1000; ++i) acc = acc * 6364136223846793005ull + 13u;
+      return [this, target, acc](Engine& e) {
+        e.send(id_, target, 1.0 + 1e-9 * static_cast<double>(acc % 97),
+               std::string("off"));
+      };
+    });
+  }
+
+ private:
+  EntityId id_;
+  std::size_t n_;
+  int budget_;
+};
+
+// With offload() in play the sharded schedule is its own family (applies
+// resolve inline, not at the plain engine's barrier) — but that family must
+// still be identical at every shard and thread count.
+TEST(Shard, OffloadScheduleIsShardAndThreadInvariant) {
+  const auto run = [](std::size_t shards, std::size_t threads) {
+    Executor exec(threads);
+    Engine engine;
+    engine.enable_sharding(shards, 1.0);
+    if (threads > 1) engine.attach_executor(&exec);
+    ScheduleHasher hasher;
+    engine.attach_trace(&hasher);
+    const std::size_t n = 11;
+    std::vector<std::unique_ptr<Offloader>> ents;
+    for (std::size_t i = 0; i < n; ++i) {
+      ents.push_back(
+          std::make_unique<Offloader>(static_cast<EntityId>(i), n, 5));
+      engine.add_entity(ents.back().get(), "offloader");
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      engine.send(0, static_cast<EntityId>(i), 1.0, std::string("go"));
+    engine.run_to_quiescence(1u << 20);
+    return hasher.hash();
+  };
+  const std::uint64_t reference = run(1, 1);
+  for (const std::size_t shards : {1u, 2u, 4u})
+    for (const std::size_t threads : {1u, 2u})
+      EXPECT_EQ(run(shards, threads), reference)
+          << "shards=" << shards << " threads=" << threads;
+}
+
+TEST(Shard, EnableShardingRejectsMisuse) {
+  {
+    Engine engine;
+    EXPECT_DEATH(engine.enable_sharding(2, 0.0), "positive lookahead");
+  }
+  {
+    Engine engine;
+    NullEntity sink;
+    engine.add_entity(&sink);
+    engine.send(0, 0, 1.0, std::string("x"));
+    EXPECT_DEATH(engine.enable_sharding(2, 1.0), "fresh engine");
+  }
+  {
+    Engine engine;
+    engine.enable_sharding(2, 1.0);
+    EXPECT_DEATH(engine.step(), "unavailable in sharded mode");
+  }
+}
+
+// Cross-shard sends below the lookahead horizon violate the conservative
+// contract and must fail loudly, not silently reorder.
+TEST(Shard, CrossShardSendUnderHorizonIsFatal) {
+  Engine engine;
+  engine.enable_sharding(2, 1.0);
+  NullEntity sink;
+  engine.add_entity(&sink);  // entity 0 -> shard 0
+  engine.add_entity(&sink);  // entity 1 -> shard 1
+  /// Entity 0 sends to entity 1 with a delay under the lookahead.
+  class UnderHorizon : public Entity {
+   public:
+    void on_message(Engine& engine, EntityId, Payload&) override {
+      engine.send(0, 1, 0.25, std::string("too-soon"));
+    }
+  };
+  UnderHorizon bad;
+  Engine engine2;
+  engine2.enable_sharding(2, 1.0);
+  engine2.add_entity(&bad);
+  engine2.add_entity(&bad);
+  engine2.send(1, 0, 1.0, std::string("go"));
+  EXPECT_DEATH(engine2.run_to_quiescence(100),
+               "cross-shard event under the lookahead horizon");
+}
+
+}  // namespace
+}  // namespace kgrid::sim

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Markdown link lint for the kgrid handbook (CI job `docs`).
+
+Checks, over README.md, the repo-root *.md files, and docs/*.md:
+
+  * every relative link `[text](path)` resolves to a file in the repo
+    (anchors stripped; `http(s):`/`mailto:` targets are skipped);
+  * every in-page anchor `[text](#anchor)` matches a heading of that file,
+    using GitHub's slug rules (lowercase, punctuation dropped, spaces to
+    dashes);
+  * cross-file anchors `[text](FILE.md#anchor)` match a heading of the
+    linked file.
+
+Exit status is the number of broken links (0 = clean). No third-party
+dependencies; stdlib only, so the CI step is one `python3 tools/docs_lint.py`.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# Inline links only. Reference-style links are unused in this repo, and
+# fenced code blocks are stripped before matching so example snippets like
+# `foo[i](x)` cannot produce false positives.
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE_RE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+
+
+def slugify(heading: str) -> str:
+    """GitHub's heading-to-anchor rule, close enough for our headings."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)  # drop code spans
+    heading = re.sub(r"[^\w\s-]", "", heading.strip().lower())
+    return re.sub(r"\s+", "-", heading)
+
+
+def anchors_of(path: Path) -> set:
+    text = FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return {slugify(m.group(1)) for m in HEADING_RE.finditer(text)}
+
+
+def lint_file(path: Path) -> list:
+    errors = []
+    text = FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):  # in-page anchor
+            if slugify(target[1:]) not in anchors_of(path):
+                errors.append(f"{path.relative_to(ROOT)}: dead anchor {target}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        dest = (path.parent / file_part).resolve()
+        if not dest.exists():
+            errors.append(f"{path.relative_to(ROOT)}: broken link {target}")
+            continue
+        if anchor and dest.suffix == ".md":
+            if slugify(anchor) not in anchors_of(dest):
+                errors.append(
+                    f"{path.relative_to(ROOT)}: dead anchor in link {target}")
+    return errors
+
+
+# Source-paper retrieval artifacts, not handbook pages: they carry scraped
+# links (figures, arxiv assets) that are dead by construction.
+EXCLUDE = {"PAPER.md", "PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
+
+
+def main() -> int:
+    files = [p for p in sorted(ROOT.glob("*.md")) if p.name not in EXCLUDE]
+    files += sorted((ROOT / "docs").glob("*.md"))
+    errors = []
+    for f in files:
+        errors.extend(lint_file(f))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"docs_lint: {len(files)} files, {len(errors)} broken link(s)")
+    return min(len(errors), 99)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
