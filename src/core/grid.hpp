@@ -42,6 +42,13 @@ struct SecureGridConfig {
   /// resource starts — construction already pushes bootstrap events, and a
   /// recorder attached later would miss them. Must outlive the grid's runs.
   sim::EventTap* trace = nullptr;
+  /// Live transport (net/live/transport.hpp; docs/LIVE.md): when non-null,
+  /// every protocol message travels over real sockets instead of the local
+  /// event queue — attached before any bootstrap push, so the whole
+  /// schedule rides the wire. Must outlive the grid. Mutually exclusive
+  /// with sharded mode; the env-default shard override is ignored (an
+  /// explicit shards >= 1 request is a hard error).
+  sim::Transport* transport = nullptr;
   /// Sharded parallel event processing (docs/SHARDING.md): -1 = library
   /// default (KGRID_SHARDS env override, else plain), 0 = force the plain
   /// single-queue engine, N >= 1 = that many shards with the topology's
@@ -80,7 +87,14 @@ class SecureGrid {
   SecureGrid(const SecureGridConfig& config, GridEnv env)
       : config_(config), env_(std::move(env)), monitor_(config.secure.k),
         engine_(config.queue_policy) {
-    maybe_enable_sharding(engine_, config.shards, env_.delays);
+    maybe_enable_sharding(
+        engine_,
+        // Live transport: ignore the KGRID_SHARDS env default (attach_
+        // transport would reject the combination through no fault of the
+        // caller); explicit shard requests still error in attach_transport.
+        config.transport != nullptr && config.shards < 0 ? 0 : config.shards,
+        env_.delays);
+    if (config.transport != nullptr) engine_.attach_transport(config.transport);
     if (config.trace != nullptr) engine_.attach_trace(config.trace);
     if (config.executor != nullptr) {
       engine_.attach_executor(config.executor);

@@ -77,6 +77,45 @@ void set_cipher_form_value(Cipher& c, wide::Montgomery::Form f,
   b.paillier_form = std::move(f);
 }
 
+void encode_cipher(util::ByteWriter& w, const Cipher& c) {
+  const Cipher::Body& b = c.body();
+  w.u8(b.backend == Backend::kPlain ? 0 : 1);
+  if (b.backend == Backend::kPlain) {
+    w.varint(b.plain.size());
+    for (const std::uint64_t field : b.plain) w.varint(field);
+    w.u64(b.salt);
+  } else {
+    w.varint(b.paillier.limb_count());
+    for (std::size_t i = 0; i < b.paillier.limb_count(); ++i)
+      w.u64(b.paillier.limb(i));
+  }
+}
+
+bool decode_cipher(util::ByteReader& r, Cipher* out) {
+  const std::uint8_t tag = r.u8();
+  if (!r.ok() || tag > 1) return false;
+  Cipher c;
+  Cipher::Body& b = c.own();
+  if (tag == 0) {
+    const std::uint64_t n = r.varint();
+    if (!r.ok() || n > r.remaining()) return false;
+    b.plain.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) b.plain.push_back(r.varint());
+    b.salt = r.u64();
+  } else {
+    b.backend = Backend::kPaillier;
+    const std::uint64_t n = r.varint();
+    // Each limb is a fixed 8-byte word, so the count bounds-checks exactly.
+    if (!r.ok() || n > r.remaining() / 8) return false;
+    std::vector<BigInt::Limb> limbs(n);
+    for (std::uint64_t i = 0; i < n; ++i) limbs[i] = r.u64();
+    b.paillier = BigInt::from_limb_span(limbs.data(), limbs.size());
+  }
+  if (!r.ok()) return false;
+  *out = std::move(c);
+  return true;
+}
+
 ContextPtr Context::make_plain() {
   auto ctx = std::shared_ptr<Context>(new Context());
   ctx->backend_ = Backend::kPlain;

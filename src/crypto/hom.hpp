@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "crypto/paillier.hpp"
+#include "util/bytes.hpp"
 #include "util/rng.hpp"
 #include "wide/bigint.hpp"
 
@@ -95,6 +96,12 @@ class Cipher {
                               const PaillierPublicKey& pk);
   friend void set_cipher_form_value(Cipher& c, wide::Montgomery::Form f,
                                     wide::BigInt value);
+  // Wire codec (hom.cpp; framing handbook: docs/LIVE.md). The Montgomery
+  // form cache is deliberately not serialized — it is a redundant
+  // representation of `paillier` and is rebuilt lazily on first use, so a
+  // decoded cipher is functionally identical to the encoded one.
+  friend void encode_cipher(util::ByteWriter& w, const Cipher& c);
+  friend bool decode_cipher(util::ByteReader& r, Cipher* out);
 
   struct Body {
     Backend backend = Backend::kPlain;
@@ -127,6 +134,15 @@ class Cipher {
 
   std::shared_ptr<Body> body_;
 };
+
+/// Serialize a cipher for the live wire (docs/LIVE.md "Frame format").
+/// Layout: u8 backend tag (0 = plain, 1 = Paillier); plain bodies as a
+/// varint field count, varint fields, and the u64 salt; Paillier bodies as
+/// a varint limb count followed by little-endian u64 limbs.
+void encode_cipher(util::ByteWriter& w, const Cipher& c);
+/// Returns false on truncation, an unknown backend tag, or a limb count
+/// that exceeds the remaining bytes. `*out` is untouched on failure.
+bool decode_cipher(util::ByteReader& r, Cipher* out);
 
 class Context;
 using ContextPtr = std::shared_ptr<const Context>;

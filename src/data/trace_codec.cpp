@@ -5,32 +5,43 @@
 
 namespace kgrid::data {
 
-void encode_transaction(util::ByteWriter& w, const Transaction& t) {
-  w.varint(t.id);
-  w.varint(t.items.size());
+void encode_itemset(util::ByteWriter& w, const Itemset& items) {
+  w.varint(items.size());
   Item prev = 0;
-  for (std::size_t i = 0; i < t.items.size(); ++i) {
+  for (std::size_t i = 0; i < items.size(); ++i) {
     // Sorted-unique invariant: first item verbatim, then gap - 1.
-    w.varint(i == 0 ? t.items[0] : t.items[i] - prev - 1);
-    prev = t.items[i];
+    w.varint(i == 0 ? items[0] : items[i] - prev - 1);
+    prev = items[i];
   }
 }
 
-bool decode_transaction(util::ByteReader& r, Transaction* out) {
-  Transaction t;
-  t.id = r.varint();
+bool decode_itemset(util::ByteReader& r, Itemset* out) {
   const std::uint64_t n = r.varint();
   if (!r.ok() || n > r.remaining()) return false;
-  t.items.reserve(n);
+  Itemset items;
+  items.reserve(n);
   std::uint64_t prev = 0;
   for (std::uint64_t i = 0; i < n; ++i) {
     const std::uint64_t gap = r.varint();
     const std::uint64_t item = i == 0 ? gap : prev + gap + 1;
     if (!r.ok() || item > std::numeric_limits<Item>::max()) return false;
-    t.items.push_back(static_cast<Item>(item));
+    items.push_back(static_cast<Item>(item));
     prev = item;
   }
   if (!r.ok()) return false;
+  *out = std::move(items);
+  return true;
+}
+
+void encode_transaction(util::ByteWriter& w, const Transaction& t) {
+  w.varint(t.id);
+  encode_itemset(w, t.items);
+}
+
+bool decode_transaction(util::ByteReader& r, Transaction* out) {
+  Transaction t;
+  t.id = r.varint();
+  if (!r.ok() || !decode_itemset(r, &t.items)) return false;
   *out = std::move(t);
   return true;
 }

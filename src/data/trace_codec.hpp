@@ -21,9 +21,16 @@
 
 namespace kgrid::data {
 
-void encode_transaction(util::ByteWriter& w, const Transaction& t);
+/// Gap encoding for a sorted-unique itemset: count, then the first item
+/// verbatim and each later item as (gap - 1). Shared by the transaction
+/// codec below and the live wire codec (net/wire/wire.hpp), which frames
+/// rule candidates with the same byte layout.
+void encode_itemset(util::ByteWriter& w, const Itemset& items);
 /// Returns false on truncation or an item stream that violates the
 /// sorted-unique invariant (overflow of the gap decoding).
+bool decode_itemset(util::ByteReader& r, Itemset* out);
+
+void encode_transaction(util::ByteWriter& w, const Transaction& t);
 bool decode_transaction(util::ByteReader& r, Transaction* out);
 
 void encode_database(util::ByteWriter& w, const Database& db);

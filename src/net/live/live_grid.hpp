@@ -1,0 +1,62 @@
+// LiveGrid: a SecureGrid whose protocol traffic rides real sockets
+// (handbook: docs/LIVE.md).
+//
+// Owns the SocketTransport and the grid in the right order — the transport
+// is attached before the grid's constructor pushes bootstrap events, so the
+// whole schedule travels the wire, and it outlives the grid so teardown
+// cannot orphan in-flight frames. The engine's determinism contract
+// (sim/engine.hpp attach_transport) makes this grid produce byte-identical
+// mined rule sets, quarantine verdicts, and schedule hashes to the same
+// configuration run in-memory; tests/net/live_oracle_test.cpp asserts it.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "core/grid.hpp"
+#include "net/live/transport.hpp"
+#include "util/check.hpp"
+
+namespace kgrid::net::live {
+
+class LiveGrid {
+ public:
+  explicit LiveGrid(core::SecureGridConfig config,
+                    SocketTransport::Options options = {})
+      : transport_(options) {
+    KGRID_CHECK(config.transport == nullptr,
+                "LiveGrid owns the transport; leave config.transport null");
+    KGRID_CHECK(config.shards <= 0,
+                "sharded mode is unavailable with a live transport");
+    config.transport = &transport_;
+    config.shards = 0;
+    grid_ = std::make_unique<core::SecureGrid>(config);
+  }
+
+  /// Caller-built environment overload (mirrors SecureGrid's).
+  LiveGrid(core::SecureGridConfig config, core::GridEnv env,
+           SocketTransport::Options options = {})
+      : transport_(options) {
+    KGRID_CHECK(config.transport == nullptr,
+                "LiveGrid owns the transport; leave config.transport null");
+    KGRID_CHECK(config.shards <= 0,
+                "sharded mode is unavailable with a live transport");
+    config.transport = &transport_;
+    config.shards = 0;
+    grid_ = std::make_unique<core::SecureGrid>(config, std::move(env));
+  }
+
+  core::SecureGrid& grid() { return *grid_; }
+  SocketTransport& transport() { return transport_; }
+  sim::Engine& engine() { return grid_->engine(); }
+
+  void run_steps(std::size_t steps) { grid_->run_steps(steps); }
+
+ private:
+  // Declaration order is the safety argument: transport_ first means it is
+  // destroyed last, after the grid (and its engine) have drained and died.
+  SocketTransport transport_;
+  std::unique_ptr<core::SecureGrid> grid_;
+};
+
+}  // namespace kgrid::net::live

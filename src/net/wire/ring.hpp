@@ -1,0 +1,81 @@
+// Bounded byte ring for per-connection send queues (docs/LIVE.md
+// "Backpressure").
+//
+// A power-of-two circular byte buffer with logical head/tail offsets.
+// Frames are appended whole (append() is all-or-nothing, which is what
+// makes the per-peer send queue a clean backpressure boundary: a frame
+// either queues completely or the sender stalls), and the reader side
+// exposes the buffered bytes as at most two contiguous spans — exactly the
+// iovec pair a writev() flush wants, so draining the ring to a socket never
+// copies.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace kgrid::net::wire {
+
+class ByteRing {
+ public:
+  /// `capacity` rounds up to a power of two (mask indexing).
+  explicit ByteRing(std::size_t capacity)
+      : data_(std::bit_ceil(capacity < 16 ? std::size_t{16} : capacity)) {}
+
+  std::size_t capacity() const { return data_.size(); }
+  std::size_t size() const { return static_cast<std::size_t>(tail_ - head_); }
+  std::size_t free_space() const { return capacity() - size(); }
+  bool empty() const { return head_ == tail_; }
+
+  /// Append `n` bytes if they fit in one piece; false (no partial write)
+  /// otherwise — the caller counts a backpressure stall and drains first.
+  bool append(const char* bytes, std::size_t n) {
+    if (n > free_space()) return false;
+    const std::size_t at = index(tail_);
+    const std::size_t first = std::min(n, capacity() - at);
+    std::memcpy(data_.data() + at, bytes, first);
+    if (n > first) std::memcpy(data_.data(), bytes + first, n - first);
+    tail_ += n;
+    return true;
+  }
+
+  struct Span {
+    const char* data = nullptr;
+    std::size_t len = 0;
+  };
+
+  /// The buffered bytes, oldest first, as at most two contiguous spans
+  /// (the second is non-empty only when the data wraps). Stable until the
+  /// next append/consume.
+  std::array<Span, 2> read_spans() const {
+    std::array<Span, 2> spans{};
+    const std::size_t n = size();
+    if (n == 0) return spans;
+    const std::size_t at = index(head_);
+    const std::size_t first = std::min(n, capacity() - at);
+    spans[0] = {data_.data() + at, first};
+    if (n > first) spans[1] = {data_.data(), n - first};
+    return spans;
+  }
+
+  /// Retire `n` bytes from the front (bytes the socket accepted).
+  void consume(std::size_t n) {
+    KGRID_CHECK(n <= size(), "ByteRing::consume past the buffered bytes");
+    head_ += n;
+  }
+
+ private:
+  std::size_t index(std::uint64_t offset) const {
+    return static_cast<std::size_t>(offset) & (capacity() - 1);
+  }
+
+  std::vector<char> data_;
+  std::uint64_t head_ = 0;  // logical offsets; monotone, never wrapped back
+  std::uint64_t tail_ = 0;
+};
+
+}  // namespace kgrid::net::wire

@@ -249,13 +249,42 @@ inline std::string validate_bench_json(const Json& j) {
       return std::string("crypto.pool.") + key + " missing or not a number";
   }
 
+  // "net" is optional (absent from pure-sim artifacts), but when a live
+  // transport reported it must carry the full net.live counter set
+  // (net/live/transport.hpp; docs/LIVE.md).
+  if (const Json* net = j.find("net"); net != nullptr) {
+    if (!net->is_object()) return "\"net\" is not an object";
+    const Json* live = net->find("live");
+    if (live == nullptr || !live->is_object()) return "missing net.live";
+    for (const char* key :
+         {"bytes_in", "bytes_out", "frames_in", "frames_out",
+          "coalesced_frames", "backpressure_stalls"}) {
+      const Json* v = live->find(key);
+      if (v == nullptr || !v->is_number())
+        return std::string("net.live.") + key + " missing or not a number";
+    }
+  }
+
   const Json* series = require("series");
   if (series == nullptr || !series->is_array())
     return "missing \"series\" array";
   if (series->elements().empty())
     return "\"series\" is empty (a bench with no rows measured nothing)";
-  for (const Json& row : series->elements())
+  for (const Json& row : series->elements()) {
     if (!row.is_object()) return "series row is not an object";
+    // Rows reporting a latency distribution use the log-bucketed histogram
+    // shape (obs/latency_hist.hpp): at minimum the count and the tail
+    // quantiles the live bench is judged on.
+    if (const Json* latency = row.find("latency"); latency != nullptr) {
+      if (!latency->is_object()) return "series row \"latency\" not an object";
+      for (const char* key : {"count", "p50", "p99", "p999"}) {
+        const Json* v = latency->find(key);
+        if (v == nullptr || !v->is_number())
+          return std::string("series row latency.") + key +
+                 " missing or not a number";
+      }
+    }
+  }
   return "";
 }
 

@@ -118,6 +118,45 @@ class EventTap {
   virtual void on_dispatch(const EventRecord& record) { (void)record; }
 };
 
+/// Message carrier for live mode (net/live/transport.hpp; handbook:
+/// docs/LIVE.md). When attached, Engine::send hands every message — after
+/// sequence assignment, tap notification, and metrics, exactly as in plain
+/// mode — to dispatch() instead of the local queue. The transport moves the
+/// bytes (serialize, socket, deserialize) and re-injects each message via
+/// Engine::transport_push with the record verbatim. Because the event queue
+/// orders by (time, seq) and both stamps travel with the frame, the
+/// dispatch order — and with it schedule hashes, mined rules, and
+/// malicious-detection verdicts — is bit-identical to the engine-only run.
+/// That is the sim-as-oracle argument: the wire changes how bytes move, not
+/// what the schedule is.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Carry one just-sent message. Must result in exactly one
+  /// transport_push of the same record (and an equivalent payload) on the
+  /// destination engine; until then the message counts as in flight.
+  /// Runs on the simulation thread (send is handler-side) and may pump I/O
+  /// internally under backpressure — which can deliver other frames into
+  /// the queue mid-handler, a legal push like any other.
+  virtual void dispatch(const EventRecord& record, Payload&& payload) = 0;
+
+  /// Make I/O progress: flush pending writes, read and deliver arrived
+  /// frames. `block` waits (bounded) for readiness; non-blocking pumps
+  /// poll. Returns true when any frame was delivered.
+  virtual bool pump(bool block) = 0;
+
+  /// Messages accepted by dispatch() and not yet re-injected. The engine
+  /// drains this to zero before every pop — the transport analogue of the
+  /// offload barrier — so an in-flight frame can never be overtaken by a
+  /// locally queued event that sorts after it.
+  virtual std::uint64_t in_flight() const = 0;
+
+  /// Called by Engine::attach_transport with the engine frames deliver
+  /// into. Default no-op for transports bound out of band.
+  virtual void on_attach(Engine& engine) { (void)engine; }
+};
+
 /// Base class for everything that lives on the simulated grid.
 class Entity {
  public:
@@ -187,6 +226,29 @@ class Engine {
   void attach_trace(EventTap* tap) { tap_ = tap; }
   EventTap* trace() const { return tap_; }
 
+  /// Attach (or detach, with nullptr) a live transport: every subsequent
+  /// send() travels through Transport::dispatch instead of the local queue
+  /// (class comment above; docs/LIVE.md). Timers stay local — they are
+  /// entity-private alarms, not network traffic. Mutually exclusive with
+  /// sharded mode: shards own per-lane queues the transport cannot target.
+  void attach_transport(Transport* transport) {
+    KGRID_CHECK(transport == nullptr || !sharded(),
+                "live transport is unavailable in sharded mode");
+    transport_ = transport;
+    if (transport_ != nullptr) transport_->on_attach(*this);
+  }
+  Transport* transport() const { return transport_; }
+
+  /// Re-inject one transported message exactly as dispatched: the record
+  /// travels verbatim (no new seq, no tap on_push — both fired at send
+  /// time), the payload goes straight into its pooled event slot. Called by
+  /// the transport from pump()/dispatch() on the simulation thread.
+  void transport_push(const EventRecord& record, Payload&& payload) {
+    KGRID_CHECK(record.to < entities_.size(), "transport push to unknown entity");
+    queue_.push(record.time, record.seq, record.from, record.to, record.kind,
+                record.timer_id, std::move(payload), record.sent_at);
+  }
+
   /// Switch this engine into sharded parallel mode (header comment and
   /// docs/SHARDING.md): `shards` per-shard event queues advanced in
   /// conservative-lookahead windows, merged at window barriers. `lookahead`
@@ -201,6 +263,8 @@ class Engine {
     KGRID_CHECK(shards >= 1, "shard count must be at least 1");
     KGRID_CHECK(lookahead > 0.0, "sharded mode needs a positive lookahead");
     KGRID_CHECK(lanes_.empty(), "sharding already enabled");
+    KGRID_CHECK(transport_ == nullptr,
+                "sharded mode is unavailable with a live transport");
     KGRID_CHECK(next_seq_ == 0 && queue_.empty() && pending_.empty(),
                 "enable_sharding requires a fresh engine");
     lookahead_ = lookahead;
@@ -230,7 +294,8 @@ class Engine {
         if (!lane->queue.empty()) return false;
       return true;
     }
-    return queue_.empty() && pending_.empty();
+    return queue_.empty() && pending_.empty() &&
+           (transport_ == nullptr || transport_->in_flight() == 0);
   }
 
   QueuePolicy queue_policy() const { return queue_.policy(); }
@@ -253,12 +318,20 @@ class Engine {
     }
     ++messages_sent_;
     const std::uint64_t seq = next_seq_++;
+    const EventRecord rec{now_ + delay, now_,          seq, 0, from, to,
+                          EventKind::kMessage};
+    if (transport_ != nullptr) {
+      // Live mode: same seq, tap, and metrics as the local path — only the
+      // carrier differs. The frame re-enters via transport_push.
+      if (tap_ != nullptr) tap_->on_push(rec);
+      with_metrics([&](EngineMetrics& m) { m.on_send(kind_of(from)); });
+      transport_->dispatch(rec, Payload(std::forward<P>(payload)));
+      return;
+    }
     target_queue(to).push(now_ + delay, seq, from, to, EventKind::kMessage, 0,
                           std::forward<P>(payload), now_);
     if (sharded()) ++live_events_;
-    if (tap_ != nullptr)
-      tap_->on_push(
-          {now_ + delay, now_, seq, 0, from, to, EventKind::kMessage});
+    if (tap_ != nullptr) tap_->on_push(rec);
     with_metrics([&](EngineMetrics& m) {
       m.on_send(kind_of(from));
       m.on_queue_depth(pending_events());
@@ -355,13 +428,23 @@ class Engine {
   /// use run_until / run_to_quiescence.
   bool step() {
     KGRID_CHECK(!sharded(), "step() is unavailable in sharded mode");
-    // Barrier triggers (a)-(c): next event would advance time past the
-    // submission tick, or targets a busy entity, or the queue is empty.
-    // resolve_pending() may enqueue events and further jobs, so re-check.
-    while (!pending_.empty() &&
-           (queue_.empty() || queue_.top_time() > now_ ||
-            busy_[queue_.top_to()] > 0))
-      resolve_pending();
+    // Transport barrier: every in-flight frame lands before the next pop,
+    // so a frame can never be overtaken by a locally queued event that
+    // sorts after it. Then the offload barrier, triggers (a)-(c): next
+    // event would advance time past the submission tick, or targets a busy
+    // entity, or the queue is empty. resolve_pending() may enqueue events
+    // and further jobs — and its applies may send through the transport —
+    // so both barriers re-check until quiescent.
+    for (;;) {
+      drain_transport();
+      if (!pending_.empty() &&
+          (queue_.empty() || queue_.top_time() > now_ ||
+           busy_[queue_.top_to()] > 0)) {
+        resolve_pending();
+        continue;
+      }
+      break;
+    }
     if (queue_.empty()) return false;
     // Zero-copy delivery: the payload is dispatched by reference from its
     // pool slot; the slot is recycled only after the handler returns (so
@@ -401,6 +484,10 @@ class Engine {
     } else {
       for (;;) {
         while (!queue_.empty() && queue_.top_time() <= deadline) step();
+        if (transport_ != nullptr && transport_->in_flight() > 0) {
+          drain_transport();  // may land events inside the deadline
+          continue;
+        }
         if (pending_.empty()) break;
         resolve_pending();  // may enqueue events inside the deadline
       }
@@ -498,6 +585,15 @@ class Engine {
     std::shared_ptr<Apply> result;
     Executor::Ticket ticket;
   };
+
+  /// The transport barrier body: pump until nothing is in flight. The
+  /// transport's pump() is responsible for bounded blocking (and for
+  /// failing loudly when a peer stops making progress), so this loop
+  /// terminates for any healthy wire.
+  void drain_transport() {
+    if (transport_ == nullptr) return;
+    while (transport_->in_flight() > 0) transport_->pump(true);
+  }
 
   /// Run every pending Apply in submission order (waiting out in-flight
   /// jobs first). Applies may send, schedule, and offload again; newly
@@ -826,6 +922,7 @@ class Engine {
   EngineMetrics* metrics_ = nullptr;
   Executor* executor_ = nullptr;
   EventTap* tap_ = nullptr;
+  Transport* transport_ = nullptr;
   bool stats_flushed_ = false;    // this engine already counted in "engines"
   QueueStats flushed_queue_;      // snapshot at last flush (delta reporting)
   EventPoolStats flushed_pool_;

@@ -29,6 +29,7 @@
 #include <unordered_map>
 
 #include "obs/json.hpp"
+#include "obs/latency_hist.hpp"
 #include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/shard.hpp"
@@ -192,9 +193,13 @@ class EngineMetrics {
   }
 
  private:
+  // Delivery delays go through the log-bucketed histogram
+  // (obs/latency_hist.hpp): fixed memory on the per-event hot path, and
+  // tail quantiles that stay honest when a run delivers millions of
+  // messages (the prefix-retaining obs::Histogram saturates there).
   struct TypeStats {
     std::uint64_t delivered = 0;
-    obs::Histogram delay;
+    obs::LogHistogram delay;
   };
 
   KindStats& kinds(std::string_view kind) {

@@ -56,6 +56,10 @@ class ByteWriter {
 
   const std::string& bytes() const { return out_; }
   std::string take() { return std::move(out_); }
+  /// Drop the buffered bytes but keep the capacity — per-frame encode
+  /// scratch on the live wire reuses one writer with amortized-zero
+  /// allocation (net/live/transport.cpp).
+  void clear() { out_.clear(); }
 
  private:
   std::string out_;

@@ -1,0 +1,91 @@
+// ByteRing (net/wire/ring.hpp): bounded FIFO byte queue with at most two
+// readable spans — the live transport's per-peer send buffer.
+#include "net/wire/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace kgrid::net::wire {
+namespace {
+
+std::string readable(const ByteRing& ring) {
+  std::string out;
+  for (const auto& span : ring.read_spans())
+    out.append(span.data, span.len);
+  return out;
+}
+
+TEST(ByteRing, RoundsCapacityUpToPowerOfTwo) {
+  const ByteRing ring(100);
+  EXPECT_EQ(ring.capacity(), 128u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.free_space(), 128u);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ByteRing(1).capacity(), 16u);  // floor
+}
+
+TEST(ByteRing, AppendConsumeFifo) {
+  ByteRing ring(16);
+  EXPECT_TRUE(ring.append("hello", 5));
+  EXPECT_TRUE(ring.append(" world", 6));
+  EXPECT_EQ(ring.size(), 11u);
+  EXPECT_EQ(readable(ring), "hello world");
+  ring.consume(6);
+  EXPECT_EQ(readable(ring), "world");
+  ring.consume(5);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(ByteRing, AppendIsAllOrNothing) {
+  ByteRing ring(16);
+  EXPECT_TRUE(ring.append("0123456789abcdef", 16));
+  EXPECT_FALSE(ring.append("x", 1));  // full: nothing written
+  EXPECT_EQ(ring.size(), 16u);
+  ring.consume(3);
+  EXPECT_FALSE(ring.append("wxyz", 4));  // only 3 free
+  EXPECT_TRUE(ring.append("uvw", 3));
+  EXPECT_EQ(readable(ring), "3456789abcdefuvw");
+}
+
+TEST(ByteRing, WrapProducesSecondSpan) {
+  ByteRing ring(16);
+  ASSERT_TRUE(ring.append("abcdefghijkl", 12));
+  ring.consume(10);
+  ASSERT_TRUE(ring.append("mnopqrstuv", 10));  // crosses the end of storage
+  const auto spans = ring.read_spans();
+  EXPECT_EQ(spans[0].len, 6u);  // "klmnop" to the end of storage
+  EXPECT_EQ(spans[1].len, 6u);  // "qrstuv" from the front
+  EXPECT_EQ(readable(ring), "klmnopqrstuv");
+}
+
+TEST(ByteRing, RandomizedMirrorsDeque) {
+  // Drive the ring against a plain string mirror through thousands of
+  // random append/consume steps, including many wraps.
+  ByteRing ring(64);
+  std::string mirror;
+  kgrid::Rng rng(2024);
+  for (int step = 0; step < 5000; ++step) {
+    if (rng.bernoulli(0.55)) {
+      const std::size_t n = rng() % 24;
+      std::string chunk(n, '\0');
+      for (auto& c : chunk) c = static_cast<char>('a' + rng() % 26);
+      const bool fits = n <= ring.free_space();
+      EXPECT_EQ(ring.append(chunk.data(), n), fits) << "step " << step;
+      if (fits) mirror += chunk;
+    } else if (!mirror.empty()) {
+      const std::size_t n = rng() % mirror.size() + 1;
+      ring.consume(n);
+      mirror.erase(0, n);
+    }
+    ASSERT_EQ(readable(ring), mirror) << "step " << step;
+    ASSERT_EQ(ring.size(), mirror.size());
+    ASSERT_EQ(ring.free_space(), ring.capacity() - mirror.size());
+  }
+}
+
+}  // namespace
+}  // namespace kgrid::net::wire

@@ -1,0 +1,126 @@
+// LogHistogram (obs/latency_hist.hpp): bounded-relative-error quantiles,
+// exact moments, and order-independent merging.
+#include "obs/latency_hist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace kgrid::obs {
+namespace {
+
+TEST(LogHistogram, EmptyIsAllZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.p999(), 0.0);
+  const Json j = h.to_json();
+  EXPECT_EQ(j.find("count")->as_double(), 0.0);
+  EXPECT_EQ(j.find("p999"), nullptr);
+}
+
+TEST(LogHistogram, SingleSampleQuantilesClampToIt) {
+  LogHistogram h;
+  h.add(0.0375);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0375);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0375);
+  // Every quantile of one sample is that sample — the range clamp makes
+  // this exact despite the log bucketing.
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0375);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0375);
+  EXPECT_DOUBLE_EQ(h.p999(), 0.0375);
+}
+
+TEST(LogHistogram, QuantileRelativeErrorIsBounded) {
+  // 1/64 worst-case bucket error (header comment); assert 2% headroom.
+  LogHistogram h;
+  std::vector<double> sorted;
+  Rng rng(1234);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = std::exp(rng.uniform() * 12.0 - 6.0);  // ~[2.5e-3, 400]
+    h.add(x);
+    sorted.push_back(x);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.50, 0.90, 0.99, 0.999}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    const double exact = sorted[rank - 1];
+    EXPECT_NEAR(h.quantile(q), exact, exact * 0.02) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, ExactMomentsRideAlong) {
+  LogHistogram h;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) h.add(x);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  EXPECT_NEAR(h.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(LogHistogram, MergeMatchesCombinedStream) {
+  LogHistogram a, b, combined;
+  Rng rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform() * 10.0;
+    combined.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  // Sums accumulate in a different order, so the mean matches to rounding,
+  // not bit for bit.
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  // Identical bins -> identical quantiles, bit for bit.
+  for (const double q : {0.5, 0.9, 0.99, 0.999})
+    EXPECT_DOUBLE_EQ(a.quantile(q), combined.quantile(q)) << "q=" << q;
+}
+
+TEST(LogHistogram, MergeWithEmptyIsIdentity) {
+  LogHistogram a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.p50(), 3.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.min(), 3.0);
+}
+
+TEST(LogHistogram, DegenerateSamplesDoNotCrash) {
+  LogHistogram h;
+  h.add(-5.0);  // clamps into the zero bin
+  h.add(0.0);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(1e300);  // saturates the top bin
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);  // exact min still records the sample
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 0.0);  // zero bin holds the clamped ones
+  EXPECT_DOUBLE_EQ(h.max(), 1e300);
+}
+
+TEST(LogHistogram, ToJsonIsHistogramSupersetPlusP999) {
+  LogHistogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  const Json j = h.to_json();
+  for (const char* key :
+       {"count", "mean", "stddev", "min", "max", "p50", "p90", "p99", "p999"})
+    EXPECT_NE(j.find(key), nullptr) << key;
+  EXPECT_EQ(j.find("count")->as_double(), 100.0);
+  EXPECT_GE(j.find("p999")->as_double(), j.find("p50")->as_double());
+}
+
+}  // namespace
+}  // namespace kgrid::obs
