@@ -48,6 +48,18 @@ int main(int argc, char** argv) {
       rc = 1;
       continue;
     }
+    // Pool overflow means events spilled to heap allocation — valid output,
+    // but the run was not measuring what a tuned configuration measures, so
+    // flag it loudly without failing the schema check.
+    if (const kgrid::obs::Json* sim = parsed->find("sim"))
+      if (const kgrid::obs::Json* pool = sim->find("event_pool"))
+        if (const kgrid::obs::Json* overflow = pool->find("overflow");
+            overflow != nullptr && overflow->is_number() &&
+            overflow->as_double() > 0)
+          std::fprintf(stderr,
+                       "%s: warning: sim.event_pool.overflow = %.0f (events "
+                       "spilled past the arena; consider larger pool slots)\n",
+                       argv[i], overflow->as_double());
     const kgrid::obs::Json* bench = parsed->find("bench");
     std::printf("%s: ok (bench=%s, %zu series rows)\n", argv[i],
                 bench->as_string().c_str(),

@@ -13,8 +13,10 @@
 //   * OffloadHeavy  — N entities running every step through offload():
 //                     the pending/barrier machinery plus the queue.
 //
-// Suffix-less benches run the default policy (adaptive calendar queue +
-// slab event pool); the *Dary4/*Dary8 twins run the indexed-heap policies;
+// Suffix-less benches run the adaptive calendar queue + slab event pool;
+// the *Wheel twins run the engine's default kWheel policy (messages in the
+// calendar, timers in the hashed hierarchical wheel — sim/timer_wheel.hpp);
+// the *Dary4/*Dary8 twins run the indexed-heap policies;
 // the *Legacy twins the seed's binary-heap/fat-event structure. items/s
 // counts processed events, so new-vs-legacy ratios read directly off the
 // committed BENCH_engine_micro.json (acceptance: MessageMesh >= 3x).
@@ -217,6 +219,9 @@ void offload_heavy(benchmark::State& state, sim::QueuePolicy policy) {
       static_cast<std::int64_t>(state.iterations() * kEventsPerIter));
 }
 
+void BM_TimerStormWheel(benchmark::State& state) {
+  timer_storm(state, sim::QueuePolicy::kWheel);
+}
 void BM_TimerStorm(benchmark::State& state) {
   timer_storm(state, sim::QueuePolicy::kCalendar);
 }
@@ -229,11 +234,15 @@ void BM_TimerStormDary8(benchmark::State& state) {
 void BM_TimerStormLegacy(benchmark::State& state) {
   timer_storm(state, sim::QueuePolicy::kLegacy);
 }
+BENCHMARK(BM_TimerStormWheel)->Arg(1024)->Arg(4096)->Arg(65536);
 BENCHMARK(BM_TimerStorm)->Arg(1024)->Arg(4096)->Arg(65536);
 BENCHMARK(BM_TimerStormDary4)->Arg(1024)->Arg(4096)->Arg(65536);
 BENCHMARK(BM_TimerStormDary8)->Arg(1024)->Arg(4096)->Arg(65536);
 BENCHMARK(BM_TimerStormLegacy)->Arg(1024)->Arg(4096)->Arg(65536);
 
+void BM_MessageMeshWheel(benchmark::State& state) {
+  message_mesh(state, sim::QueuePolicy::kWheel);
+}
 void BM_MessageMesh(benchmark::State& state) {
   message_mesh(state, sim::QueuePolicy::kCalendar);
 }
@@ -246,6 +255,7 @@ void BM_MessageMeshDary8(benchmark::State& state) {
 void BM_MessageMeshLegacy(benchmark::State& state) {
   message_mesh(state, sim::QueuePolicy::kLegacy);
 }
+BENCHMARK(BM_MessageMeshWheel)->Arg(1024)->Arg(4096)->Arg(65536);
 BENCHMARK(BM_MessageMesh)->Arg(1024)->Arg(4096)->Arg(65536);
 BENCHMARK(BM_MessageMeshDary4)->Arg(1024)->Arg(4096)->Arg(65536);
 BENCHMARK(BM_MessageMeshDary8)->Arg(1024)->Arg(4096)->Arg(65536);
@@ -453,6 +463,9 @@ bool register_trace_replay(const std::string& path, const std::string& key) {
               static_cast<unsigned long long>(replay_schedule_data.pushes.size()),
               static_cast<unsigned long long>(replay_schedule_data.dispatch_count),
               static_cast<unsigned long long>(replay_schedule_data.entity_count));
+  benchmark::RegisterBenchmark("BM_TraceReplayWheel", [](benchmark::State& s) {
+    trace_replay(s, sim::QueuePolicy::kWheel);
+  });
   benchmark::RegisterBenchmark("BM_TraceReplay", [](benchmark::State& s) {
     trace_replay(s, sim::QueuePolicy::kCalendar);
   });

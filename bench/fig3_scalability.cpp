@@ -15,9 +15,10 @@
 // parallel-executor speedup figure (EXPERIMENTS.md).
 //
 //   ./fig3_scalability [--max_resources=512] [--local=1000] [--k=10]
-//                      [--threads=N] [--shards=N] [--sweep_steps=10]
-//                      [--paper] [--json[=PATH]] [--trace_record=PATH]
-//                      [--trace_replay=PATH] [--trace_schedule=KEY]
+//                      [--threads=N] [--shards=N] [--queue=POLICY]
+//                      [--sweep_steps=10] [--paper] [--json[=PATH]]
+//                      [--trace_record=PATH] [--trace_replay=PATH]
+//                      [--trace_schedule=KEY]
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -31,7 +32,8 @@ using namespace kgrid;
 core::GridEnv single_itemset_env(std::size_t n, std::size_t local,
                                  double lambda, double significance,
                                  std::uint64_t seed,
-                                 bool path_topology = false) {
+                                 bool path_topology = false,
+                                 bool with_global = false) {
   Rng rng(seed);
   // The threads sweep forces a path so every degree stays <= 2: its counters
   // must fit a 512-bit Paillier modulus (degree + 5 packed fields).
@@ -45,9 +47,17 @@ core::GridEnv single_itemset_env(std::size_t n, std::size_t local,
                     {}};
   const double p = lambda * (1.0 + significance);
   data::TransactionId id = 0;
+  // The global database is only read by the env-trace recorder (and by
+  // tests); at fig3 scale it is n*local transactions per cell, so skip it
+  // unless a trace is being recorded.
+  if (with_global) env.global.reserve(n * local);
+  env.initial.reserve(n);
+  env.arrivals.reserve(n);
   for (std::size_t u = 0; u < n; ++u) {
     data::Database part;
     std::vector<data::Transaction> stream;
+    part.reserve(local / 2);
+    stream.reserve(local - local / 2);
     // Bernoulli(p) votes: local sample frequencies scatter around p, so at
     // low significance a sizeable fraction of resources is locally on the
     // wrong side of the threshold and must aggregate neighbours' votes —
@@ -60,7 +70,7 @@ core::GridEnv single_itemset_env(std::size_t n, std::size_t local,
       const bool vote = rng.bernoulli(p);
       const data::Transaction t{id++,
                                 vote ? data::Itemset{0} : data::Itemset{1}};
-      env.global.append(t);
+      if (with_global) env.global.append(t);
       if (i < local / 2) part.append(t);
       else stream.push_back(t);
     }
@@ -82,6 +92,7 @@ int main(int argc, char** argv) {
   const double lambda = 0.5;
   const std::size_t threads = kgrid::bench::threads_arg(cli);
   const int shards = kgrid::bench::shards_arg(cli);
+  const sim::QueuePolicy queue = kgrid::bench::queue_arg(cli);
   sim::Executor pool(threads);
   kgrid::bench::JsonSink sink(cli, "fig3_scalability");
   sink.arg("max_resources", kgrid::obs::Json(max_resources));
@@ -90,6 +101,7 @@ int main(int argc, char** argv) {
   sink.arg("lambda", kgrid::obs::Json(lambda));
   sink.arg("threads", kgrid::obs::Json(threads));
   sink.arg("shards", kgrid::obs::Json(static_cast<std::int64_t>(shards)));
+  sink.arg("queue", kgrid::obs::Json(cli.get("queue", "wheel")));
   sink.arg("paper", kgrid::obs::Json(paper));
   sink.set_executor(&pool);
   kgrid::bench::TraceSource trace(cli, "fig3_scalability");
@@ -117,12 +129,15 @@ int main(int argc, char** argv) {
       cfg.secure.arrivals_per_step = 1;  // the paper's dynamic trickle
       cfg.executor = &pool;  // one pool shared by every grid in the series
       cfg.shards = shards;
+      cfg.queue_policy = queue;
 
       char cell_key[32];
       std::snprintf(cell_key, sizeof cell_key, "n=%zu/sig=%.2f", n, sig);
       cfg.trace = trace.begin(cell_key);
       core::SecureGrid grid(cfg, trace.env(cell_key, [&] {
-        return single_itemset_env(n, local, lambda, sig, cfg.env.seed);
+        return single_itemset_env(n, local, lambda, sig, cfg.env.seed,
+                                  /*path_topology=*/false,
+                                  /*with_global=*/trace.active());
       }));
       sink.attach(grid.engine());
       const arm::Candidate vote = arm::frequency_candidate({0});
@@ -186,12 +201,14 @@ int main(int argc, char** argv) {
       cfg.paillier_bits = 512;
       cfg.threads = t;
       cfg.shards = shards;
+      cfg.queue_policy = queue;
       const std::string cell_key = "sweep/t" + std::to_string(t);
       cfg.trace = trace.begin(cell_key);
       kgrid::obs::Stopwatch wall;
       core::SecureGrid grid(cfg, trace.env("sweep", [&] {
         return single_itemset_env(16, local, lambda, 0.10, cfg.env.seed,
-                                  /*path_topology=*/true);
+                                  /*path_topology=*/true,
+                                  /*with_global=*/trace.active());
       }));
       grid.run_steps(sweep_steps);
       trace.end(grid.engine());

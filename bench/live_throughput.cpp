@@ -272,15 +272,17 @@ RunResult run_workload(const Workload& w, net::live::TransportKind kind,
   RunResult result;
   std::uint64_t delivered_bytes = 0;
   std::uint64_t delivered = 0;
+  const double start = steady_seconds();
   transport.set_delivery_hook(
       [&](const sim::EventRecord& rec, std::size_t frame_bytes) {
-        result.latency.add(steady_seconds() - rec.sent_at);
+        // rec.sent_at is run-relative (stamped by the generator below), so
+        // the wire latency is the relative now minus it — never negative.
+        result.latency.add((steady_seconds() - start) - rec.sent_at);
         delivered_bytes += frame_bytes;
         ++delivered;
       });
 
   const int ingress = transport.open_ingress();
-  const double start = steady_seconds();
   std::thread generator([&w, ingress, total, rate, start] {
     constexpr std::size_t kBatch = 64;
     std::string buf;
@@ -294,11 +296,13 @@ RunResult run_workload(const Workload& w, net::live::TransportKind kind,
         const PooledFrame& f = w.frames[(sent + i) % w.frames.size()];
         const std::size_t at = buf.size();
         buf.append(f.bytes);
-        // Monotone delivery times keep the engine clock advancing; the
-        // wall-clock sent_at is what the latency histogram measures.
-        store_f64(buf.data() + at + f.time_off,
-                  static_cast<double>(sent + i));
-        store_f64(buf.data() + at + f.time_off + 8, now);
+        // Both stamps are run-relative monotone seconds: `time` keeps the
+        // engine clock advancing AND keeps the engine-side delivery-delay
+        // histogram (time - sent_at) at exactly zero instead of the
+        // nonsense negative values an absolute wall-clock stamp produced;
+        // `sent_at` is what the wire-latency histogram subtracts.
+        store_f64(buf.data() + at + f.time_off, now - start);
+        store_f64(buf.data() + at + f.time_off + 8, now - start);
       }
       const char* p = buf.data();
       std::size_t left = buf.size();

@@ -58,6 +58,18 @@ class IncrementalCounter {
   /// the rules whose (sum, count) changed.
   std::vector<Candidate> advance(std::size_t budget) {
     std::vector<Candidate> changed;
+    advance(budget, [&](const Candidate& cand, const Counts&) {
+      changed.push_back(cand);
+    });
+    return changed;
+  }
+
+  /// Callback variant of advance(): invokes `on_changed(cand, counts)` for
+  /// each rule whose counts moved, in registration-table order — the same
+  /// rules (and order) the vector variant returns, without materializing
+  /// candidate copies. The callback must not register or remove rules.
+  template <class F>
+  void advance(std::size_t budget, F&& on_changed) {
     for (auto& [cand, counts] : rules_) {
       const std::uint64_t before_sum = counts.sum;
       const std::uint64_t before_count = counts.count;
@@ -65,9 +77,8 @@ class IncrementalCounter {
       for (; counts.processed < end; ++counts.processed)
         tally(cand, db_[counts.processed], counts);
       if (counts.sum != before_sum || counts.count != before_count)
-        changed.push_back(cand);
+        on_changed(cand, const_cast<const Counts&>(counts));
     }
-    return changed;
   }
 
  private:

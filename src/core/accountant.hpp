@@ -62,12 +62,25 @@ class Accountant {
     return counter_.advance(budget);
   }
 
+  /// Callback variant of advance(): same changed rules in the same order,
+  /// but hands out (candidate, counts) references instead of materializing
+  /// a vector of candidate copies — the per-step hot path at fig3 scale.
+  template <class F>
+  void advance(std::size_t budget, F&& on_changed) {
+    counter_.advance(budget, std::forward<F>(on_changed));
+  }
+
   /// Algorithm 2's reply: ⟨sum, count, num=1, share_⊥, ts_0 = t⟩ encrypted;
   /// t increases with every reply so a broker replaying an old reply is
   /// caught by the controller's trace.
   hom::Cipher reply(const arm::Candidate& c) {
+    return reply_counted(counter_.counts(c));
+  }
+
+  /// reply() for a caller that already holds the rule's counts (the advance
+  /// callback passes them along) — skips the registration-table lookup.
+  hom::Cipher reply_counted(const arm::IncrementalCounter::Counts& counts) {
     ++stats_.replies;
-    const auto counts = counter_.counts(c);
     return hom::make_counter(key_, layout_, counts.sum, counts.count,
                              /*num=*/1, shares_[0], /*ts_slot=*/0,
                              /*ts=*/clock_++, rng_);

@@ -14,18 +14,22 @@ Broker::Broker(net::NodeId id, hom::EvalHandle eval, hom::CounterLayout layout,
               "broker needs its accountant and controller");
   KGRID_CHECK(layout_.degree() >= neighbors_.size(),
               "layout too small for neighbour list");
+  for (std::size_t s = 1; s <= neighbors_.size(); ++s)
+    slot_by_node_.emplace(neighbors_[s - 1], s);
 }
 
 void Broker::add_neighbor(net::NodeId v) {
   KGRID_CHECK(neighbors_.size() < layout_.degree(),
               "no spare layout slot for joining neighbour");
   neighbors_.push_back(v);
-  for (auto& [candidate, state] : votes_) {
+  slot_by_node_.emplace(v, neighbors_.size());
+  active_edges_stale_ = true;
+  for (auto& entry : votes_) {
     EdgeState edge;
     edge.received = eval_.zero(layout_.n_fields(), rng_);
     edge.first_received = edge.received;
-    state.edges.emplace(v, std::move(edge));
-    dirty_.insert(candidate);  // bootstrap the new edge on the next flush
+    entry.second.edges.push_back(std::move(edge));
+    mark_dirty(entry);  // bootstrap the new edge on the next flush
   }
 }
 
@@ -34,20 +38,34 @@ void Broker::install_token(net::NodeId recipient, hom::Cipher token,
                            std::size_t our_slot) {
   tokens_.insert_or_assign(recipient,
                            TokenInfo{std::move(token), their_layout, our_slot});
+  active_edges_stale_ = true;
 }
 
-Broker::VoteState& Broker::vote_state(const arm::Candidate& candidate) {
+void Broker::refresh_active_edges() {
+  active_edges_stale_ = false;
+  active_edges_.clear();
+  for (std::size_t slot = 1; slot <= neighbors_.size(); ++slot) {
+    const net::NodeId w = neighbors_[slot - 1];
+    if (quarantined_.contains(w)) continue;
+    const auto it = tokens_.find(w);
+    if (it == tokens_.end()) continue;  // setup incomplete
+    active_edges_.push_back({slot, w, &it->second});
+  }
+}
+
+Broker::VoteEntry& Broker::vote_entry(const arm::Candidate& candidate) {
   auto [it, inserted] = votes_.try_emplace(candidate);
   if (inserted) {
     it->second.input = eval_.zero(layout_.n_fields(), rng_);
-    for (net::NodeId v : neighbors_) {
+    it->second.edges.reserve(neighbors_.size());
+    for (std::size_t s = 0; s < neighbors_.size(); ++s) {
       EdgeState edge;
       edge.received = eval_.zero(layout_.n_fields(), rng_);
       edge.first_received = edge.received;
-      it->second.edges.emplace(v, std::move(edge));
+      it->second.edges.push_back(std::move(edge));
     }
   }
-  return it->second;
+  return *it;
 }
 
 hom::Cipher Broker::build_aggregate(const VoteState& state) {
@@ -58,11 +76,12 @@ hom::Cipher Broker::build_aggregate(const VoteState& state) {
   // one batch, then fold in list order — homomorphic addition is
   // associative and the list order is the serial path's op order, so the
   // aggregate plaintext is identical to the unbatched code.
-  std::vector<const hom::Cipher*> contributions;
+  std::vector<const hom::Cipher*>& contributions = contributions_;
+  contributions.clear();
   contributions.reserve(state.edges.size() + 2);
   contributions.push_back(&state.input);
   bool corrupted_once = false;
-  for (const auto& [v, edge] : state.edges) {
+  for (const EdgeState& edge : state.edges) {
     const hom::Cipher* contribution = &edge.received;
     switch (behavior_) {
       case BrokerBehavior::kDoubleCount:
@@ -88,16 +107,12 @@ hom::Cipher Broker::build_aggregate(const VoteState& state) {
     }
     contributions.push_back(contribution);
   }
-  std::vector<hom::Cipher> fresh =
-      eval_.rerandomize_batch(contributions, rng_, executor_);
-  hom::Cipher agg = std::move(fresh[0]);
-  for (std::size_t i = 1; i < fresh.size(); ++i) agg = eval_.add(agg, fresh[i]);
-  return agg;
+  return eval_.aggregate_rerandomized(contributions, rng_, executor_);
 }
 
-void Broker::evaluate_edges(const arm::Candidate& rule, Effects& effects) {
+void Broker::evaluate_edges(const arm::Candidate& rule, VoteState& state,
+                            Effects& effects) {
   if (behavior_ == BrokerBehavior::kMuteBroker) return;
-  VoteState& state = vote_state(rule);
   const hom::Cipher agg_all = build_aggregate(state);
 
   // Pick the edges to consult, then have the controller decrypt the
@@ -105,23 +120,19 @@ void Broker::evaluate_edges(const arm::Candidate& rule, Effects& effects) {
   // for E edges instead of the 2E a per-edge SFE pays). The per-edge gate
   // logic stays serial and in slot order — it is integer arithmetic plus
   // at most one encryption, and its ordering carries the rng discipline.
-  std::vector<std::size_t> slots;
-  std::vector<const hom::Cipher*> recvs;
-  for (std::size_t slot = 1; slot <= neighbors_.size(); ++slot) {
-    const net::NodeId w = neighbors_[slot - 1];
-    if (quarantined_.contains(w)) continue;
-    if (!tokens_.contains(w)) continue;  // setup incomplete
-    slots.push_back(slot);
-    recvs.push_back(&state.edges.at(w).received);
-  }
-  if (slots.empty()) return;
-  const Controller::SfeBatch batch =
-      controller_->prepare_sfe(agg_all, recvs, executor_);
+  if (active_edges_stale_) refresh_active_edges();
+  if (active_edges_.empty()) return;
+  std::vector<const hom::Cipher*>& recvs = recvs_;
+  recvs.clear();
+  for (const ActiveEdge& ae : active_edges_)
+    recvs.push_back(&state.edges[ae.slot - 1].received);
+  Controller::SfeBatch& batch = batch_;
+  controller_->prepare_sfe(agg_all, recvs, executor_, batch);
 
-  for (std::size_t i = 0; i < slots.size(); ++i) {
-    const std::size_t slot = slots[i];
-    const net::NodeId w = neighbors_[slot - 1];
-    const TokenInfo& token = tokens_.at(w);
+  for (std::size_t i = 0; i < active_edges_.size(); ++i) {
+    const std::size_t slot = active_edges_[i].slot;
+    const net::NodeId w = active_edges_[i].w;
+    const TokenInfo& token = *active_edges_[i].token;
 
     ++stats_.edge_evaluations;
     auto decision =
@@ -132,15 +143,17 @@ void Broker::evaluate_edges(const arm::Candidate& rule, Effects& effects) {
 
     // Complete the controller's fresh counter with w's encrypted share
     // token; neither piece is forgeable by this broker.
-    hom::Cipher outgoing = eval_.add(decision.outgoing, token.token);
+    hom::Cipher outgoing = std::move(decision.outgoing);
+    eval_.add_into(outgoing, token.token);
     if (behavior_ == BrokerBehavior::kRandomCounter) {
       // "Using an arbitrary value instead of summing": without the
       // encryption key the strongest corruption is scaling the cipher.
       outgoing = eval_.scalar_mul(2 + rng_.below(1000), outgoing);
     }
     ++stats_.messages_out;
+    eval_.rerandomize_into(outgoing, rng_);
     effects.messages.push_back(
-        {w, SecureRuleMessage{rule, eval_.rerandomize(outgoing, rng_)}});
+        {w, SecureRuleMessage{rule, std::move(outgoing)}});
   }
 }
 
@@ -150,27 +163,30 @@ Broker::Effects Broker::register_candidate(const arm::Candidate& candidate) {
   known_.insert(candidate);
   ++stats_.candidates_registered;
   if (!accountant_->has_rule(candidate)) accountant_->add_rule(candidate);
-  (void)vote_state(candidate);
+  VoteEntry& entry = vote_entry(candidate);
   // First-contact traffic (the controller's edge gates bootstrap to send).
-  evaluate_edges(candidate, effects);
+  evaluate_edges(entry.first, entry.second, effects);
   return effects;
 }
 
 Broker::Effects Broker::on_accountant_update(const arm::Candidate& rule) {
   Effects effects;
-  VoteState& state = vote_state(rule);
-  state.input = accountant_->reply(rule);
-  state.has_input = true;
-  evaluate_edges(rule, effects);
+  VoteEntry& entry = vote_entry(rule);
+  entry.second.input = accountant_->reply(rule);
+  entry.second.has_input = true;
+  evaluate_edges(entry.first, entry.second, effects);
   return effects;
 }
 
-bool Broker::accept_message(net::NodeId from, const SecureRuleMessage& message,
-                            Effects& effects) {
-  if (quarantined_.contains(from)) return false;
+Broker::VoteEntry* Broker::accept_message(net::NodeId from,
+                                          const SecureRuleMessage& message,
+                                          Effects& effects) {
+  if (quarantined_.contains(from)) return nullptr;
   // Algorithm 4: an unknown candidate joins C together with the frequency
-  // vote over its full itemset.
-  if (!known_.contains(message.candidate)) {
+  // vote over its full itemset. votes_ keys and known_ stay in sync, so
+  // the vote lookup doubles as the membership test on the hot path.
+  auto it = votes_.find(message.candidate);
+  if (it == votes_.end()) {
     Effects reg = register_candidate(message.candidate);
     std::move(reg.messages.begin(), reg.messages.end(),
               std::back_inserter(effects.messages));
@@ -185,49 +201,74 @@ bool Broker::accept_message(net::NodeId from, const SecureRuleMessage& message,
       std::move(more.detections.begin(), more.detections.end(),
                 std::back_inserter(effects.detections));
     }
+    it = votes_.find(message.candidate);
   }
-  VoteState& state = vote_state(message.candidate);
-  const auto edge_it = state.edges.find(from);
-  if (edge_it == state.edges.end()) return false;  // not a tree neighbour
-  if (!edge_it->second.contacted) {
-    edge_it->second.first_received = message.counter;
-    edge_it->second.contacted = true;
+  VoteState& state = it->second;
+  const auto slot_it = slot_by_node_.find(from);
+  if (slot_it == slot_by_node_.end()) return nullptr;  // not a tree neighbour
+  EdgeState& edge = state.edges[slot_it->second - 1];
+  if (!edge.contacted) {
+    edge.first_received = message.counter;
+    edge.contacted = true;
   }
-  edge_it->second.received = message.counter;
-  return true;
+  edge.received = message.counter;
+  return &*it;
 }
 
 Broker::Effects Broker::on_receive(net::NodeId from,
                                    const SecureRuleMessage& message) {
   Effects effects;
-  if (accept_message(from, message, effects))
-    evaluate_edges(message.candidate, effects);
+  if (VoteEntry* entry = accept_message(from, message, effects))
+    evaluate_edges(entry->first, entry->second, effects);
   return effects;
 }
 
 Broker::Effects Broker::store_received(net::NodeId from,
                                        const SecureRuleMessage& message) {
   Effects effects;
-  if (accept_message(from, message, effects)) dirty_.insert(message.candidate);
+  if (VoteEntry* entry = accept_message(from, message, effects))
+    mark_dirty(*entry);
   return effects;
 }
 
 void Broker::refresh_input(const arm::Candidate& rule) {
-  VoteState& state = vote_state(rule);
-  state.input = accountant_->reply(rule);
-  state.has_input = true;
-  dirty_.insert(rule);
+  refresh_input(rule, accountant_->reply(rule));
+}
+
+void Broker::refresh_input(const arm::Candidate& rule, hom::Cipher input) {
+  VoteEntry& entry = vote_entry(rule);
+  entry.second.input = std::move(input);
+  entry.second.has_input = true;
+  mark_dirty(entry);
 }
 
 Broker::Effects Broker::flush_dirty() {
   Effects effects;
-  for (const auto& rule : dirty_) evaluate_edges(rule, effects);
-  dirty_.clear();
+  flush_dirty(effects);
   return effects;
+}
+
+void Broker::flush_dirty(Effects& effects) {
+  effects.clear();
+  // Flush in first-touch order (deterministic: message arrival and
+  // accountant refresh order are both fixed by the event schedule). Indexed
+  // loop in case an evaluation ever marks entries dirty again.
+  for (std::size_t i = 0; i < dirty_list_.size(); ++i) {
+    VoteEntry* entry = dirty_list_[i];
+    entry->second.dirty = false;
+    evaluate_edges(entry->first, entry->second, effects);
+  }
+  dirty_list_.clear();
 }
 
 Broker::Effects Broker::generate_candidates() {
   Effects effects;
+  generate_candidates(effects);
+  return effects;
+}
+
+void Broker::generate_candidates(Effects& effects) {
+  effects.clear();
   // Query every candidate's correctness through the output SFE. Aggregates
   // are built first (in iteration order — that fixes the rng draw
   // sequence), then decrypted as one batch, then judged serially in the
@@ -258,7 +299,6 @@ Broker::Effects Broker::generate_candidates() {
     std::move(more.detections.begin(), more.detections.end(),
               std::back_inserter(effects.detections));
   }
-  return effects;
 }
 
 bool Broker::output_answer(const arm::Candidate& candidate) const {

@@ -38,6 +38,11 @@ class Broker {
   struct Effects {
     std::vector<Outgoing> messages;
     std::vector<Detection> detections;
+
+    void clear() {
+      messages.clear();
+      detections.clear();
+    }
   };
 
   Broker(net::NodeId id, hom::EvalHandle eval, hom::CounterLayout layout,
@@ -76,7 +81,10 @@ class Broker {
   void add_neighbor(net::NodeId v);
 
   /// Stop exchanging counters with a reported-malicious resource.
-  void quarantine(net::NodeId resource) { quarantined_.insert(resource); }
+  void quarantine(net::NodeId resource) {
+    quarantined_.insert(resource);
+    active_edges_stale_ = true;
+  }
   bool is_quarantined(net::NodeId resource) const {
     return quarantined_.contains(resource);
   }
@@ -103,13 +111,25 @@ class Broker {
   /// yet (pairs with flush_dirty()).
   void refresh_input(const arm::Candidate& rule);
 
+  /// refresh_input() with the reply cipher already minted (the step loop
+  /// builds it from the advance callback's counts, skipping the extra
+  /// registration-table lookup inside Accountant::reply).
+  void refresh_input(const arm::Candidate& rule, hom::Cipher input);
+
   /// Evaluate the send conditions of every rule touched since the last
   /// flush.
   Effects flush_dirty();
 
+  /// Out-param variant for per-step callers: clears `effects` and refills
+  /// it, so a caller-owned buffer keeps its vector capacity across steps.
+  void flush_dirty(Effects& effects);
+
   /// Algorithm 4's periodic block: query rule correctness through SFE,
   /// derive new candidates, and register them.
   Effects generate_candidates();
+
+  /// Out-param variant (see flush_dirty(Effects&)).
+  void generate_candidates(Effects& effects);
 
   /// R̃_u[DB_t] from the latest SFE output answers (confidence rules are
   /// reported only when their itemset's frequency vote also holds).
@@ -128,8 +148,16 @@ class Broker {
   struct VoteState {
     hom::Cipher input;  // latest accountant reply (⊥)
     bool has_input = false;
-    std::unordered_map<net::NodeId, EdgeState> edges;
+    bool dirty = false;  // queued in dirty_list_ for the next flush
+    /// Per-neighbour state, indexed by slot-1 (= position in neighbors_),
+    /// so the per-step evaluation walks a dense array instead of paying a
+    /// hash lookup per edge per rule.
+    std::vector<EdgeState> edges;
   };
+
+  /// A votes_ map entry; node-based, so the address is stable for the
+  /// candidate's lifetime and the dirty list can hold bare pointers.
+  using VoteEntry = std::pair<const arm::Candidate, VoteState>;
 
   struct TokenInfo {
     hom::Cipher token;
@@ -137,14 +165,25 @@ class Broker {
     std::size_t our_slot;
   };
 
-  VoteState& vote_state(const arm::Candidate& candidate);
+  VoteEntry& vote_entry(const arm::Candidate& candidate);
+  VoteState& vote_state(const arm::Candidate& candidate) {
+    return vote_entry(candidate).second;
+  }
+  void mark_dirty(VoteEntry& entry) {
+    if (entry.second.dirty) return;
+    entry.second.dirty = true;
+    dirty_list_.push_back(&entry);
+  }
 
   /// Full aggregate for the SFE: ⊥ input plus every neighbour's latest
   /// counter, rerandomized (malicious behaviours corrupt this here).
   hom::Cipher build_aggregate(const VoteState& state);
 
-  /// Evaluate the send condition for every non-quarantined edge.
-  void evaluate_edges(const arm::Candidate& rule, Effects& effects);
+  /// Evaluate the send condition for every non-quarantined edge. `state`
+  /// must be the vote state of `rule` (callers already hold it; passing it
+  /// through skips a repeat hash lookup on the hot path).
+  void evaluate_edges(const arm::Candidate& rule, VoteState& state,
+                      Effects& effects);
 
   net::NodeId id_;
   hom::EvalHandle eval_;
@@ -157,17 +196,38 @@ class Broker {
   BrokerBehavior behavior_ = BrokerBehavior::kHonest;
   Stats stats_;
 
-  /// Store an incoming counter; returns true if it was accepted (sender is
-  /// a live tree neighbour). Registers unknown candidates.
-  bool accept_message(net::NodeId from, const SecureRuleMessage& message,
-                      Effects& effects);
+  /// Store an incoming counter; returns the vote entry if it was accepted
+  /// (sender is a live tree neighbour), nullptr otherwise. Registers
+  /// unknown candidates.
+  VoteEntry* accept_message(net::NodeId from, const SecureRuleMessage& message,
+                            Effects& effects);
 
   std::unordered_map<arm::Candidate, VoteState, arm::CandidateHash> votes_;
   arm::CandidateSet known_;
-  arm::CandidateSet dirty_;
+  std::vector<VoteEntry*> dirty_list_;  // flush order = first-touch order
   std::unordered_map<arm::Candidate, bool, arm::CandidateHash> outputs_;
   std::unordered_map<net::NodeId, TokenInfo> tokens_;
   std::unordered_set<net::NodeId> quarantined_;
+  std::unordered_map<net::NodeId, std::size_t> slot_by_node_;  // 1-based
+
+  /// The consultable-edge plan shared by every rule: slot, neighbour id,
+  /// and its token, for each non-quarantined neighbour whose token is
+  /// installed. Rebuilt lazily when topology/tokens/quarantine change —
+  /// rare events next to the per-step evaluations that read the plan.
+  struct ActiveEdge {
+    std::size_t slot;  // 1-based layout slot
+    net::NodeId w;
+    const TokenInfo* token;  // tokens_ nodes are address-stable
+  };
+  std::vector<ActiveEdge> active_edges_;
+  bool active_edges_stale_ = true;
+  void refresh_active_edges();
+
+  // Scratch reused across evaluate_edges calls; capacity warms up once per
+  // broker instead of reallocating on every rule evaluation.
+  std::vector<const hom::Cipher*> contributions_;
+  std::vector<const hom::Cipher*> recvs_;
+  Controller::SfeBatch batch_;
 };
 
 }  // namespace kgrid::core

@@ -10,11 +10,9 @@ Controller::RuleState& Controller::rule_state(const arm::Candidate& rule) {
   return it->second;
 }
 
-void Controller::validate_view(const arm::Candidate& rule,
-                               const hom::CounterView& view,
+void Controller::validate_view(RuleState& state, const hom::CounterView& view,
                                std::vector<Detection>& detections) {
   const std::size_t pre_existing = detections.size();
-  RuleState& state = rule_state(rule);
 
   // Share completeness: the aggregate must contain exactly one copy of the
   // share of every contributor (contributors are visible as non-zero
@@ -47,12 +45,22 @@ void Controller::validate_view(const arm::Candidate& rule,
   stats_.detections += detections.size() - pre_existing;
 }
 
-Controller::SfeBatch Controller::prepare_sfe(
-    const hom::Cipher& agg_all, std::span<const hom::Cipher* const> recvs,
-    sim::Executor* executor) const {
-  SfeBatch batch;
+void Controller::prepare_sfe(const hom::Cipher& agg_all,
+                             std::span<const hom::Cipher* const> recvs,
+                             sim::Executor* executor, SfeBatch& batch) const {
   batch.recv.resize(recvs.size());
-  if (halted_) return batch;  // every SFE refuses anyway; skip the modexps
+  if (halted_) return;  // every SFE refuses anyway; skip the modexps
+  if (dec_.is_plain()) {
+    // Zero-copy views straight off the plain bodies: no per-item plaintext
+    // vectors. plain_fields counts each call as a decryption, so the obs
+    // totals match the batched path.
+    batch.agg_all =
+        hom::CounterView::from_fields(layout_, dec_.plain_fields(agg_all));
+    for (std::size_t i = 0; i < recvs.size(); ++i)
+      batch.recv[i] =
+          hom::CounterView::from_fields(layout_, dec_.plain_fields(*recvs[i]));
+    return;
+  }
   std::vector<const hom::Cipher*> items;
   items.reserve(recvs.size() + 1);
   items.push_back(&agg_all);
@@ -61,7 +69,6 @@ Controller::SfeBatch Controller::prepare_sfe(
   batch.agg_all = hom::CounterView::from_fields(layout_, fields[0]);
   for (std::size_t i = 0; i < recvs.size(); ++i)
     batch.recv[i] = hom::CounterView::from_fields(layout_, fields[i + 1]);
-  return batch;
 }
 
 std::vector<hom::CounterView> Controller::decrypt_views(
@@ -69,6 +76,12 @@ std::vector<hom::CounterView> Controller::decrypt_views(
     sim::Executor* executor) const {
   std::vector<hom::CounterView> views(ciphers.size());
   if (halted_) return views;
+  if (dec_.is_plain()) {
+    for (std::size_t i = 0; i < ciphers.size(); ++i)
+      views[i] =
+          hom::CounterView::from_fields(layout_, dec_.plain_fields(*ciphers[i]));
+    return views;
+  }
   const auto fields = dec_.decrypt_batch(ciphers, layout_.n_fields(), executor);
   for (std::size_t i = 0; i < ciphers.size(); ++i)
     views[i] = hom::CounterView::from_fields(layout_, fields[i]);
@@ -93,7 +106,8 @@ Controller::SendDecision Controller::sfe_send(
   ++stats_.sfe_sends;
   KGRID_CHECK(slot_w < slot_neighbors_.size() && slot_neighbors_[slot_w] == w,
               "sfe_send slot/neighbour mismatch");
-  validate_view(rule, view_all, decision.detections);
+  RuleState& state = rule_state(rule);
+  validate_view(state, view_all, decision.detections);
   if (!decision.detections.empty()) return decision;
 
   // w's own latest contribution is subtracted out of the outgoing counter.
@@ -110,7 +124,7 @@ Controller::SendDecision Controller::sfe_send(
   }
   // A stale recv_w (replay of an old counter) shows up as a timestamp below
   // the trace that the validated aggregate just advanced.
-  if (view_w.timestamps[slot_w] < rule_state(rule).trace[slot_w]) {
+  if (view_w.timestamps[slot_w] < state.trace[slot_w]) {
     decision.detections.push_back({id_, "stale neighbour counter in SFE"});
     ++stats_.detections;
     halted_ = true;
@@ -121,7 +135,6 @@ Controller::SendDecision Controller::sfe_send(
   const std::int64_t out_count = view_all.count - view_w.count;
   const std::int64_t out_num = view_all.num - view_w.num;
 
-  RuleState& state = rule_state(rule);
   EdgeGate& gate = state.edges[w];
 
   bool send = false;
@@ -208,7 +221,7 @@ Controller::OutputDecision Controller::sfe_output(
     return decision;
   }
   ++stats_.sfe_outputs;
-  validate_view(rule, view, decision.detections);
+  validate_view(state, view, decision.detections);
   if (!decision.detections.empty()) {
     decision.correct = state.output.last_answer;
     return decision;

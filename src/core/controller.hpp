@@ -141,7 +141,17 @@ class Controller {
   /// default-constructed; every consumer refuses before reading them.
   SfeBatch prepare_sfe(const hom::Cipher& agg_all,
                        std::span<const hom::Cipher* const> recvs,
-                       sim::Executor* executor = nullptr) const;
+                       sim::Executor* executor = nullptr) const {
+    SfeBatch batch;
+    prepare_sfe(agg_all, recvs, executor, batch);
+    return batch;
+  }
+
+  /// Out-parameter variant: reuses `out`'s storage, so a caller looping
+  /// over rules pays for the view vectors once instead of per evaluation.
+  void prepare_sfe(const hom::Cipher& agg_all,
+                   std::span<const hom::Cipher* const> recvs,
+                   sim::Executor* executor, SfeBatch& out) const;
 
   /// Batch-decrypt arbitrary aggregates into counter views (the
   /// generate_candidates path). Skipped (default views) when halted.
@@ -184,13 +194,16 @@ class Controller {
   RuleState& rule_state(const arm::Candidate& rule);
 
   hom::CounterView decrypt_view(const hom::Cipher& c) const {
+    if (dec_.is_plain())
+      return hom::CounterView::from_fields(layout_, dec_.plain_fields(c));
     return hom::CounterView::from_fields(layout_,
                                          dec_.decrypt(c, layout_.n_fields()));
   }
 
   /// Verify a decrypted aggregate: share completeness and timestamp
-  /// monotonicity; advances the trace when clean.
-  void validate_view(const arm::Candidate& rule, const hom::CounterView& view,
+  /// monotonicity; advances the trace when clean. `state` is the rule's
+  /// state (callers already hold it — avoids a repeat hash lookup).
+  void validate_view(RuleState& state, const hom::CounterView& view,
                      std::vector<Detection>& detections);
 
   net::NodeId id_;

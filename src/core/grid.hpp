@@ -36,8 +36,10 @@ struct SecureGridConfig {
   sim::Executor* executor = nullptr;
   /// Event-queue scheduler policy (sim/event_queue.hpp). Every policy
   /// delivers the identical event order; kLegacy exists for differential
-  /// testing against the seed's binary-heap structure.
-  sim::QueuePolicy queue_policy = sim::QueuePolicy::kCalendar;
+  /// testing against the seed's binary-heap structure. The default splits
+  /// the periodic timer population onto a hashed hierarchical timer wheel
+  /// (sim/timer_wheel.hpp) merged against the message calendar queue.
+  sim::QueuePolicy queue_policy = sim::QueuePolicy::kWheel;
   /// Schedule observer (sim/trace.hpp recorder/hasher), attached before any
   /// resource starts — construction already pushes bootstrap events, and a
   /// recorder attached later would miss them. Must outlive the grid's runs.
@@ -107,6 +109,12 @@ class SecureGrid {
         engine_.attach_executor(owned_executor_.get());
       }
     }
+    // Pre-size the event arenas from the topology: the steady-state
+    // in-flight population is a few messages per resource (per-step
+    // reports to each tree neighbor, degree ~2 on the spanning overlay)
+    // plus one pending timer; 8 slots each covers the fig3 sweeps with
+    // slack so the pool never demand-grows (overflow stays 0).
+    engine_.reserve_events(8 * (env_.overlay.size() + 1));
     Rng rng(config.env.seed ^ 0xdeadbeef);
     crypto_ = config.backend == hom::Backend::kPlain
                   ? hom::Context::make_plain()
@@ -283,7 +291,7 @@ class BaselineGrid {
   BaselineGrid(const GridEnvConfig& env_config,
                const majority::MajorityRuleConfig& config,
                std::size_t threads = 0,
-               sim::QueuePolicy queue_policy = sim::QueuePolicy::kCalendar,
+               sim::QueuePolicy queue_policy = sim::QueuePolicy::kWheel,
                sim::EventTap* trace = nullptr, int shards = -1)
       : BaselineGrid(env_config, config, make_grid_env(env_config), threads,
                      queue_policy, trace, shards) {}
@@ -295,7 +303,7 @@ class BaselineGrid {
   BaselineGrid(const GridEnvConfig& env_config,
                const majority::MajorityRuleConfig& config, GridEnv env,
                std::size_t threads = 0,
-               sim::QueuePolicy queue_policy = sim::QueuePolicy::kCalendar,
+               sim::QueuePolicy queue_policy = sim::QueuePolicy::kWheel,
                sim::EventTap* trace = nullptr, int shards = -1)
       : env_(std::move(env)), engine_(queue_policy) {
     maybe_enable_sharding(engine_, shards, env_.delays);

@@ -174,27 +174,36 @@ class SecureResource : public sim::Entity {
       accountant_.append(std::move(future_[future_cursor_++]));
 
     engine.offload(self_entity_, [this]() -> sim::Engine::Apply {
-      for (const auto& rule : accountant_.advance(config_.count_budget))
-        broker_.refresh_input(rule);
-      Broker::Effects flushed = broker_.flush_dirty();
-      std::optional<Broker::Effects> generated;
-      if (steps_ % config_.candidate_period == 0)
-        generated = broker_.generate_candidates();
+      accountant_.advance(
+          config_.count_budget,
+          [this](const arm::Candidate& rule,
+                 const arm::IncrementalCounter::Counts& counts) {
+            broker_.refresh_input(rule, accountant_.reply_counted(counts));
+          });
+      // The effects land in member buffers rather than closure captures:
+      // the engine delivers nothing to this entity while its job is in
+      // flight, so the buffers are stable until the Apply below runs, the
+      // Apply stays pointer-sized (no std::function heap spill), and the
+      // effect vectors keep their capacity across steps.
+      broker_.flush_dirty(pending_flushed_);
+      pending_generated_ = steps_ % config_.candidate_period == 0;
+      if (pending_generated_) broker_.generate_candidates(pending_generated_effects_);
       // Two apply() calls, same order as the pre-offload serial code, so
       // message seq assignment (and therefore equal-time delivery order)
       // is unchanged.
-      return [this, flushed = std::move(flushed),
-              generated = std::move(generated)](sim::Engine& eng) {
-        apply(eng, flushed);
-        if (generated.has_value()) apply(eng, *generated);
+      return [this](sim::Engine& eng) {
+        apply(eng, std::move(pending_flushed_));
+        if (pending_generated_) apply(eng, std::move(pending_generated_effects_));
       };
     });
   }
 
-  void apply(sim::Engine& engine, const Broker::Effects& effects) {
-    for (const auto& out : effects.messages) {
+  void apply(sim::Engine& engine, Broker::Effects&& effects) {
+    for (auto& out : effects.messages) {
       const double delay = delays_ ? delays_->delay(id_, out.to) : 0.1;
-      engine.send(self_entity_, out.to, delay, out.message);
+      // Moving the SecureRuleMessage hands its cipher body straight to the
+      // pooled event slot — no refcount churn or copy on the send path.
+      engine.send(self_entity_, out.to, delay, std::move(out.message));
     }
     for (const auto& detection : effects.detections)
       broadcast_report(engine, MaliciousReport{detection.culprit, id_});
@@ -233,6 +242,9 @@ class SecureResource : public sim::Entity {
   bool attached_ = false;
   sim::Time step_period_ = 1.0;
   std::size_t steps_ = 0;
+  Broker::Effects pending_flushed_;            // step-job → Apply handoff
+  Broker::Effects pending_generated_effects_;  // (see step())
+  bool pending_generated_ = false;
   std::vector<data::Transaction> future_;
   std::size_t future_cursor_ = 0;
   std::unordered_set<net::NodeId> reported_;

@@ -73,20 +73,25 @@ struct CounterView {
   std::int64_t sum = 0;
   std::int64_t count = 0;
   std::int64_t num = 0;
-  std::uint64_t share = 0;                // already reduced mod kShareModulus
-  std::vector<std::uint64_t> timestamps;  // one per layout slot
+  std::uint64_t share = 0;   // already reduced mod kShareModulus
+  FieldVec timestamps;       // one per layout slot (inline small-buf)
 
   static CounterView from_fields(const CounterLayout& layout,
                                  std::span<const std::uint64_t> fields) {
-    KGRID_CHECK(fields.size() >= layout.n_fields(), "short counter plaintext");
+    // A plain-backend cipher stores only the fields written so far; the
+    // homomorphic-add identity for absent fields is zero, so a short
+    // plaintext span reads as trailing zeros rather than an error.
     CounterView v;
-    v.sum = static_cast<std::int64_t>(fields[CounterLayout::kSum]);
-    v.count = static_cast<std::int64_t>(fields[CounterLayout::kCount]);
-    v.num = static_cast<std::int64_t>(fields[CounterLayout::kNum]);
-    v.share = fields[CounterLayout::kShare] % kShareModulus;
+    const auto get = [&](std::size_t i) {
+      return i < fields.size() ? fields[i] : std::uint64_t{0};
+    };
+    v.sum = static_cast<std::int64_t>(get(CounterLayout::kSum));
+    v.count = static_cast<std::int64_t>(get(CounterLayout::kCount));
+    v.num = static_cast<std::int64_t>(get(CounterLayout::kNum));
+    v.share = get(CounterLayout::kShare) % kShareModulus;
     v.timestamps.reserve(layout.ts_slots());
     for (std::size_t s = 0; s < layout.ts_slots(); ++s)
-      v.timestamps.push_back(fields[layout.ts_field(s)]);
+      v.timestamps.push_back(get(layout.ts_field(s)));
     return v;
   }
 };
@@ -98,13 +103,26 @@ inline Cipher make_counter(const EncryptKey& key, const CounterLayout& layout,
                            std::uint64_t sum, std::uint64_t count,
                            std::uint64_t num, std::uint64_t share,
                            std::size_t ts_slot, std::uint64_t ts, Rng& rng) {
-  std::vector<std::uint64_t> fields(layout.n_fields(), 0);
+  // Stack buffer for the common case — one counter is encrypted per granted
+  // send, so this is a hot call; only extreme hub degrees spill to the heap.
+  constexpr std::size_t kStack = 64;
+  const std::size_t n = layout.n_fields();
+  std::uint64_t stack[kStack];
+  std::vector<std::uint64_t> heap;
+  std::uint64_t* fields;
+  if (n <= kStack) {
+    fields = stack;
+    std::fill_n(fields, n, std::uint64_t{0});
+  } else {
+    heap.assign(n, 0);
+    fields = heap.data();
+  }
   fields[CounterLayout::kSum] = sum;
   fields[CounterLayout::kCount] = count;
   fields[CounterLayout::kNum] = num;
   fields[CounterLayout::kShare] = share % kShareModulus;
   fields[layout.ts_field(ts_slot)] = ts;
-  return key.encrypt(fields, rng);
+  return key.encrypt(std::span<const std::uint64_t>(fields, n), rng);
 }
 
 /// Encrypt a share token: zero everywhere except the share field. Brokers

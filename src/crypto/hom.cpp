@@ -160,8 +160,21 @@ Cipher EncryptKey::encrypt(std::span<const std::uint64_t> fields, Rng& rng) cons
 std::vector<Cipher> EncryptKey::encrypt_batch(
     std::span<const std::vector<std::uint64_t>> items, Rng& rng,
     sim::Executor* executor) const {
-  std::vector<Rng> rngs = split_per_item(rng, items.size());
   std::vector<Cipher> out(items.size());
+  const bool parallel =
+      executor != nullptr && executor->threads() > 1 && items.size() >= 2;
+  if (ctx_->backend() == Backend::kPlain && !parallel) {
+    // Serial fast path: fuse split-and-use per item instead of materializing
+    // a vector<Rng>. Children split in index order are independent of the
+    // parent afterward, so the streams (and every salt) are bit-identical to
+    // the pre-split layout batch_for sees on the parallel path.
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      Rng child = rng.split();
+      out[i] = encrypt(items[i], child);
+    }
+    return out;
+  }
+  std::vector<Rng> rngs = split_per_item(rng, items.size());
   if (ctx_->backend() == Backend::kPlain) {
     batch_for(executor, items.size(),
               [&](std::size_t i) { out[i] = encrypt(items[i], rngs[i]); });
@@ -205,7 +218,7 @@ Cipher EvalHandle::add(const Cipher& a, const Cipher& b) const {
   if (ctx_->backend() == Backend::kPlain) {
     const auto& ap = a.body().plain;
     const auto& bp = b.body().plain;
-    cb.plain.resize(std::max(ap.size(), bp.size()), 0);
+    cb.plain.resize(std::max(ap.size(), bp.size()));
     for (std::size_t i = 0; i < cb.plain.size(); ++i) {
       const std::uint64_t x = i < ap.size() ? ap[i] : 0;
       const std::uint64_t y = i < bp.size() ? bp[i] : 0;
@@ -219,6 +232,31 @@ Cipher EvalHandle::add(const Cipher& a, const Cipher& b) const {
   const PaillierPublicKey& pk = ctx_->key_.pub;
   set_cipher_form(c, pk.add_form(cipher_form(a, pk), cipher_form(b, pk)), pk);
   return c;
+}
+
+void EvalHandle::add_into(Cipher& acc, const Cipher& b) const {
+  KGRID_CHECK(
+      acc.backend() == ctx_->backend() && b.backend() == ctx_->backend(),
+      "cipher backend mismatch");
+  obs::crypto_counters().hom_adds.inc();
+  if (ctx_->backend() == Backend::kPlain) {
+    // Read both salts up front: own() may alias-copy, and acc and b may
+    // share a body (or be the same object in an `x = x + x` style fold).
+    const std::uint64_t a_salt = acc.body().salt;
+    const std::uint64_t b_salt = b.body().salt;
+    Cipher::Body& cb = acc.own();
+    const auto& bp = b.body().plain;
+    if (bp.size() > cb.plain.size()) cb.plain.resize(bp.size());
+    // FieldVec::resize zero-fills growth, so fields past acc's old size
+    // start at 0 — identical to add()'s out-of-line zero-extension.
+    const std::size_t nb = std::min(bp.size(), cb.plain.size());
+    for (std::size_t i = 0; i < nb; ++i) cb.plain[i] += bp[i];
+    cb.salt = a_salt ^ (b_salt << 1) ^ 0x9e3779b97f4a7c15ull;
+    return;
+  }
+  const PaillierPublicKey& pk = ctx_->key_.pub;
+  set_cipher_form(acc, pk.add_form(cipher_form(acc, pk), cipher_form(b, pk)),
+                  pk);
 }
 
 Cipher EvalHandle::sub_single(const Cipher& a, const Cipher& b) const {
@@ -235,7 +273,7 @@ Cipher EvalHandle::sub_single(const Cipher& a, const Cipher& b) const {
                 "sub_single on multi-field cipher");
     const std::uint64_t x = ap.empty() ? 0 : ap[0];
     const std::uint64_t y = bp.empty() ? 0 : bp[0];
-    cb.plain = {x - y};
+    cb.plain.assign(1, x - y);
     cb.salt = a.body().salt ^ (b.body().salt >> 1) ^ 0xbf58476d1ce4e5b9ull;
     return c;
   }
@@ -277,8 +315,19 @@ Cipher EvalHandle::rerandomize(const Cipher& a, Rng& rng) const {
 std::vector<Cipher> EvalHandle::rerandomize_batch(
     std::span<const Cipher* const> items, Rng& rng,
     sim::Executor* executor) const {
-  std::vector<Rng> rngs = split_per_item(rng, items.size());
   std::vector<Cipher> out(items.size());
+  const bool parallel =
+      executor != nullptr && executor->threads() > 1 && items.size() >= 2;
+  if (ctx_->backend() == Backend::kPlain && !parallel) {
+    // Same fused split-and-use as encrypt_batch: stream-identical to the
+    // pre-split layout, minus one vector<Rng> per protocol round.
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      Rng child = rng.split();
+      out[i] = rerandomize(*items[i], child);
+    }
+    return out;
+  }
+  std::vector<Rng> rngs = split_per_item(rng, items.size());
   if (ctx_->backend() == Backend::kPlain) {
     batch_for(executor, items.size(),
               [&](std::size_t i) { out[i] = rerandomize(*items[i], rngs[i]); });
@@ -310,6 +359,57 @@ std::vector<Cipher> EvalHandle::rerandomize_batch(
   return out;
 }
 
+void EvalHandle::rerandomize_into(Cipher& c, Rng& rng) const {
+  KGRID_CHECK(c.backend() == ctx_->backend(), "cipher backend mismatch");
+  obs::crypto_counters().hom_rerandomizes.inc();
+  if (ctx_->backend() == Backend::kPlain) {
+    c.own().salt = rng();
+    return;
+  }
+  const PaillierPublicKey& pk = ctx_->key_.pub;
+  set_cipher_form(c, pk.rerandomize_form(cipher_form(c, pk), rng), pk);
+}
+
+Cipher EvalHandle::aggregate_rerandomized(
+    std::span<const Cipher* const> items, Rng& rng,
+    sim::Executor* executor) const {
+  KGRID_CHECK(!items.empty(), "aggregate of an empty contribution list");
+  if (ctx_->backend() == Backend::kPlain) {
+    // Fused path. Randomness: one child per item, split in index order,
+    // each drawn once — the exact stream rerandomize_batch produces. Salt:
+    // the add() fold formula applied left to right over the fresh salts.
+    // Fields: the zero-extended wrapping sum, which the fold also computes.
+    obs::crypto_counters().hom_rerandomizes.inc(items.size());
+    obs::crypto_counters().hom_adds.inc(items.size() - 1);
+    Cipher c;
+    Cipher::Body& cb = c.own();
+    cb.backend = Backend::kPlain;
+    std::size_t n_fields = 0;
+    for (const Cipher* p : items) {
+      KGRID_CHECK(p->backend() == Backend::kPlain, "cipher backend mismatch");
+      n_fields = std::max(n_fields, p->body().plain.size());
+    }
+    cb.plain.resize(n_fields);
+    for (const Cipher* p : items) {
+      const auto& ap = p->body().plain;
+      for (std::size_t i = 0; i < ap.size(); ++i) cb.plain[i] += ap[i];
+    }
+    std::uint64_t salt = 0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      Rng child = rng.split();
+      const std::uint64_t fresh = child();
+      salt = i == 0 ? fresh
+                    : (salt ^ (fresh << 1) ^ 0x9e3779b97f4a7c15ull);
+    }
+    cb.salt = salt;
+    return c;
+  }
+  std::vector<Cipher> fresh = rerandomize_batch(items, rng, executor);
+  Cipher agg = std::move(fresh[0]);
+  for (std::size_t i = 1; i < fresh.size(); ++i) add_into(agg, fresh[i]);
+  return agg;
+}
+
 Cipher EvalHandle::zero(std::size_t n_fields, Rng& rng) const {
   obs::crypto_counters().hom_encrypts.inc();
   Cipher c;
@@ -327,12 +427,25 @@ Cipher EvalHandle::zero(std::size_t n_fields, Rng& rng) const {
   return c;
 }
 
+bool DecryptKey::is_plain() const { return ctx_->backend() == Backend::kPlain; }
+
+std::span<const std::uint64_t> DecryptKey::plain_fields(
+    const Cipher& c) const {
+  KGRID_CHECK(ctx_->backend() == Backend::kPlain,
+              "plain_fields needs the plain backend");
+  KGRID_CHECK(c.backend() == Backend::kPlain, "cipher backend mismatch");
+  obs::crypto_counters().hom_decrypts.inc();
+  const auto& plain = c.body().plain;
+  return {plain.data(), plain.size()};
+}
+
 std::vector<std::uint64_t> DecryptKey::decrypt(const Cipher& c,
                                                std::size_t n_fields) const {
   KGRID_CHECK(c.backend() == ctx_->backend(), "cipher backend mismatch");
   obs::crypto_counters().hom_decrypts.inc();
   if (ctx_->backend() == Backend::kPlain) {
-    std::vector<std::uint64_t> out = c.body().plain;
+    const auto& plain = c.body().plain;
+    std::vector<std::uint64_t> out(plain.begin(), plain.end());
     out.resize(n_fields, 0);
     return out;
   }

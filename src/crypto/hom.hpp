@@ -41,6 +41,188 @@ namespace kgrid::hom {
 
 enum class Backend { kPlain, kPaillier };
 
+/// Field storage for plain-backend cipher bodies: a small-buffer vector of
+/// packed 64-bit fields. Counter layouts are a handful of fields (one per
+/// tree neighbor plus spares), so the common case lives inline in the Body
+/// allocation and a plain-backend homomorphic op allocates nothing beyond
+/// the body itself; high-degree hub layouts spill to the heap. API is the
+/// std::vector subset the hom layer uses — value semantics included, since
+/// Body copies (COW clones) must deep-copy the fields.
+class FieldVec {
+ public:
+  // Sized for protocol counters: n_fields = 4 + degree + 1, and spanning
+  // trees keep most degrees <= 3, so typical counter plaintexts stay inline.
+  static constexpr std::size_t kInline = 8;
+
+  FieldVec() = default;
+  FieldVec(const FieldVec& o) { assign(o.begin(), o.end()); }
+  FieldVec(FieldVec&& o) noexcept { *this = std::move(o); }
+  FieldVec& operator=(const FieldVec& o) {
+    if (this != &o) assign(o.begin(), o.end());
+    return *this;
+  }
+  FieldVec& operator=(FieldVec&& o) noexcept {
+    if (this == &o) return *this;
+    release();
+    if (o.heap_ != nullptr) {
+      heap_ = o.heap_;
+      cap_ = o.cap_;
+      o.heap_ = nullptr;
+      o.cap_ = kInline;
+    } else {
+      for (std::size_t i = 0; i < o.size_; ++i) inline_[i] = o.inline_[i];
+    }
+    size_ = o.size_;
+    o.size_ = 0;
+    return *this;
+  }
+  ~FieldVec() { release(); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::uint64_t* data() { return heap_ != nullptr ? heap_ : inline_; }
+  const std::uint64_t* data() const {
+    return heap_ != nullptr ? heap_ : inline_;
+  }
+  std::uint64_t* begin() { return data(); }
+  std::uint64_t* end() { return data() + size_; }
+  const std::uint64_t* begin() const { return data(); }
+  const std::uint64_t* end() const { return data() + size_; }
+  std::uint64_t& operator[](std::size_t i) { return data()[i]; }
+  std::uint64_t operator[](std::size_t i) const { return data()[i]; }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  void push_back(std::uint64_t v) {
+    if (size_ == cap_) grow(size_ * 2);
+    data()[size_++] = v;
+  }
+
+  /// Grow-only resize semantics plus shrink, zero-filling new fields (the
+  /// only fill value the hom ops use).
+  void resize(std::size_t n) {
+    reserve(n);
+    std::uint64_t* d = data();
+    for (std::size_t i = size_; i < n; ++i) d[i] = 0;
+    size_ = n;
+  }
+
+  void assign(std::size_t n, std::uint64_t v) {
+    reserve(n);
+    std::uint64_t* d = data();
+    for (std::size_t i = 0; i < n; ++i) d[i] = v;
+    size_ = n;
+  }
+
+  template <class It>
+  void assign(It first, It last) {
+    const auto n = static_cast<std::size_t>(last - first);
+    reserve(n);
+    std::uint64_t* d = data();
+    for (std::size_t i = 0; i < n; ++i) d[i] = static_cast<std::uint64_t>(first[i]);
+    size_ = n;
+  }
+
+  friend bool operator==(const FieldVec& a, const FieldVec& b) {
+    if (a.size_ != b.size_) return false;
+    const std::uint64_t* x = a.data();
+    const std::uint64_t* y = b.data();
+    for (std::size_t i = 0; i < a.size_; ++i)
+      if (x[i] != y[i]) return false;
+    return true;
+  }
+
+ private:
+  void grow(std::size_t want) {
+    const std::size_t ncap = want < 2 * cap_ ? 2 * cap_ : want;
+    auto* nd = new std::uint64_t[ncap];
+    const std::uint64_t* d = data();
+    for (std::size_t i = 0; i < size_; ++i) nd[i] = d[i];
+    release();
+    heap_ = nd;
+    cap_ = ncap;
+  }
+  void release() {
+    delete[] heap_;
+    heap_ = nullptr;
+    cap_ = kInline;
+  }
+
+  std::uint64_t inline_[kInline] = {};
+  std::uint64_t* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = kInline;
+};
+
+namespace detail {
+
+/// Allocator recycling fixed-size blocks through a thread-local free list.
+/// Cipher bodies (their shared_ptr control blocks, via allocate_shared) are
+/// created and destroyed millions of times per fig3-scale run — every
+/// encrypt, COW clone, and aggregate mints one — and the general-purpose
+/// allocator is a measurable slice of the wall time. Each thread keeps its
+/// own list, so no locking; a block freed on a different thread than it was
+/// allocated on simply migrates between pools. Lists are bounded and drain
+/// their blocks at thread exit.
+template <class T>
+class BlockPoolAlloc {
+ public:
+  using value_type = T;
+
+  BlockPoolAlloc() = default;
+  template <class U>
+  BlockPoolAlloc(const BlockPoolAlloc<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 1) {
+      auto& free = pool().free;
+      if (!free.empty()) {
+        T* p = static_cast<T*>(free.back());
+        free.pop_back();
+        return p;
+      }
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (n == 1) {
+      auto& free = pool().free;
+      if (free.size() < kMaxFree) {
+        free.push_back(p);
+        return;
+      }
+    }
+    ::operator delete(p);
+  }
+
+  template <class U>
+  bool operator==(const BlockPoolAlloc<U>&) const noexcept {
+    return true;
+  }
+
+ private:
+  // Bound chosen to cover a shard's in-flight ciphers between drains while
+  // capping idle-thread retention at ~kMaxFree * sizeof(Body) per thread.
+  static constexpr std::size_t kMaxFree = 4096;
+
+  struct Pool {
+    std::vector<void*> free;
+    ~Pool() {
+      for (void* p : free) ::operator delete(p);
+    }
+  };
+
+  static Pool& pool() {
+    static thread_local Pool tl;
+    return tl;
+  }
+};
+
+}  // namespace detail
+
 /// An opaque additively-homomorphic ciphertext over packed 64-bit fields.
 ///
 /// The representation is copy-on-write: a Cipher is one shared_ptr to an
@@ -81,7 +263,7 @@ class Cipher {
   /// copies) use this; everything else shares bodies freely.
   void detach() {
     if (body_ != nullptr && body_.use_count() > 1)
-      body_ = std::make_shared<Body>(*body_);
+      body_ = std::allocate_shared<Body>(detail::BlockPoolAlloc<Body>{}, *body_);
   }
 
  private:
@@ -105,8 +287,8 @@ class Cipher {
 
   struct Body {
     Backend backend = Backend::kPlain;
-    std::vector<std::uint64_t> plain;  // plain backend: field values
-    std::uint64_t salt = 0;            // plain backend: rerandomization witness
+    FieldVec plain;          // plain backend: field values (inline small-buf)
+    std::uint64_t salt = 0;  // plain backend: rerandomization witness
     wide::BigInt paillier;             // paillier backend: cipher mod n^2
     // Cache of `paillier` in Montgomery form over n^2, so chained
     // homomorphic ops skip the per-op R-conversions. Populated lazily on
@@ -126,9 +308,9 @@ class Cipher {
   /// Write view: materialize an owned body, cloning if currently shared.
   Body& own() {
     if (body_ == nullptr)
-      body_ = std::make_shared<Body>();
+      body_ = std::allocate_shared<Body>(detail::BlockPoolAlloc<Body>{});
     else if (body_.use_count() > 1)
-      body_ = std::make_shared<Body>(*body_);
+      body_ = std::allocate_shared<Body>(detail::BlockPoolAlloc<Body>{}, *body_);
     return *body_;
   }
 
@@ -177,6 +359,13 @@ class EvalHandle {
   /// invariant, see counter.hpp).
   Cipher add(const Cipher& a, const Cipher& b) const;
 
+  /// In-place accumulate: `acc = add(acc, b)`, bit for bit (same fields,
+  /// same salt derivation, same Paillier form math), but mutating acc's
+  /// body instead of allocating a fresh one when acc is uniquely owned.
+  /// The aggregation folds in broker.cpp run O(degree) of these per rule
+  /// per step, which made the out-of-place add the hot allocation site.
+  void add_into(Cipher& acc, const Cipher& b) const;
+
   /// Enc of the field-wise difference; only meaningful for single-field
   /// ciphers whose value stays in (-2^63, 2^63) — packed multi-field
   /// subtraction would borrow across fields.
@@ -189,6 +378,12 @@ class EvalHandle {
   /// the value changed (paper §5.2).
   Cipher rerandomize(const Cipher& a, Rng& rng) const;
 
+  /// In-place `c = rerandomize(c, rng)` — same randomness draws and result,
+  /// minus the copy-on-write clone when c is uniquely owned. Used on the
+  /// outgoing-message path, where the cipher was just built and is never
+  /// aliased.
+  void rerandomize_into(Cipher& c, Rng& rng) const;
+
   /// Enc(0) with `n_fields` zero fields, usable as an aggregation seed.
   Cipher zero(std::size_t n_fields, Rng& rng) const;
 
@@ -200,6 +395,15 @@ class EvalHandle {
   std::vector<Cipher> rerandomize_batch(std::span<const Cipher* const> items,
                                         Rng& rng,
                                         sim::Executor* executor = nullptr) const;
+
+  /// Fused `rerandomize_batch` + left fold of `add`: the aggregate a broker
+  /// builds every flush. Bit-identical to the two-call sequence — same Rng
+  /// splits and draws, same salt chain, same op counters — but the plain
+  /// backend computes the field sum and the salt fold directly, skipping
+  /// the n intermediate cipher bodies the unfused path allocates and
+  /// immediately discards. Precondition: items is non-empty.
+  Cipher aggregate_rerandomized(std::span<const Cipher* const> items, Rng& rng,
+                                sim::Executor* executor = nullptr) const;
 
  private:
   friend class Context;
@@ -223,6 +427,16 @@ class DecryptKey {
   std::vector<std::vector<std::uint64_t>> decrypt_batch(
       std::span<const Cipher* const> items, std::size_t n_fields,
       sim::Executor* executor = nullptr) const;
+
+  /// True when this key's context runs the plain backend, where decryption
+  /// is a field read rather than a CRT exponentiation.
+  bool is_plain() const;
+
+  /// Plain backend only: zero-copy view of the decrypted fields (the body's
+  /// field vector; callers zero-extend short reads themselves). Counts as a
+  /// decryption in the obs counters exactly like decrypt(). The span aliases
+  /// the cipher body — valid until the cipher is mutated or destroyed.
+  std::span<const std::uint64_t> plain_fields(const Cipher& c) const;
 
  private:
   friend class Context;

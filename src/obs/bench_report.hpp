@@ -154,6 +154,21 @@ inline std::string validate_bench_json(const Json& j) {
         return "sim.entities." + kind + "." + key + " missing";
     }
   }
+  // Delivery-delay histograms measure (delivery time - send stamp) inside
+  // one clock domain, so a negative minimum over a non-empty histogram can
+  // only mean the stamps mixed clock domains (the bug the live bench had
+  // when it wrote absolute wall-clock sent_at next to relative times).
+  for (const auto& [type, stats] : sim->find("message_types")->items()) {
+    const Json* delay = stats.find("delay");
+    if (delay == nullptr || !delay->is_object()) continue;
+    const Json* count = delay->find("count");
+    const Json* min = delay->find("min");
+    if (count != nullptr && count->is_number() && min != nullptr &&
+        min->is_number() && count->as_double() > 0 && min->as_double() < 0)
+      return "sim.message_types." + type +
+             ".delay.min is negative (send/delivery stamps from different "
+             "clock domains)";
+  }
   // sim.queue / sim.event_pool describe the engine's scheduler and event
   // pool (sim/event_queue.hpp). Artifacts written before those existed may
   // omit them — but an artifact that actually processed events must carry
@@ -216,6 +231,19 @@ inline std::string validate_bench_json(const Json& j) {
       const Json* v = shard->find(key);
       if (v == nullptr || !v->is_number())
         return std::string("sim.shard.") + key + " missing or not a number";
+    }
+  }
+  // sim.timer_wheel is optional (absent unless a kWheel-policy engine
+  // flushed — see sim::EngineMetrics::on_wheel_stats), but when present it
+  // must carry the full wheel counter set (docs/METRICS.md).
+  if (const Json* wheel = sim->find("timer_wheel"); wheel != nullptr) {
+    if (!wheel->is_object()) return "sim.timer_wheel is not an object";
+    for (const char* key : {"scheduled", "fired", "cascades", "far_events",
+                            "rebuilds", "max_pending"}) {
+      const Json* v = wheel->find(key);
+      if (v == nullptr || !v->is_number())
+        return std::string("sim.timer_wheel.") + key +
+               " missing or not a number";
     }
   }
 
@@ -283,6 +311,12 @@ inline std::string validate_bench_json(const Json& j) {
           return std::string("series row latency.") + key +
                  " missing or not a number";
       }
+      const Json* count = latency->find("count");
+      const Json* min = latency->find("min");
+      if (min != nullptr && min->is_number() && count->as_double() > 0 &&
+          min->as_double() < 0)
+        return "series row latency.min is negative (send/delivery stamps "
+               "from different clock domains)";
     }
   }
   return "";

@@ -77,6 +77,7 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <span>
 #include <typeinfo>
 #include <vector>
 
@@ -180,7 +181,7 @@ class Engine {
   /// An offloaded job: heavy computation, run off-loop, returning its Apply.
   using Job = std::function<Apply()>;
 
-  explicit Engine(QueuePolicy queue_policy = QueuePolicy::kCalendar)
+  explicit Engine(QueuePolicy queue_policy = QueuePolicy::kWheel)
       : queue_(queue_policy) {}
 
   ~Engine() { flush_stats(); }
@@ -301,6 +302,24 @@ class Engine {
   QueuePolicy queue_policy() const { return queue_.policy(); }
   const QueueStats& queue_stats() const { return queue_.stats(); }
   const EventPoolStats& event_pool_stats() const { return queue_.pool_stats(); }
+  const TimerWheelStats& timer_wheel_stats() const {
+    return queue_.wheel_stats();
+  }
+
+  /// Pre-size the event arenas for roughly `total` simultaneously pending
+  /// events (split evenly across lanes in sharded mode). Grid harnesses
+  /// call this with a topology-derived estimate so steady-state runs never
+  /// demand-grow — EventPoolStats::overflow stays zero and check_bench_json
+  /// stays quiet. Growth remains automatic (geometric) if the estimate is
+  /// short.
+  void reserve_events(std::size_t total) {
+    if (sharded()) {
+      const std::size_t per = (total + lanes_.size() - 1) / lanes_.size();
+      for (const auto& lane : lanes_) lane->queue.reserve_pool(per);
+    } else {
+      queue_.reserve_pool(total);
+    }
+  }
 
   /// Queue a message for delivery `delay` time units from now. `payload`
   /// is a Payload or any message type Payload accepts, forwarded straight
@@ -534,10 +553,12 @@ class Engine {
       // global queue depth (docs/METRICS.md, sharded note).
       QueueStats dq;
       EventPoolStats dp;
+      TimerWheelStats dw;
       for (const auto& lp : lanes_) {
         Lane& lane = *lp;
         const QueueStats& q = lane.queue.stats();
         const EventPoolStats& p = lane.queue.pool_stats();
+        const TimerWheelStats& w = lane.queue.wheel_stats();
         dq.pushes += q.pushes - lane.flushed_queue.pushes;
         dq.pops += q.pops - lane.flushed_queue.pops;
         dq.resizes += q.resizes - lane.flushed_queue.resizes;
@@ -547,11 +568,20 @@ class Engine {
         dp.overflow += p.overflow - lane.flushed_pool.overflow;
         dp.max_in_use = std::max(dp.max_in_use, p.max_in_use);
         dp.slots += p.slots;
+        dw.scheduled += w.scheduled - lane.flushed_wheel.scheduled;
+        dw.fired += w.fired - lane.flushed_wheel.fired;
+        dw.cascades += w.cascades - lane.flushed_wheel.cascades;
+        dw.far_events += w.far_events - lane.flushed_wheel.far_events;
+        dw.rebuilds += w.rebuilds - lane.flushed_wheel.rebuilds;
+        dw.max_pending = std::max(dw.max_pending, w.max_pending);
         lane.flushed_queue = q;
         lane.flushed_pool = p;
+        lane.flushed_wheel = w;
       }
       metrics_->on_engine_stats(queue_policy_name(queue_.policy()), dq, dp,
                                 !stats_flushed_);
+      if (queue_.policy() == QueuePolicy::kWheel)
+        metrics_->on_wheel_stats(dw);
       metrics_->on_shard_stats(
           lanes_.size(),
           ShardStats{shard_stats_.windows - flushed_shard_.windows,
@@ -571,6 +601,16 @@ class Engine {
                       p.slots};
     metrics_->on_engine_stats(queue_policy_name(queue_.policy()), dq, dp,
                               !stats_flushed_);
+    if (queue_.policy() == QueuePolicy::kWheel) {
+      const TimerWheelStats& w = queue_.wheel_stats();
+      metrics_->on_wheel_stats(TimerWheelStats{
+          w.scheduled - flushed_wheel_.scheduled,
+          w.fired - flushed_wheel_.fired,
+          w.cascades - flushed_wheel_.cascades,
+          w.far_events - flushed_wheel_.far_events,
+          w.rebuilds - flushed_wheel_.rebuilds, w.max_pending});
+      flushed_wheel_ = w;
+    }
     stats_flushed_ = true;
     flushed_queue_ = q;
     flushed_pool_ = p;
@@ -623,14 +663,13 @@ class Engine {
   // anything. That ownership discipline is the whole synchronization story
   // — no locks, no atomics, TSan-clean by construction.
 
-  /// A deferred event parked in a per-shard-pair mailbox until the window
-  /// barrier: everything at or beyond the lookahead horizon, plus every
-  /// cross-shard delivery. `rec.seq` is stamped with the final sequence
-  /// number during the barrier merge, before the mailbox drains.
-  struct OutboxEntry {
-    EventRecord rec;
-    Payload payload;
-  };
+  // A deferred event parked in a per-shard-pair mailbox until the window
+  // barrier — everything at or beyond the lookahead horizon, plus every
+  // cross-shard delivery — is a fully materialized sim::Event: its seq is
+  // stamped with the final sequence number during the barrier merge, then
+  // the whole mailbox drains into the destination queue as one
+  // EventQueue::push_batch (one arena acquire_run for the run, payloads
+  // moved straight into their slots).
 
   /// One push issued during a lane's window, in handler order. Local pushes
   /// under the horizon carry a provisional seq (>= seq_base_) and already
@@ -663,11 +702,12 @@ class Engine {
     std::vector<LaneDispatch> dispatch_log;
     std::vector<LanePush> push_log;
     std::vector<EntityId> offload_log;
-    std::vector<std::vector<OutboxEntry>> outbox;  // per destination lane
+    std::vector<std::vector<Event>> outbox;  // per destination lane
     std::vector<std::uint64_t> concrete;  // provisional -> final seq (merge)
     std::size_t merge_next = 0;           // merge cursor into dispatch_log
     QueueStats flushed_queue;             // flush_stats delta snapshots
     EventPoolStats flushed_pool;
+    TimerWheelStats flushed_wheel;
   };
 
   static constexpr std::uint64_t kUnresolved = ~std::uint64_t{0};
@@ -722,7 +762,9 @@ class Engine {
       lane.push_log.push_back(LanePush{rec, static_cast<std::uint32_t>(dst),
                                        static_cast<std::uint32_t>(box.size()),
                                        true});
-      box.push_back(OutboxEntry{rec, Payload(std::forward<P>(payload))});
+      box.push_back(Event{rec.time, rec.sent_at, rec.seq, rec.timer_id,
+                          rec.from, rec.to, rec.kind,
+                          Payload(std::forward<P>(payload))});
       // Cross-shard handoff re-materializes value semantics: the receiving
       // shard must never share a copy-on-write message body with the
       // sender's shard (the body's lazily cached Paillier form is mutated
@@ -836,10 +878,7 @@ class Engine {
     }
     for (const auto& src : lanes_) {
       for (std::size_t d = 0; d < lanes_.size(); ++d) {
-        for (OutboxEntry& e : src->outbox[d])
-          lanes_[d]->queue.push(e.rec.time, e.rec.seq, e.rec.from, e.rec.to,
-                                e.rec.kind, e.rec.timer_id,
-                                std::move(e.payload), e.rec.sent_at);
+        lanes_[d]->queue.push_batch(std::span<Event>(src->outbox[d]));
         src->outbox[d].clear();
       }
     }
@@ -878,7 +917,7 @@ class Engine {
       LanePush& p = lane.push_log[i];
       const std::uint64_t final_seq = next_seq_++;
       if (p.deferred)
-        lane.outbox[p.dst][p.slot].rec.seq = final_seq;
+        lane.outbox[p.dst][p.slot].seq = final_seq;
       else
         lane.concrete[p.rec.seq - seq_base_] = final_seq;
       p.rec.seq = final_seq;
@@ -926,6 +965,7 @@ class Engine {
   bool stats_flushed_ = false;    // this engine already counted in "engines"
   QueueStats flushed_queue_;      // snapshot at last flush (delta reporting)
   EventPoolStats flushed_pool_;
+  TimerWheelStats flushed_wheel_;
 
   // Sharded mode (empty lanes_ == plain single-queue engine).
   std::vector<std::unique_ptr<Lane>> lanes_;

@@ -18,6 +18,10 @@
 //   * DaryHeap — an indexed d-ary min-heap over the same entries; 4-ary
 //     and 8-ary instantiations are kept as O(log n) comparison points and
 //     as the conservative fallback;
+//   * kWheel — the calendar queue for messages plus a hashed hierarchical
+//     TimerWheel (sim/timer_wheel.hpp) for the timer population, merged at
+//     pop by exact (time, seq) comparison. Timers carry no payload, so
+//     wheel entries bypass the pool entirely (Popped::handle == kNoHandle);
 //   * the legacy binary-heap policy — std::push_heap/pop_heap over fat
 //     events with a per-message shared_ptr payload, reproducing the seed's
 //     cost structure byte for byte. It exists for differential testing
@@ -38,9 +42,11 @@
 #include <bit>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "sim/payload.hpp"
+#include "sim/timer_wheel.hpp"
 #include "util/check.hpp"
 
 namespace kgrid::sim {
@@ -53,7 +59,8 @@ enum class EventKind : std::uint8_t { kMessage, kTimer };
 /// Scheduler selection. All policies deliver the identical (time, seq)
 /// order; they differ only in constant factors.
 enum class QueuePolicy {
-  kCalendar,  // pooled events + adaptive calendar queue (default)
+  kWheel,     // calendar queue for messages + timer wheel (default)
+  kCalendar,  // pooled events + adaptive calendar queue
   kDary4,     // pooled events + 4-ary indexed heap
   kDary8,     // pooled events + 8-ary indexed heap
   kLegacy,    // seed-structure binary heap, shared_ptr payloads
@@ -61,6 +68,7 @@ enum class QueuePolicy {
 
 inline const char* queue_policy_name(QueuePolicy p) {
   switch (p) {
+    case QueuePolicy::kWheel: return "wheel";
     case QueuePolicy::kCalendar: return "calendar";
     case QueuePolicy::kDary4: return "dary4";
     case QueuePolicy::kDary8: return "dary8";
@@ -91,27 +99,60 @@ struct QueueStats {
 struct EventPoolStats {
   std::uint64_t acquired = 0;
   std::uint64_t released = 0;
-  std::uint64_t overflow = 0;    // slab allocations beyond the first
+  std::uint64_t overflow = 0;    // demand growths past existing capacity
   std::uint64_t max_in_use = 0;  // in-flight high-water mark
   std::uint64_t slots = 0;       // current capacity (slabs * slab size)
 };
 
-/// Slab allocator with freelist recycling. Handles are stable (slabs never
+/// Slab arena with freelist recycling. Handles are stable (slabs never
 /// move), so heap entries can reference events by index while the payloads
-/// stay put.
+/// stay put. Capacity grows geometrically — each demand growth doubles the
+/// slab count — so a cold pool reaches any in-flight population in O(log n)
+/// allocations instead of one slab per 1024 events. Growth past already-
+/// allocated capacity counts as EventPoolStats::overflow; callers that know
+/// their topology pre-size with reserve() (Engine::reserve_events) and a
+/// steady-state run then allocates nothing and reports overflow == 0
+/// (check_bench_json warns otherwise).
 class EventPool {
  public:
   using Handle = std::uint32_t;
   static constexpr std::size_t kSlabEvents = 1024;
+  /// Sentinel for events that never occupied a slot (timer-wheel entries).
+  static constexpr Handle kNoHandle = ~Handle{0};
 
   Handle acquire() {
-    if (free_.empty()) grow();
+    if (free_.empty()) grow(std::max<std::size_t>(slabs_.size(), 1));
     const Handle h = free_.back();
     free_.pop_back();
     ++stats_.acquired;
     const std::uint64_t in_use = stats_.acquired - stats_.released;
     if (in_use > stats_.max_in_use) stats_.max_in_use = in_use;
     return h;
+  }
+
+  /// Acquire `n` slots in one arena operation (the sharded barrier drain's
+  /// batch path). Right after a grow or reserve the freelist hands out an
+  /// ascending contiguous run; under steady-state recycling the handles are
+  /// whatever the freelist holds, which the barrier's own ascending release
+  /// order keeps run-shaped.
+  void acquire_run(std::size_t n, std::vector<Handle>& out) {
+    out.clear();
+    while (free_.size() < n)
+      grow(std::max<std::size_t>(slabs_.size(), 1));
+    out.insert(out.end(), free_.end() - static_cast<std::ptrdiff_t>(n),
+               free_.end());
+    std::reverse(out.begin(), out.end());  // freelist pops from the back
+    free_.resize(free_.size() - n);
+    stats_.acquired += n;
+    const std::uint64_t in_use = stats_.acquired - stats_.released;
+    if (in_use > stats_.max_in_use) stats_.max_in_use = in_use;
+  }
+
+  /// Pre-size the arena to at least `slots` capacity without touching the
+  /// overflow counter (this is provisioning, not a hot-path fallback).
+  void reserve(std::size_t slots) {
+    const std::size_t want = (slots + kSlabEvents - 1) / kSlabEvents;
+    if (want > slabs_.size()) grow(want - slabs_.size(), /*provision=*/true);
   }
 
   /// Return a slot to the freelist. The payload is cleared eagerly so a
@@ -130,16 +171,19 @@ class EventPool {
   const EventPoolStats& stats() const { return stats_; }
 
  private:
-  void grow() {
-    KGRID_CHECK(slabs_.size() < (std::uint64_t{1} << 22),
+  void grow(std::size_t add_slabs, bool provision = false) {
+    KGRID_CHECK(slabs_.size() + add_slabs <= (std::uint64_t{1} << 22),
                 "event pool exhausted (2^32 events in flight)");
-    slabs_.push_back(std::make_unique<Event[]>(kSlabEvents));
-    if (slabs_.size() > 1) ++stats_.overflow;
+    if (!provision && !slabs_.empty()) ++stats_.overflow;
+    free_.reserve(free_.size() + add_slabs * kSlabEvents);
+    for (std::size_t s = 0; s < add_slabs; ++s) {
+      slabs_.push_back(std::make_unique<Event[]>(kSlabEvents));
+      const auto base = static_cast<Handle>((slabs_.size() - 1) * kSlabEvents);
+      // Reverse order so the next acquires hand out ascending handles.
+      for (std::size_t i = kSlabEvents; i > 0; --i)
+        free_.push_back(base + static_cast<Handle>(i - 1));
+    }
     stats_.slots = slabs_.size() * kSlabEvents;
-    const auto base = static_cast<Handle>((slabs_.size() - 1) * kSlabEvents);
-    // Reverse order so the next acquires hand out ascending handles.
-    for (std::size_t i = kSlabEvents; i > 0; --i)
-      free_.push_back(base + static_cast<Handle>(i - 1));
   }
 
   std::vector<std::unique_ptr<Event[]>> slabs_;
@@ -158,6 +202,7 @@ class DaryHeap {
   bool empty() const { return v_.empty(); }
   std::size_t size() const { return v_.size(); }
   Time top_time() const { return v_.front().time; }
+  std::uint64_t top_seq() const { return v_.front().seq; }
   EntityId top_to() const { return v_.front().to; }
 
   /// Returns true when the backing array grew (for QueueStats::resizes).
@@ -263,6 +308,7 @@ class CalendarQueue {
   /// Precondition: !empty(). The current bucket is kept non-empty and
   /// sorted (class invariant), so peeking never mutates.
   Time top_time() const { return cur_bucket().back().time; }
+  std::uint64_t top_seq() const { return cur_bucket().back().seq; }
   EntityId top_to() const { return cur_bucket().back().to; }
 
   /// Returns true when the calendar was rebuilt (for QueueStats::resizes).
@@ -451,6 +497,7 @@ class EventQueue {
 
   std::size_t size() const {
     switch (policy_) {
+      case QueuePolicy::kWheel: return cal_.size() + wheel_.size();
       case QueuePolicy::kCalendar: return cal_.size();
       case QueuePolicy::kDary4: return d4_.size();
       case QueuePolicy::kDary8: return d8_.size();
@@ -464,6 +511,8 @@ class EventQueue {
   /// two views, so they are identical across policies.
   Time top_time() const {
     switch (policy_) {
+      case QueuePolicy::kWheel:
+        return wheel_first() ? wheel_.top_time() : cal_.top_time();
       case QueuePolicy::kCalendar: return cal_.top_time();
       case QueuePolicy::kDary4: return d4_.top_time();
       case QueuePolicy::kDary8: return d8_.top_time();
@@ -473,6 +522,8 @@ class EventQueue {
 
   EntityId top_to() const {
     switch (policy_) {
+      case QueuePolicy::kWheel:
+        return wheel_first() ? wheel_.top_to() : cal_.top_to();
       case QueuePolicy::kCalendar: return cal_.top_to();
       case QueuePolicy::kDary4: return d4_.top_to();
       case QueuePolicy::kDary8: return d8_.top_to();
@@ -503,6 +554,10 @@ class EventQueue {
       legacy_.push_back(LegacyEvent{time, seq, from, to, kind, timer_id,
                                     std::move(boxed), sent_at});
       std::push_heap(legacy_.begin(), legacy_.end(), LegacyAfter{});
+    } else if (policy_ == QueuePolicy::kWheel && kind == EventKind::kTimer) {
+      // Timers carry no payload: the wheel stores the full event inline and
+      // no pool slot is consumed.
+      wheel_.push(TimerEntry{time, sent_at, seq, timer_id, from, to});
     } else {
       const EventPool::Handle h = pool_.acquire();
       Event& slot = pool_[h];
@@ -516,13 +571,66 @@ class EventQueue {
       slot.payload.assign(std::forward<P>(payload));
       bool grew = false;
       switch (policy_) {
-        case QueuePolicy::kCalendar: grew = cal_.push(time, seq, h, to); break;
         case QueuePolicy::kDary4: grew = d4_.push(time, seq, h, to); break;
-        default: grew = d8_.push(time, seq, h, to); break;
+        case QueuePolicy::kDary8: grew = d8_.push(time, seq, h, to); break;
+        default: grew = cal_.push(time, seq, h, to); break;
       }
       if (grew) ++stats_.resizes;
     }
     if (size() > stats_.max_depth) stats_.max_depth = size();
+  }
+
+  /// Batched push for the sharded barrier drain: every entry arrives fully
+  /// stamped (final seqs from the k-way merge), pool slots for the whole
+  /// run are taken in one arena operation, and payloads move straight into
+  /// their slots. Semantics are identical to element-wise push().
+  void push_batch(std::span<Event> events) {
+    if (events.empty()) return;
+    if (policy_ == QueuePolicy::kLegacy) {
+      for (Event& e : events)
+        push(e.time, e.seq, e.from, e.to, e.kind, e.timer_id,
+             std::move(e.payload), e.sent_at);
+      return;
+    }
+    std::size_t pooled = events.size();
+    if (policy_ == QueuePolicy::kWheel) {
+      pooled = 0;
+      for (const Event& e : events) pooled += e.kind != EventKind::kTimer;
+    }
+    pool_.acquire_run(pooled, run_scratch_);
+    stats_.pushes += events.size();
+    std::size_t next = 0;
+    for (Event& e : events) {
+      if (policy_ == QueuePolicy::kWheel && e.kind == EventKind::kTimer) {
+        wheel_.push(
+            TimerEntry{e.time, e.sent_at, e.seq, e.timer_id, e.from, e.to});
+        continue;
+      }
+      const EventPool::Handle h = run_scratch_[next++];
+      Event& slot = pool_[h];
+      slot.time = e.time;
+      slot.sent_at = e.sent_at;
+      slot.seq = e.seq;
+      slot.timer_id = e.timer_id;
+      slot.from = e.from;
+      slot.to = e.to;
+      slot.kind = e.kind;
+      slot.payload = std::move(e.payload);
+      bool grew = false;
+      switch (policy_) {
+        case QueuePolicy::kDary4: grew = d4_.push(e.time, e.seq, h, e.to); break;
+        case QueuePolicy::kDary8: grew = d8_.push(e.time, e.seq, h, e.to); break;
+        default: grew = cal_.push(e.time, e.seq, h, e.to); break;
+      }
+      if (grew) ++stats_.resizes;
+    }
+    if (size() > stats_.max_depth) stats_.max_depth = size();
+  }
+
+  /// Pre-size the event arena (Engine::reserve_events). No-op under
+  /// kLegacy, whose events are individually heap-boxed by design.
+  void reserve_pool(std::size_t slots) {
+    if (policy_ != QueuePolicy::kLegacy) pool_.reserve(slots);
   }
 
   /// The minimum event, popped from the scheduler but not yet recycled:
@@ -565,11 +673,17 @@ class EventQueue {
               staging_.timer_id, staging_.from, staging_.to,
               staging_.kind,     0,             payload};
     }
+    if (policy_ == QueuePolicy::kWheel && wheel_first()) {
+      const TimerEntry e = wheel_.pop();
+      return {e.time, e.sent_at,         e.seq,
+              e.timer_id, e.from,        e.to,
+              EventKind::kTimer, EventPool::kNoHandle, nullptr};
+    }
     EventPool::Handle h = 0;
     switch (policy_) {
-      case QueuePolicy::kCalendar: h = cal_.pop(); break;
       case QueuePolicy::kDary4: h = d4_.pop(); break;
-      default: h = d8_.pop(); break;
+      case QueuePolicy::kDary8: h = d8_.pop(); break;
+      default: h = cal_.pop(); break;
     }
     Event& slot = pool_[h];
     return {slot.time, slot.sent_at, slot.seq, slot.timer_id, slot.from,
@@ -580,12 +694,13 @@ class EventQueue {
   void finish(const Popped& ev) {
     if (policy_ == QueuePolicy::kLegacy)
       staging_.payload.reset();  // the seed freed the event at end of step
-    else
+    else if (ev.handle != EventPool::kNoHandle)
       pool_.release(ev.handle);
   }
 
   const QueueStats& stats() const { return stats_; }
   const EventPoolStats& pool_stats() const { return pool_.stats(); }
+  const TimerWheelStats& wheel_stats() const { return wheel_.stats(); }
 
  private:
   /// The seed engine's event representation: fat struct, heap-allocated
@@ -610,13 +725,27 @@ class EventQueue {
     }
   };
 
+  /// Two-source merge under kWheel: does the wheel hold the global minimum?
+  /// Precondition: !empty(). Exact (time, seq) comparison, so the merged
+  /// order is the same total order every other policy delivers.
+  bool wheel_first() const {
+    if (wheel_.empty()) return false;
+    if (cal_.empty()) return true;
+    const Time wt = wheel_.top_time();
+    const Time ct = cal_.top_time();
+    if (wt != ct) return wt < ct;
+    return wheel_.top_seq() < cal_.top_seq();
+  }
+
   QueuePolicy policy_;
   EventPool pool_;
   CalendarQueue cal_;
   DaryHeap<4> d4_;
   DaryHeap<8> d8_;
+  TimerWheel wheel_;
   std::vector<LegacyEvent> legacy_;
   LegacyEvent staging_;  // the in-flight legacy event between pop and finish
+  std::vector<EventPool::Handle> run_scratch_;  // push_batch arena handles
   QueueStats stats_;
 };
 

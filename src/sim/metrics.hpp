@@ -104,6 +104,19 @@ class EngineMetrics {
     shard_.max_skew = std::max(shard_.max_skew, delta.max_skew);
   }
 
+  /// Engine::flush_stats() pushes timer-wheel counters here (deltas, maxima
+  /// by max) for engines running QueuePolicy::kWheel. Zero calls leave the
+  /// sim.timer_wheel JSON section absent entirely.
+  void on_wheel_stats(const TimerWheelStats& delta) {
+    wheel_reported_ = true;
+    wheel_.scheduled += delta.scheduled;
+    wheel_.fired += delta.fired;
+    wheel_.cascades += delta.cascades;
+    wheel_.far_events += delta.far_events;
+    wheel_.rebuilds += delta.rebuilds;
+    wheel_.max_pending = std::max(wheel_.max_pending, delta.max_pending);
+  }
+
   void advance_time(double dt) { sim_time_ += dt; }
 
   // -- Read side --
@@ -116,6 +129,7 @@ class EngineMetrics {
   const std::string& queue_kind() const { return queue_kind_; }
   std::uint64_t shards() const { return shards_; }
   const ShardStats& shard_stats() const { return shard_; }
+  const TimerWheelStats& timer_wheel_stats() const { return wheel_; }
   const std::map<std::string, KindStats, std::less<>>& by_kind() const {
     return kinds_;
   }
@@ -181,6 +195,16 @@ class EngineMetrics {
       shard.set("max_skew", shard_.max_skew);
       j.set("shard", std::move(shard));
     }
+    if (wheel_reported_) {
+      obs::Json wheel = obs::Json::object();
+      wheel.set("scheduled", wheel_.scheduled);
+      wheel.set("fired", wheel_.fired);
+      wheel.set("cascades", wheel_.cascades);
+      wheel.set("far_events", wheel_.far_events);
+      wheel.set("rebuilds", wheel_.rebuilds);
+      wheel.set("max_pending", wheel_.max_pending);
+      j.set("timer_wheel", std::move(wheel));
+    }
     obs::Json types = obs::Json::object();
     for (const auto& [name, stats] : types_) {
       obs::Json t = obs::Json::object();
@@ -203,18 +227,34 @@ class EngineMetrics {
   };
 
   KindStats& kinds(std::string_view kind) {
-    const auto it = kinds_.find(kind);
-    if (it != kinds_.end()) return it->second;
-    return kinds_.emplace(std::string(kind), KindStats{}).first->second;
+    // Single-entry memo: a run's hooks fire with one kind almost always
+    // (every fig3 entity is a secure_resource), and these are per-event
+    // calls. Map nodes are address-stable, so the memo never dangles.
+    if (last_kind_ != nullptr && kind == last_kind_name_) return *last_kind_;
+    auto it = kinds_.find(kind);
+    if (it == kinds_.end())
+      it = kinds_.emplace(std::string(kind), KindStats{}).first;
+    last_kind_name_ = it->first;
+    last_kind_ = &it->second;
+    return it->second;
   }
 
   TypeStats& type_stats(const std::type_info& type) {
+    // Same single-entry memo, keyed by type_info identity (one address per
+    // type within a binary).
+    if (&type == last_type_) return *last_type_stats_;
     const std::type_index idx(type);
     const auto cached = type_cache_.find(idx);
-    if (cached != type_cache_.end()) return *cached->second;
-    TypeStats& stats = types_[demangle(type.name())];
-    type_cache_.emplace(idx, &stats);
-    return stats;
+    TypeStats* stats;
+    if (cached != type_cache_.end()) {
+      stats = cached->second;
+    } else {
+      stats = &types_[demangle(type.name())];
+      type_cache_.emplace(idx, stats);
+    }
+    last_type_ = &type;
+    last_type_stats_ = stats;
+    return *stats;
   }
 
   static std::string demangle(const char* mangled) {
@@ -229,6 +269,10 @@ class EngineMetrics {
   std::map<std::string, KindStats, std::less<>> kinds_;
   std::map<std::string, TypeStats, std::less<>> types_;
   std::unordered_map<std::type_index, TypeStats*> type_cache_;
+  std::string_view last_kind_name_;
+  KindStats* last_kind_ = nullptr;
+  const std::type_info* last_type_ = nullptr;
+  TypeStats* last_type_stats_ = nullptr;
   std::uint64_t events_ = 0;
   std::uint64_t max_queue_depth_ = 0;
   double sim_time_ = 0.0;
@@ -238,6 +282,8 @@ class EngineMetrics {
   std::string queue_kind_;
   std::uint64_t shards_ = 0;  // 0: no sharded engine ever reported
   ShardStats shard_;
+  bool wheel_reported_ = false;  // any kWheel engine ever flushed
+  TimerWheelStats wheel_;
 };
 
 }  // namespace kgrid::sim

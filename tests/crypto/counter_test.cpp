@@ -37,7 +37,9 @@ TEST_P(CounterTest, MakeAndViewRoundTrip) {
   EXPECT_EQ(view.count, 25);
   EXPECT_EQ(view.num, 1);
   EXPECT_EQ(view.share, 777u);
-  EXPECT_EQ(view.timestamps, (std::vector<std::uint64_t>{0, 42, 0}));
+  EXPECT_EQ(std::vector<std::uint64_t>(view.timestamps.begin(),
+                                       view.timestamps.end()),
+            (std::vector<std::uint64_t>{0, 42, 0}));
 }
 
 TEST_P(CounterTest, AggregationAddsFieldsAndShares) {
@@ -58,7 +60,9 @@ TEST_P(CounterTest, AggregationAddsFieldsAndShares) {
   EXPECT_EQ(view.count, 603);
   EXPECT_EQ(view.num, 3);
   EXPECT_EQ(view.share, 1u);  // full aggregate: shares sum to 1
-  EXPECT_EQ(view.timestamps, (std::vector<std::uint64_t>{5, 6, 7}));
+  EXPECT_EQ(std::vector<std::uint64_t>(view.timestamps.begin(),
+                                       view.timestamps.end()),
+            (std::vector<std::uint64_t>{5, 6, 7}));
 }
 
 TEST_P(CounterTest, DoubleCountingBreaksShareInvariant) {

@@ -150,7 +150,7 @@ TEST(EngineMetrics, IdenticalSeededRunsExportIdenticalJson) {
 TEST(EngineMetrics, QueueAndPoolCountersFlushAsDeltas) {
   EngineMetrics metrics;
   {
-    Engine engine;  // default policy: calendar + event pool
+    Engine engine;  // default policy: timer wheel + event pool
     engine.attach_metrics(&metrics);
     Relay sink;  // budget 0: swallow the message
     sink.self = engine.add_entity(&sink, "sink");
@@ -159,7 +159,7 @@ TEST(EngineMetrics, QueueAndPoolCountersFlushAsDeltas) {
     engine.flush_stats();
     engine.flush_stats();  // repeat flushes must not double-count
   }  // destructor flush: nothing new since the explicit flush
-  EXPECT_EQ(metrics.queue_kind(), "calendar");
+  EXPECT_EQ(metrics.queue_kind(), "wheel");
   EXPECT_EQ(metrics.queue_stats().pushes, 1u);
   EXPECT_EQ(metrics.queue_stats().pops, 1u);
   EXPECT_EQ(metrics.queue_stats().max_depth, 1u);
@@ -167,7 +167,7 @@ TEST(EngineMetrics, QueueAndPoolCountersFlushAsDeltas) {
   EXPECT_EQ(metrics.event_pool_stats().released, 1u);
 
   const obs::Json j = metrics.to_json();
-  EXPECT_EQ(j.find("queue")->find("kind")->as_string(), "calendar");
+  EXPECT_EQ(j.find("queue")->find("kind")->as_string(), "wheel");
   EXPECT_EQ(j.find("queue")->find("engines")->as_uint(), 1u);
   EXPECT_EQ(j.find("queue")->find("pushes")->as_uint(), 1u);
   EXPECT_EQ(j.find("event_pool")->find("acquired")->as_uint(), 1u);

@@ -123,8 +123,8 @@ TEST(QueueFuzz, PoliciesProduceIdenticalDeliverySequences) {
       ASSERT_GT(legacy.log.size(), 100u)
           << shape.name << " seed=" << seed << " (workload too small)";
       for (const QueuePolicy policy :
-           {QueuePolicy::kCalendar, QueuePolicy::kDary4,
-            QueuePolicy::kDary8}) {
+           {QueuePolicy::kCalendar, QueuePolicy::kDary4, QueuePolicy::kDary8,
+            QueuePolicy::kWheel}) {
         const RunResult got = run_workload(policy, shape, seed);
         ASSERT_EQ(got.log.size(), legacy.log.size())
             << shape.name << " seed=" << seed;

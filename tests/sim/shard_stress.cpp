@@ -73,9 +73,10 @@ class Scatter : public sim::Entity {
   Rng rng_;
 };
 
-std::uint64_t run(std::size_t shards, std::size_t threads) {
+std::uint64_t run(std::size_t shards, std::size_t threads,
+                  sim::QueuePolicy policy) {
   sim::Executor exec(threads);
-  sim::Engine engine;
+  sim::Engine engine(policy);
   engine.enable_sharding(shards, 1.0);
   if (threads > 1) engine.attach_executor(&exec);
   sim::ScheduleHasher hasher;
@@ -104,12 +105,21 @@ std::uint64_t run(std::size_t shards, std::size_t threads) {
 }  // namespace
 
 int main() {
-  const std::uint64_t reference = run(4, 1);
-  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
-    for (const std::size_t threads : {2u, 4u}) {
-      for (int round = 0; round < 3; ++round) {
-        const std::uint64_t h = run(shards, threads);
-        check(h == reference, "dispatch hash invariant across shards/threads");
+  // Both the default wheel policy (timers in the per-lane hashed wheel,
+  // messages in the calendar) and the pure calendar run the same matrix
+  // against one reference hash: the wheel's per-lane state is part of the
+  // window/barrier ownership handoff TSan patrols here, and the hash check
+  // doubles as the policy-invariance gate under real concurrency.
+  const std::uint64_t reference = run(4, 1, sim::QueuePolicy::kCalendar);
+  for (const sim::QueuePolicy policy :
+       {sim::QueuePolicy::kWheel, sim::QueuePolicy::kCalendar}) {
+    for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+      for (const std::size_t threads : {2u, 4u}) {
+        for (int round = 0; round < 3; ++round) {
+          const std::uint64_t h = run(shards, threads, policy);
+          check(h == reference,
+                "dispatch hash invariant across policy/shards/threads");
+        }
       }
     }
   }
